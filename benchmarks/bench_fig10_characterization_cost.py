@@ -1,0 +1,35 @@
+"""Figure 10: characterization machine time under the four policies.
+
+Plans (not executes) the campaigns and applies the paper's cost model:
+>8 h for the all-pairs baseline, ~5x from measuring only 1-hop pairs,
+~2x more from bin packing, and a final 4-7x from re-measuring only the
+high-crosstalk pairs — landing under 15-20 minutes.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10_characterization_cost as fig10
+
+
+def test_fig10_characterization_cost(benchmark, devices, record_table):
+    def run():
+        return fig10.run_fig10(devices=devices)
+
+    rows = run_once(benchmark, run)
+    record_table("fig10_characterization_cost", fig10.format_table(rows))
+
+    for summary in fig10.summarize(rows):
+        assert summary.baseline_hours > 8.0          # "over 8 hours"
+        assert summary.final_minutes < 30.0          # "under fifteen minutes"
+        assert 20 <= summary.total_reduction <= 80   # paper: 35-73x
+
+    # per-policy stacked reductions, per device
+    for device in {r.device for r in rows}:
+        by_policy = {r.policy: r.num_experiments
+                     for r in rows if r.device == device}
+        base = by_policy["All pairs"]
+        one_hop = by_policy["Opt 1: One hop"]
+        packed = by_policy["Opt 2: One hop + bin packing"]
+        high = by_policy["Opt 3: Only high crosstalk pairs"]
+        assert base / one_hop > 2.5       # paper: ~5x
+        assert one_hop / packed > 1.7     # paper: ~2x
+        assert packed / high > 1.8        # paper: 4-7x

@@ -1,0 +1,35 @@
+"""Section 9.4: XtalkSched compile-time scaling on supremacy circuits.
+
+The paper compiles 6-18 qubit, 100-1000 gate random circuits in under 2
+minutes (500 gates) / 15 minutes (1000 gates) with Z3; the reproduction's
+branch-and-bound/greedy solver must stay inside those envelopes.
+"""
+
+import os
+
+from benchmarks.conftest import run_once
+from repro.experiments import scalability
+
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+INSTANCES = scalability.DEFAULT_INSTANCES if FULL else (
+    (6, 100), (8, 200), (12, 300), (16, 500),
+)
+
+
+def test_scheduler_compile_time_scaling(benchmark, poughkeepsie, record_table):
+    def run():
+        return scalability.run_scalability(device=poughkeepsie,
+                                           instances=INSTANCES)
+
+    rows = run_once(benchmark, run)
+    record_table("scalability", scalability.format_table(rows))
+
+    for row in rows:
+        if row.num_gates <= 500:
+            assert row.compile_seconds < 120.0   # paper: < 2 minutes
+        else:
+            assert row.compile_seconds < 900.0   # paper: < 15 minutes
+    # scaling is driven by gates, not qubits: the largest instance still
+    # finishes within the paper's envelope even with hundreds of decisions
+    assert max(r.num_decisions for r in rows) > 20

@@ -1,0 +1,47 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one table/figure of the paper (DESIGN.md §4
+maps them).  Benchmarks run their driver exactly once (``pedantic`` with a
+single round — the drivers are minutes-scale, not microbenchmarks), print
+the reproduced table, and archive it under ``benchmarks/results/`` so the
+numbers survive pytest's output capture.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record_table(results_dir):
+    def _record(name: str, table: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(table + "\n")
+        print(f"\n{table}\n[written to {path}]")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def devices():
+    from repro.device.presets import all_devices
+
+    return all_devices()
+
+
+@pytest.fixture(scope="session")
+def poughkeepsie(devices):
+    return devices[0]
+
+
+def run_once(benchmark, fn):
+    """Run a minutes-scale driver exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

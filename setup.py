@@ -1,0 +1,10 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+`pip install -e . --no-build-isolation` needs to build an editable wheel;
+when `wheel` is unavailable, `python setup.py develop` installs the same
+editable egg-link using only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

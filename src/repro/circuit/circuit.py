@@ -1,0 +1,264 @@
+"""The :class:`QuantumCircuit` container.
+
+A circuit is an ordered list of :class:`~repro.circuit.gates.Instruction`
+objects over ``num_qubits`` qubits and ``num_clbits`` classical bits.  The
+builder methods (``h``, ``cx``, ``swap``, ...) append instructions and return
+``self`` so construction chains fluently.
+
+The container is deliberately simple: scheduling information lives in
+:class:`repro.transpiler.schedule.Schedule`, and dependency structure in
+:class:`repro.circuit.dag.CircuitDag`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.circuit.gates import Instruction, gate_spec, inverse_instruction
+
+
+class QuantumCircuit:
+    """An ordered gate list over a fixed set of qubits and classical bits."""
+
+    def __init__(self, num_qubits: int, num_clbits: int = 0, name: str = "circuit"):
+        if num_qubits <= 0:
+            raise ValueError("circuit needs at least one qubit")
+        if num_clbits < 0:
+            raise ValueError("num_clbits must be non-negative")
+        self.num_qubits = num_qubits
+        self.num_clbits = num_clbits
+        self.name = name
+        self._instructions: List[Instruction] = []
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    @property
+    def instructions(self) -> Tuple[Instruction, ...]:
+        return tuple(self._instructions)
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self._instructions[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantumCircuit):
+            return NotImplemented
+        return (
+            self.num_qubits == other.num_qubits
+            and self.num_clbits == other.num_clbits
+            and self._instructions == other._instructions
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantumCircuit(name={self.name!r}, qubits={self.num_qubits}, "
+            f"clbits={self.num_clbits}, gates={len(self)})"
+        )
+
+    # ------------------------------------------------------------------
+    # building
+    # ------------------------------------------------------------------
+    def _check_qubits(self, qubits: Sequence[int]) -> None:
+        for q in qubits:
+            if not 0 <= q < self.num_qubits:
+                raise ValueError(f"qubit {q} out of range [0, {self.num_qubits})")
+
+    def append(self, instr: Instruction) -> "QuantumCircuit":
+        """Append a pre-built instruction after validating its operands."""
+        self._check_qubits(instr.qubits)
+        if instr.clbit is not None and not 0 <= instr.clbit < self.num_clbits:
+            raise ValueError(f"clbit {instr.clbit} out of range [0, {self.num_clbits})")
+        self._instructions.append(instr)
+        return self
+
+    def add(self, name: str, *qubits: int, params: Sequence[float] = (),
+            clbit: Optional[int] = None, label: Optional[str] = None) -> "QuantumCircuit":
+        return self.append(
+            Instruction(name, tuple(qubits), tuple(params), clbit=clbit, label=label)
+        )
+
+    # single-qubit gates -------------------------------------------------
+    def id(self, q: int) -> "QuantumCircuit":
+        return self.add("id", q)
+
+    def x(self, q: int) -> "QuantumCircuit":
+        return self.add("x", q)
+
+    def y(self, q: int) -> "QuantumCircuit":
+        return self.add("y", q)
+
+    def z(self, q: int) -> "QuantumCircuit":
+        return self.add("z", q)
+
+    def h(self, q: int) -> "QuantumCircuit":
+        return self.add("h", q)
+
+    def s(self, q: int) -> "QuantumCircuit":
+        return self.add("s", q)
+
+    def sdg(self, q: int) -> "QuantumCircuit":
+        return self.add("sdg", q)
+
+    def t(self, q: int) -> "QuantumCircuit":
+        return self.add("t", q)
+
+    def tdg(self, q: int) -> "QuantumCircuit":
+        return self.add("tdg", q)
+
+    def sx(self, q: int) -> "QuantumCircuit":
+        return self.add("sx", q)
+
+    def rx(self, theta: float, q: int) -> "QuantumCircuit":
+        return self.add("rx", q, params=(theta,))
+
+    def ry(self, theta: float, q: int) -> "QuantumCircuit":
+        return self.add("ry", q, params=(theta,))
+
+    def rz(self, theta: float, q: int) -> "QuantumCircuit":
+        return self.add("rz", q, params=(theta,))
+
+    def u1(self, lam: float, q: int) -> "QuantumCircuit":
+        return self.add("u1", q, params=(lam,))
+
+    def u2(self, phi: float, lam: float, q: int) -> "QuantumCircuit":
+        return self.add("u2", q, params=(phi, lam))
+
+    def u3(self, theta: float, phi: float, lam: float, q: int) -> "QuantumCircuit":
+        return self.add("u3", q, params=(theta, phi, lam))
+
+    # two-qubit gates ----------------------------------------------------
+    def cx(self, control: int, target: int, label: Optional[str] = None) -> "QuantumCircuit":
+        return self.add("cx", control, target, label=label)
+
+    def cz(self, a: int, b: int) -> "QuantumCircuit":
+        return self.add("cz", a, b)
+
+    def swap(self, a: int, b: int) -> "QuantumCircuit":
+        return self.add("swap", a, b)
+
+    # non-unitary --------------------------------------------------------
+    def barrier(self, *qubits: int) -> "QuantumCircuit":
+        """Insert a barrier; with no arguments it spans all qubits."""
+        span = tuple(qubits) if qubits else tuple(range(self.num_qubits))
+        return self.add("barrier", *span)
+
+    def measure(self, qubit: int, clbit: int) -> "QuantumCircuit":
+        return self.add("measure", qubit, clbit=clbit)
+
+    def measure_all(self) -> "QuantumCircuit":
+        """Measure qubit ``i`` into clbit ``i``, growing clbits as needed."""
+        if self.num_clbits < self.num_qubits:
+            self.num_clbits = self.num_qubits
+        for q in range(self.num_qubits):
+            self.measure(q, q)
+        return self
+
+    # ------------------------------------------------------------------
+    # whole-circuit operations
+    # ------------------------------------------------------------------
+    def copy(self, name: Optional[str] = None) -> "QuantumCircuit":
+        out = QuantumCircuit(self.num_qubits, self.num_clbits, name or self.name)
+        out._instructions = list(self._instructions)
+        return out
+
+    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """Append all of ``other``'s instructions to a copy of this circuit."""
+        if other.num_qubits > self.num_qubits:
+            raise ValueError("composed circuit has more qubits than target")
+        out = self.copy()
+        out.num_clbits = max(self.num_clbits, other.num_clbits)
+        for instr in other:
+            out.append(instr)
+        return out
+
+    def inverse(self) -> "QuantumCircuit":
+        """Reverse the circuit, inverting each gate (unitary circuits only)."""
+        out = QuantumCircuit(self.num_qubits, self.num_clbits, f"{self.name}_dg")
+        for instr in reversed(self._instructions):
+            if instr.is_barrier:
+                out.append(instr)
+            else:
+                out.append(inverse_instruction(instr))
+        return out
+
+    def remap(self, mapping: Sequence[int], num_qubits: Optional[int] = None) -> "QuantumCircuit":
+        """Relabel qubits: circuit qubit ``i`` becomes ``mapping[i]``.
+
+        Used to place a logical workload onto physical device qubits.
+        """
+        if len(mapping) != self.num_qubits:
+            raise ValueError("mapping must cover every circuit qubit")
+        if len(set(mapping)) != len(mapping):
+            raise ValueError("mapping must be injective")
+        target_n = num_qubits if num_qubits is not None else max(mapping) + 1
+        out = QuantumCircuit(target_n, self.num_clbits, self.name)
+        for instr in self._instructions:
+            out.append(
+                Instruction(
+                    instr.name,
+                    tuple(mapping[q] for q in instr.qubits),
+                    instr.params,
+                    clbit=instr.clbit,
+                    label=instr.label,
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def active_qubits(self) -> Tuple[int, ...]:
+        """Sorted qubits touched by at least one non-barrier instruction."""
+        seen = set()
+        for instr in self._instructions:
+            if not instr.is_barrier:
+                seen.update(instr.qubits)
+        return tuple(sorted(seen))
+
+    def count_ops(self) -> dict:
+        counts: dict = {}
+        for instr in self._instructions:
+            counts[instr.name] = counts.get(instr.name, 0) + 1
+        return counts
+
+    def two_qubit_gate_count(self) -> int:
+        return sum(1 for instr in self._instructions if instr.is_two_qubit)
+
+    def depth(self) -> int:
+        """Number of dependency layers (barriers excluded from the count)."""
+        front = [0] * self.num_qubits
+        for instr in self._instructions:
+            if instr.is_barrier:
+                level = max((front[q] for q in instr.qubits), default=0)
+                for q in instr.qubits:
+                    front[q] = level
+                continue
+            level = max(front[q] for q in instr.qubits) + 1
+            for q in instr.qubits:
+                front[q] = level
+        return max(front, default=0)
+
+    def format(self) -> str:
+        """Multi-line textual rendering of the instruction list."""
+        lines = [f"{self.name}: {self.num_qubits} qubits, {self.num_clbits} clbits"]
+        lines.extend(f"  {i:3d}: {instr.format()}" for i, instr in enumerate(self))
+        return "\n".join(lines)
+
+
+def bell_pair_circuit(control: int = 0, target: int = 1, num_qubits: int = 2) -> QuantumCircuit:
+    """A Bell-state preparation circuit, the known answer for SWAP studies.
+
+    The paper's SWAP circuits prepare a Bell state whose quality is then read
+    out by state tomography (Section 8.4).
+    """
+    circ = QuantumCircuit(num_qubits, name="bell")
+    circ.h(control)
+    circ.cx(control, target)
+    return circ

@@ -1,0 +1,187 @@
+"""Gate and instruction definitions for the circuit IR.
+
+The gate set mirrors the IBMQ basis used by the paper (u1/u2/u3 single-qubit
+rotations plus CNOT) together with the common named gates that the workload
+generators emit (H, X, CZ, SWAP, ...).  Every instruction in a circuit is an
+:class:`Instruction`: an immutable record of a gate name, the qubits it acts
+on, its parameters, and (for measurements) the classical bit it writes.
+
+Durations and error rates are *not* part of the IR — they are properties of a
+device (:mod:`repro.device`) and are attached at scheduling time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Static description of a gate type.
+
+    Attributes:
+        name: canonical lowercase gate name, e.g. ``"cx"``.
+        num_qubits: number of qubits the gate acts on.
+        num_params: number of real parameters (rotation angles).
+        hermitian: whether the gate is its own inverse.
+        directive: True for pseudo-instructions (barrier) that have no
+            unitary action and zero duration.
+    """
+
+    name: str
+    num_qubits: int
+    num_params: int = 0
+    hermitian: bool = False
+    directive: bool = False
+
+
+#: All gate types understood by the IR, simulator and transpiler.
+GATE_SPECS = {
+    spec.name: spec
+    for spec in [
+        GateSpec("id", 1, 0, hermitian=True),
+        GateSpec("x", 1, 0, hermitian=True),
+        GateSpec("y", 1, 0, hermitian=True),
+        GateSpec("z", 1, 0, hermitian=True),
+        GateSpec("h", 1, 0, hermitian=True),
+        GateSpec("s", 1, 0),
+        GateSpec("sdg", 1, 0),
+        GateSpec("t", 1, 0),
+        GateSpec("tdg", 1, 0),
+        GateSpec("sx", 1, 0),
+        GateSpec("sxdg", 1, 0),
+        GateSpec("rx", 1, 1),
+        GateSpec("ry", 1, 1),
+        GateSpec("rz", 1, 1),
+        GateSpec("u1", 1, 1),
+        GateSpec("u2", 1, 2),
+        GateSpec("u3", 1, 3),
+        GateSpec("cx", 2, 0, hermitian=True),
+        GateSpec("cz", 2, 0, hermitian=True),
+        GateSpec("swap", 2, 0, hermitian=True),
+        GateSpec("measure", 1, 0),
+        GateSpec("barrier", 0, 0, directive=True),
+        GateSpec("delay", 1, 1, directive=True),
+    ]
+}
+
+
+def gate_spec(name: str) -> GateSpec:
+    """Return the :class:`GateSpec` for ``name``.
+
+    Raises:
+        KeyError: if the gate name is unknown to the IR.
+    """
+    try:
+        return GATE_SPECS[name]
+    except KeyError:
+        raise KeyError(f"unknown gate {name!r}; known gates: {sorted(GATE_SPECS)}") from None
+
+
+def is_two_qubit_gate(name: str) -> bool:
+    """True when ``name`` is a two-qubit unitary gate (cx/cz/swap)."""
+    spec = GATE_SPECS.get(name)
+    return spec is not None and spec.num_qubits == 2 and not spec.directive
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One gate application inside a circuit.
+
+    ``qubits`` is the ordered tuple of qubit indices the gate acts on
+    (control first for ``cx``).  Barriers may span any number of qubits and
+    are the only instruction type whose arity is not fixed by its spec.
+
+    Attributes:
+        name: gate name, must be a key of :data:`GATE_SPECS`.
+        qubits: qubit indices acted on.
+        params: real-valued gate parameters (angles, or the delay duration).
+        clbit: classical bit index written by a measurement, else ``None``.
+        label: optional free-form tag used by workload generators (for
+            example to mark redundant CNOTs in the Hidden Shift study).
+    """
+
+    name: str
+    qubits: Tuple[int, ...]
+    params: Tuple[float, ...] = field(default=())
+    clbit: Optional[int] = None
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        spec = gate_spec(self.name)
+        if not spec.directive and len(self.qubits) != spec.num_qubits:
+            raise ValueError(
+                f"gate {self.name!r} expects {spec.num_qubits} qubits, "
+                f"got {len(self.qubits)}"
+            )
+        if self.name == "barrier" and not self.qubits:
+            raise ValueError("barrier must span at least one qubit")
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"duplicate qubits in {self.name}: {self.qubits}")
+        if spec.num_params and len(self.params) != spec.num_params:
+            raise ValueError(
+                f"gate {self.name!r} expects {spec.num_params} params, "
+                f"got {len(self.params)}"
+            )
+        if self.name == "measure" and self.clbit is None:
+            raise ValueError("measure requires a clbit")
+
+    @property
+    def spec(self) -> GateSpec:
+        return gate_spec(self.name)
+
+    @property
+    def is_barrier(self) -> bool:
+        return self.name == "barrier"
+
+    @property
+    def is_measure(self) -> bool:
+        return self.name == "measure"
+
+    @property
+    def is_directive(self) -> bool:
+        return self.spec.directive
+
+    @property
+    def is_two_qubit(self) -> bool:
+        return is_two_qubit_gate(self.name)
+
+    def format(self) -> str:
+        """Human-readable one-line rendering, e.g. ``cx q3, q4``."""
+        qubits = ", ".join(f"q{q}" for q in self.qubits)
+        if self.params:
+            angles = ", ".join(f"{p:.4g}" for p in self.params)
+            head = f"{self.name}({angles})"
+        else:
+            head = self.name
+        if self.is_measure:
+            return f"{head} {qubits} -> c{self.clbit}"
+        return f"{head} {qubits}"
+
+
+def inverse_instruction(instr: Instruction) -> Instruction:
+    """Return an instruction implementing the inverse unitary.
+
+    Supports the gate types emitted by the workload generators.  Hermitian
+    gates are their own inverse; parametrized rotations negate their angle.
+    """
+    if instr.is_directive or instr.is_measure:
+        raise ValueError(f"{instr.name} has no inverse")
+    spec = instr.spec
+    if spec.hermitian:
+        return instr
+    simple = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t", "sx": "sxdg", "sxdg": "sx"}
+    if instr.name in simple:
+        return Instruction(simple[instr.name], instr.qubits)
+    if instr.name in ("rx", "ry", "rz", "u1"):
+        return Instruction(instr.name, instr.qubits, (-instr.params[0],))
+    if instr.name == "u2":
+        # u2(phi, lam) = u3(pi/2, phi, lam); inverse is u3(-pi/2, -lam, -phi).
+        phi, lam = instr.params
+        return Instruction("u3", instr.qubits, (-math.pi / 2, -lam, -phi))
+    if instr.name == "u3":
+        theta, phi, lam = instr.params
+        return Instruction("u3", instr.qubits, (-theta, -lam, -phi))
+    raise ValueError(f"no inverse rule for gate {instr.name!r}")

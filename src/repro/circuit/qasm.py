@@ -1,0 +1,149 @@
+"""OpenQASM 2.0 serialization for the circuit IR.
+
+The circuit-level ISA the paper compiles to is OpenQASM 2.0 [13]; this
+module makes the IR interoperable with that ecosystem — circuits round-trip
+through text form, and externally produced QASM (the common interchange
+format) loads into the IR directly.
+
+Supported: the full IR gate set (including barriers and measurements) over
+a single ``q``/``c`` register pair.  Not supported: user-defined gates,
+``if`` statements, ``reset``, multiple registers.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import GATE_SPECS, Instruction
+
+#: IR gate name -> QASM gate keyword (identical for everything we emit).
+_QASM_NAMES = {
+    "id": "id", "x": "x", "y": "y", "z": "z", "h": "h", "s": "s",
+    "sdg": "sdg", "t": "t", "tdg": "tdg", "sx": "sx", "sxdg": "sxdg",
+    "rx": "rx", "ry": "ry", "rz": "rz", "u1": "u1", "u2": "u2", "u3": "u3",
+    "cx": "cx", "cz": "cz", "swap": "swap",
+}
+_IR_NAMES = {v: k for k, v in _QASM_NAMES.items()}
+
+
+def circuit_to_qasm(circuit: QuantumCircuit) -> str:
+    """Render a circuit as an OpenQASM 2.0 program."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+    ]
+    if circuit.num_clbits:
+        lines.append(f"creg c[{circuit.num_clbits}];")
+    for instr in circuit:
+        lines.append(_instruction_to_qasm(instr))
+    return "\n".join(lines) + "\n"
+
+
+def _instruction_to_qasm(instr: Instruction) -> str:
+    if instr.is_barrier:
+        operands = ",".join(f"q[{q}]" for q in instr.qubits)
+        return f"barrier {operands};"
+    if instr.is_measure:
+        return f"measure q[{instr.qubits[0]}] -> c[{instr.clbit}];"
+    if instr.name == "delay":
+        raise ValueError("delay has no OpenQASM 2.0 representation")
+    keyword = _QASM_NAMES[instr.name]
+    if instr.params:
+        args = ",".join(_format_angle(p) for p in instr.params)
+        keyword = f"{keyword}({args})"
+    operands = ",".join(f"q[{q}]" for q in instr.qubits)
+    return f"{keyword} {operands};"
+
+
+def _format_angle(value: float) -> str:
+    """Render an angle, using pi fractions where exact."""
+    for num in (1, -1, 2, -2, 4, -4):
+        if value == math.pi / num:
+            return "pi" if num == 1 else ("-pi" if num == -1 else
+                                          f"pi/{num}" if num > 0 else
+                                          f"-pi/{-num}")
+    return repr(float(value))
+
+
+_HEADER_RE = re.compile(r"OPENQASM\s+2\.0\s*;")
+_QREG_RE = re.compile(r"qreg\s+(\w+)\s*\[\s*(\d+)\s*\]\s*;")
+_CREG_RE = re.compile(r"creg\s+(\w+)\s*\[\s*(\d+)\s*\]\s*;")
+_MEASURE_RE = re.compile(
+    r"measure\s+\w+\[(\d+)\]\s*->\s*\w+\[(\d+)\]\s*;"
+)
+_GATE_RE = re.compile(
+    r"(?P<name>[a-zA-Z_][\w]*)\s*(?:\((?P<params>[^)]*)\))?\s+(?P<operands>[^;]+);"
+)
+_OPERAND_RE = re.compile(r"\w+\[(\d+)\]")
+
+
+def qasm_to_circuit(text: str) -> QuantumCircuit:
+    """Parse an OpenQASM 2.0 program into a circuit.
+
+    Raises:
+        ValueError: on missing headers, unknown gates, or unsupported
+            constructs.
+    """
+    stripped = _strip_comments(text)
+    if not _HEADER_RE.search(stripped):
+        raise ValueError("missing 'OPENQASM 2.0;' header")
+    qreg = _QREG_RE.search(stripped)
+    if not qreg:
+        raise ValueError("missing qreg declaration")
+    num_qubits = int(qreg.group(2))
+    creg = _CREG_RE.search(stripped)
+    num_clbits = int(creg.group(2)) if creg else 0
+    circuit = QuantumCircuit(num_qubits, num_clbits, name="from_qasm")
+
+    for statement in stripped.split(";"):
+        statement = statement.strip()
+        if not statement:
+            continue
+        lowered = statement.lower()
+        if (lowered.startswith(("openqasm", "include", "qreg", "creg"))):
+            continue
+        full = statement + ";"
+        measure = _MEASURE_RE.match(full)
+        if measure:
+            circuit.measure(int(measure.group(1)), int(measure.group(2)))
+            continue
+        gate = _GATE_RE.match(full)
+        if not gate:
+            raise ValueError(f"cannot parse statement {statement!r}")
+        name = gate.group("name")
+        operands = [int(m) for m in _OPERAND_RE.findall(gate.group("operands"))]
+        if name == "barrier":
+            circuit.barrier(*operands)
+            continue
+        if name not in _IR_NAMES:
+            raise ValueError(f"unsupported gate {name!r}")
+        params: Tuple[float, ...] = ()
+        if gate.group("params") is not None:
+            params = tuple(
+                _parse_angle(p) for p in gate.group("params").split(",")
+            )
+        circuit.add(_IR_NAMES[name], *operands, params=params)
+    return circuit
+
+
+def _strip_comments(text: str) -> str:
+    return re.sub(r"//[^\n]*", "", text)
+
+
+def _parse_angle(token: str) -> float:
+    """Evaluate simple pi-arithmetic angle expressions (``pi/2``, ``-pi``,
+    ``3*pi/4``, plain floats)."""
+    token = token.strip()
+    if not re.fullmatch(r"[\d\s\.\+\-\*/eE]*|.*pi.*", token):
+        raise ValueError(f"bad angle {token!r}")
+    safe = token.replace("pi", repr(math.pi))
+    if not re.fullmatch(r"[\d\s\.\+\-\*/()eE]+", safe):
+        raise ValueError(f"bad angle {token!r}")
+    try:
+        return float(eval(safe, {"__builtins__": {}}, {}))
+    except Exception as exc:
+        raise ValueError(f"bad angle {token!r}") from exc

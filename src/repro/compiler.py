@@ -1,0 +1,98 @@
+"""One-call compilation pipeline: logical circuit -> submittable circuit.
+
+Chains the stages the paper's toolflow runs (Figure 2): layout (optional
+region selection for line workloads), routing to the coupling map, basis
+decomposition, and crosstalk-adaptive scheduling.  This is the entry point
+a downstream user would call; every stage remains individually accessible
+for custom flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.characterization.report import CrosstalkReport
+from repro.core.scheduling.baselines import disable_sched, par_sched, serial_sched
+from repro.core.scheduling.xtalk import ScheduledCircuit, XtalkScheduler
+from repro.device.device import Device
+from repro.transpiler.decompose import decompose_to_basis
+from repro.transpiler.routing import route_circuit
+from repro.transpiler.scheduling import hardware_schedule
+
+SCHEDULER_CHOICES = ("xtalk", "par", "serial", "disable")
+
+
+@dataclass
+class CompilationResult:
+    """Everything the pipeline produced."""
+
+    circuit: QuantumCircuit            #: ready for NoisyBackend.run
+    layout: Tuple[int, ...]            #: logical qubit -> device qubit
+    scheduler: str
+    duration: float                    #: hardware-schedule makespan (ns)
+    scheduled: Optional[ScheduledCircuit] = None  #: XtalkSched artifacts
+
+    @property
+    def serialized_pairs(self) -> Tuple[Tuple[int, int], ...]:
+        if self.scheduled is None:
+            return ()
+        return self.scheduled.serialized_pairs
+
+
+def compile_circuit(circuit: QuantumCircuit, device: Device,
+                    report: Optional[CrosstalkReport] = None,
+                    scheduler: str = "xtalk", omega: float = 0.5,
+                    initial_layout: Optional[Sequence[int]] = None,
+                    day: int = 0) -> CompilationResult:
+    """Compile a logical circuit for a device.
+
+    Args:
+        circuit: logical circuit; two-qubit gates may be non-adjacent
+            (SWAPs are inserted) and may use swap/cz macros (lowered to
+            CNOTs).  Measurements are preserved; clbits keep their ids.
+        device: target device (only compiler-visible data is used).
+        report: crosstalk characterization; required for the ``"xtalk"``
+            scheduler (run a :class:`CharacterizationCampaign` to get one).
+        scheduler: ``"xtalk"`` (default), ``"par"``, ``"serial"``, or
+            ``"disable"`` (the blanket nearby-gate-disable policy).
+        omega: XtalkSched's crosstalk weight factor.
+        initial_layout: logical->device placement; defaults to identity.
+
+    Returns:
+        A :class:`CompilationResult` whose ``circuit`` is hardware-ready.
+    """
+    if scheduler not in SCHEDULER_CHOICES:
+        raise ValueError(
+            f"unknown scheduler {scheduler!r}; pick from {SCHEDULER_CHOICES}"
+        )
+    if scheduler == "xtalk" and report is None:
+        raise ValueError("the xtalk scheduler needs a characterization report")
+
+    routed, layout = route_circuit(circuit, device.coupling,
+                                   initial_layout=initial_layout)
+    lowered = decompose_to_basis(routed)
+    lowered.name = circuit.name
+
+    calibration = device.calibration(day)
+    scheduled: Optional[ScheduledCircuit] = None
+    if scheduler == "xtalk":
+        xs = XtalkScheduler(calibration, report, omega=omega)
+        scheduled = xs.schedule(lowered)
+        final = scheduled.circuit
+    elif scheduler == "par":
+        final = par_sched(lowered)
+    elif scheduler == "serial":
+        final = serial_sched(lowered)
+    else:
+        final = disable_sched(lowered, device.coupling)
+
+    duration = hardware_schedule(final, calibration.durations).makespan()
+    return CompilationResult(
+        circuit=final,
+        layout=tuple(layout),
+        scheduler=scheduler,
+        duration=duration,
+        scheduled=scheduled,
+    )

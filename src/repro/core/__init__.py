@@ -1,0 +1,40 @@
+"""The paper's primary contribution.
+
+* :mod:`repro.core.characterization` — fast crosstalk characterization:
+  SRB campaign planning under the four policies of Section 5 (all pairs,
+  1-hop only, 1-hop + bin packing, high-crosstalk pairs only), the
+  randomized first-fit bin packer, the machine-time cost model, and the
+  :class:`~repro.core.characterization.report.CrosstalkReport` the
+  scheduler consumes.
+* :mod:`repro.core.scheduling` — the crosstalk-adaptive instruction
+  scheduler ``XtalkSched`` (SMT formulation of Section 7) plus the
+  ``SerialSched``/``ParSched`` baselines of Table 1 behind one interface.
+"""
+
+from repro.core.characterization import (
+    CrosstalkReport,
+    CharacterizationPolicy,
+    CharacterizationPlan,
+    CharacterizationCampaign,
+    CampaignOutcome,
+    pack_pairs_first_fit,
+)
+from repro.core.scheduling import (
+    XtalkScheduler,
+    ScheduledCircuit,
+    par_sched,
+    serial_sched,
+)
+
+__all__ = [
+    "CrosstalkReport",
+    "CharacterizationPolicy",
+    "CharacterizationPlan",
+    "CharacterizationCampaign",
+    "CampaignOutcome",
+    "pack_pairs_first_fit",
+    "XtalkScheduler",
+    "ScheduledCircuit",
+    "par_sched",
+    "serial_sched",
+]

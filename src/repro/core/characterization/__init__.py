@@ -1,0 +1,25 @@
+"""Fast crosstalk characterization (Section 5)."""
+
+from repro.core.characterization.report import CrosstalkReport
+from repro.core.characterization.binpacking import pack_pairs_first_fit
+from repro.core.characterization.campaign import (
+    CharacterizationPolicy,
+    CharacterizationPlan,
+    CharacterizationCampaign,
+    CampaignOutcome,
+)
+from repro.core.characterization.cost import CostModel
+from repro.core.characterization.drift import ReportDiff, diff_reports, format_diff
+
+__all__ = [
+    "CrosstalkReport",
+    "pack_pairs_first_fit",
+    "CharacterizationPolicy",
+    "CharacterizationPlan",
+    "CharacterizationCampaign",
+    "CampaignOutcome",
+    "CostModel",
+    "ReportDiff",
+    "diff_reports",
+    "format_diff",
+]

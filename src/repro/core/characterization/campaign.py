@@ -1,0 +1,165 @@
+"""Characterization campaign planning and execution (Section 5).
+
+A campaign plans which SRB experiments to run under one of the paper's four
+policies, executes them against a device, and produces the
+:class:`~repro.core.characterization.report.CrosstalkReport` the scheduler
+consumes.
+
+Policies (each one experiment-count-dominates the next):
+
+* ``ALL_PAIRS`` — SRB on every parallel-drivable gate pair (baseline);
+* ``ONE_HOP`` — Optimization 1: only pairs separated by 1 hop;
+* ``ONE_HOP_PACKED`` — Optimization 2: 1-hop pairs, bin-packed so mutually
+  far pairs share an experiment;
+* ``HIGH_ONLY`` — Optimization 3: re-measure only the high-crosstalk pairs
+  found by a previous full campaign (packed), merging into the prior
+  report.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.characterization.binpacking import Unit, pack_pairs_first_fit
+from repro.core.characterization.cost import CostModel, PAPER_COST_MODEL
+from repro.core.characterization.report import CrosstalkReport
+from repro.device.device import Device
+from repro.device.topology import CouplingMap, Edge
+from repro.rb.executor import RBConfig, RBExecutor
+
+
+class CharacterizationPolicy(enum.Enum):
+    ALL_PAIRS = "all_pairs"
+    ONE_HOP = "one_hop"
+    ONE_HOP_PACKED = "one_hop_packed"
+    HIGH_ONLY = "high_only"
+
+
+@dataclass
+class CharacterizationPlan:
+    """The experiments a policy schedules.
+
+    ``pair_experiments`` and ``independent_experiments`` are lists of
+    experiments; each experiment is a list of units run in parallel (a unit
+    is a gate pair for SRB or a single gate for independent RB).
+    """
+
+    policy: CharacterizationPolicy
+    pair_experiments: List[List[Unit]]
+    independent_experiments: List[List[Unit]]
+
+    @property
+    def num_experiments(self) -> int:
+        return len(self.pair_experiments) + len(self.independent_experiments)
+
+    def units_measured(self) -> int:
+        return sum(len(exp) for exp in self.pair_experiments)
+
+
+@dataclass
+class CampaignOutcome:
+    """A finished campaign: the report plus its cost accounting."""
+
+    plan: CharacterizationPlan
+    report: CrosstalkReport
+    cost_model: CostModel = field(default_factory=lambda: PAPER_COST_MODEL)
+
+    @property
+    def num_experiments(self) -> int:
+        return self.plan.num_experiments
+
+    @property
+    def machine_hours(self) -> float:
+        return self.cost_model.hours(self.num_experiments)
+
+    @property
+    def machine_minutes(self) -> float:
+        return self.cost_model.minutes(self.num_experiments)
+
+    @property
+    def executions(self) -> int:
+        return self.cost_model.executions(self.num_experiments)
+
+
+class CharacterizationCampaign:
+    """Plans and runs crosstalk characterization on one device."""
+
+    def __init__(self, device: Device, rb_config: Optional[RBConfig] = None,
+                 seed: int = 0):
+        self.device = device
+        self.rb_config = rb_config or RBConfig()
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def plan(self, policy: CharacterizationPolicy,
+             prior: Optional[CrosstalkReport] = None) -> CharacterizationPlan:
+        coupling = self.device.coupling
+        if policy is CharacterizationPolicy.ALL_PAIRS:
+            pairs = [tuple(sorted(p)) for p in coupling.simultaneous_gate_pairs()]
+            pair_experiments = [[pair] for pair in sorted(pairs)]
+            independent = [[(edge,)] for edge in coupling.edges]
+        elif policy is CharacterizationPolicy.ONE_HOP:
+            pairs = [tuple(sorted(p)) for p in coupling.one_hop_gate_pairs()]
+            pair_experiments = [[pair] for pair in sorted(pairs)]
+            independent = [[(edge,)] for edge in coupling.edges]
+        elif policy is CharacterizationPolicy.ONE_HOP_PACKED:
+            pairs = [tuple(sorted(p)) for p in coupling.one_hop_gate_pairs()]
+            pair_experiments = pack_pairs_first_fit(
+                coupling, sorted(pairs), seed=self.seed
+            )
+            independent = pack_pairs_first_fit(
+                coupling, [(edge,) for edge in coupling.edges], seed=self.seed
+            )
+        elif policy is CharacterizationPolicy.HIGH_ONLY:
+            if prior is None:
+                raise ValueError("HIGH_ONLY needs a prior report")
+            pairs = [tuple(sorted(p)) for p in prior.high_pairs()]
+            pair_experiments = pack_pairs_first_fit(
+                coupling, sorted(pairs), seed=self.seed
+            )
+            # Only the gates involved in high pairs need fresh independent
+            # rates; everything else is reused from the prior report.
+            edges = sorted({e for pair in pairs for e in pair})
+            independent = pack_pairs_first_fit(
+                coupling, [(e,) for e in edges], seed=self.seed
+            )
+        else:  # pragma: no cover - enum is exhaustive
+            raise ValueError(f"unknown policy {policy}")
+        return CharacterizationPlan(policy, pair_experiments, independent)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, policy: CharacterizationPolicy, day: int = 0,
+            prior: Optional[CrosstalkReport] = None,
+            cost_model: Optional[CostModel] = None) -> CampaignOutcome:
+        plan = self.plan(policy, prior)
+        executor = RBExecutor(self.device, day=day, config=self.rb_config,
+                              seed=self.seed * 65537 + day)
+        report = CrosstalkReport(day=day)
+
+        for experiment in plan.independent_experiments:
+            result = executor.run_units(experiment)
+            for unit in experiment:
+                (edge,) = unit
+                report.record_independent(edge, result.error_rate(edge))
+
+        for experiment in plan.pair_experiments:
+            result = executor.run_units(experiment)
+            for unit in experiment:
+                a, b = unit
+                report.record_conditional(a, b, result.error_rate(a))
+                report.record_conditional(b, a, result.error_rate(b))
+
+        if policy is CharacterizationPolicy.HIGH_ONLY and prior is not None:
+            report = prior.merged_with(report)
+
+        return CampaignOutcome(
+            plan=plan,
+            report=report,
+            cost_model=cost_model or PAPER_COST_MODEL,
+        )

@@ -1,0 +1,40 @@
+"""Machine-time cost model for characterization campaigns (Figure 10).
+
+The paper reports that the all-pairs baseline needs 22.6M hardware
+executions and over 8 hours of machine time per device — an effective
+throughput of roughly 785 executions per second, which we adopt as the
+device execution-rate constant.  An *experiment* is one parallel RB run of
+100 random sequences x 1024 trials (the random sequences span the RB
+lengths); bin-packed experiments measure several units for the price of
+one.  Check: ~221 pair experiments x 102,400 executions ≈ 22.6M, the
+paper's number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Converts experiment counts into hardware executions and hours."""
+
+    sequences_per_experiment: int = 100
+    trials_per_sequence: int = 1024
+    executions_per_second: float = 785.0
+
+    def executions_per_experiment(self) -> int:
+        return self.sequences_per_experiment * self.trials_per_sequence
+
+    def executions(self, num_experiments: int) -> int:
+        return num_experiments * self.executions_per_experiment()
+
+    def hours(self, num_experiments: int) -> float:
+        return self.executions(num_experiments) / self.executions_per_second / 3600.0
+
+    def minutes(self, num_experiments: int) -> float:
+        return self.hours(num_experiments) * 60.0
+
+
+#: The paper's nominal protocol sizing (Section 8.1).
+PAPER_COST_MODEL = CostModel()

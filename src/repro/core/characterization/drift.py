@@ -1,0 +1,89 @@
+"""Drift monitoring between characterization reports.
+
+The daily workflow (Optimization 3) re-measures only the known high pairs.
+That is safe while the high-pair *set* is stable — the paper observes it
+is, but a production deployment should verify rather than assume.  This
+module compares two reports and decides when the cheap daily policy is no
+longer trustworthy and a full 1-hop campaign should be re-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.core.characterization.report import CrosstalkReport
+from repro.device.topology import Edge
+
+PairKey = FrozenSet[Edge]
+
+
+@dataclass
+class ReportDiff:
+    """Structured difference between an older and a newer report."""
+
+    appeared: Tuple[PairKey, ...]       #: high in new, not in old
+    vanished: Tuple[PairKey, ...]       #: high in old, not in new
+    stable: Tuple[PairKey, ...]         #: high in both
+    #: max over stable pairs of (new conditional / old conditional), per
+    #: direction; empty when nothing is stable
+    conditional_drift: Dict[Tuple[Edge, Edge], float] = field(default_factory=dict)
+
+    @property
+    def set_stable(self) -> bool:
+        return not self.appeared and not self.vanished
+
+    @property
+    def max_drift(self) -> float:
+        if not self.conditional_drift:
+            return 1.0
+        return max(
+            max(r, 1.0 / r) for r in self.conditional_drift.values()
+        )
+
+    def needs_full_recharacterization(self, drift_threshold: float = 3.0) -> bool:
+        """True when the cheap daily policy should be abandoned for a full
+        1-hop campaign: the high-pair set changed, or a stable pair's
+        conditional rate moved by more than ``drift_threshold``x (beyond
+        the paper's observed 2-3x envelope)."""
+        return (not self.set_stable) or self.max_drift > drift_threshold
+
+
+def diff_reports(old: CrosstalkReport, new: CrosstalkReport) -> ReportDiff:
+    """Compare the high-pair structure and conditional magnitudes."""
+    old_high = set(old.high_pairs())
+    new_high = set(new.high_pairs())
+    stable = tuple(sorted(old_high & new_high, key=sorted))
+
+    drift: Dict[Tuple[Edge, Edge], float] = {}
+    for pair in stable:
+        a, b = sorted(pair)
+        for target, other in ((a, b), (b, a)):
+            key = (target, other)
+            if key in old.conditional and key in new.conditional:
+                old_rate = max(old.conditional[key], 1e-9)
+                drift[key] = new.conditional[key] / old_rate
+    return ReportDiff(
+        appeared=tuple(sorted(new_high - old_high, key=sorted)),
+        vanished=tuple(sorted(old_high - new_high, key=sorted)),
+        stable=stable,
+        conditional_drift=drift,
+    )
+
+
+def format_diff(diff: ReportDiff) -> str:
+    lines = ["characterization drift report"]
+    lines.append(f"  high-pair set stable: {diff.set_stable}")
+    for pair in diff.appeared:
+        a, b = sorted(pair)
+        lines.append(f"  NEW    {a} | {b}")
+    for pair in diff.vanished:
+        a, b = sorted(pair)
+        lines.append(f"  GONE   {a} | {b}")
+    lines.append(f"  max conditional drift on stable pairs: "
+                 f"{diff.max_drift:.2f}x")
+    lines.append(
+        f"  full re-characterization recommended: "
+        f"{diff.needs_full_recharacterization()}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,156 @@
+"""The characterization output consumed by the scheduler.
+
+A :class:`CrosstalkReport` holds measured independent rates ``E(g)`` and
+conditional rates ``E(gi|gj)``.  The paper's Figure 3 criterion classifies
+a pair as *high crosstalk* when either direction exceeds three times its
+independent rate; the scheduler only creates decision variables for those
+pairs (Section 7.2's pruning of ``CanOlp``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.device.topology import Edge, normalize_edge
+
+ConditionalKey = Tuple[Edge, Edge]  # (target gate, simultaneous gate)
+
+
+@dataclass
+class CrosstalkReport:
+    """Measured crosstalk characterization data.
+
+    Attributes:
+        independent: measured ``E(g)`` per hardware gate.
+        conditional: measured ``E(gi|gj)`` keyed by ``(gi, gj)``.
+        high_ratio: the Figure 3 classification threshold (3x).
+        day: calibration day the measurements were taken on.
+    """
+
+    independent: Dict[Edge, float] = field(default_factory=dict)
+    conditional: Dict[ConditionalKey, float] = field(default_factory=dict)
+    high_ratio: float = 3.0
+    day: int = 0
+
+    # ------------------------------------------------------------------
+    def record_independent(self, gate: Sequence[int], error: float) -> None:
+        self.independent[normalize_edge(gate)] = float(error)
+
+    def record_conditional(self, gate: Sequence[int], other: Sequence[int],
+                           error: float) -> None:
+        key = (normalize_edge(gate), normalize_edge(other))
+        self.conditional[key] = float(error)
+
+    # ------------------------------------------------------------------
+    def independent_error(self, gate: Sequence[int]) -> float:
+        edge = normalize_edge(gate)
+        try:
+            return self.independent[edge]
+        except KeyError:
+            raise KeyError(f"gate {edge} has no independent measurement") from None
+
+    def conditional_error(self, gate: Sequence[int], other: Sequence[int]) -> float:
+        """``E(gate|other)``; falls back to the independent rate when the
+        pair was never measured (the compiler's only safe assumption)."""
+        key = (normalize_edge(gate), normalize_edge(other))
+        if key in self.conditional:
+            return self.conditional[key]
+        return self.independent_error(gate)
+
+    def ratio(self, gate: Sequence[int], other: Sequence[int]) -> float:
+        """Degradation factor ``E(g|other) / E(g)``."""
+        return self.conditional_error(gate, other) / max(
+            self.independent_error(gate), 1e-9
+        )
+
+    # ------------------------------------------------------------------
+    def is_high_pair(self, gate_a: Sequence[int], gate_b: Sequence[int]) -> bool:
+        """Figure 3 criterion: either direction degrades more than 3x."""
+        a, b = normalize_edge(gate_a), normalize_edge(gate_b)
+        if (a, b) not in self.conditional and (b, a) not in self.conditional:
+            return False
+        return (
+            self.ratio(a, b) > self.high_ratio
+            or self.ratio(b, a) > self.high_ratio
+        )
+
+    def high_pairs(self) -> Tuple[FrozenSet[Edge], ...]:
+        """All measured pairs classified as high crosstalk."""
+        seen = set()
+        out = []
+        for (a, b) in self.conditional:
+            key = frozenset((a, b))
+            if key in seen:
+                continue
+            seen.add(key)
+            if self.is_high_pair(a, b):
+                out.append(key)
+        return tuple(sorted(out, key=sorted))
+
+    def measured_pairs(self) -> Tuple[FrozenSet[Edge], ...]:
+        seen = {frozenset(k) for k in self.conditional}
+        return tuple(sorted(seen, key=sorted))
+
+    # ------------------------------------------------------------------
+    def merged_with(self, other: "CrosstalkReport") -> "CrosstalkReport":
+        """Overlay ``other``'s (newer) measurements onto this report.
+
+        Used by the high-pairs-only daily policy: today's re-measurements
+        of the known high pairs refresh an older full 1-hop report.
+        """
+        merged = CrosstalkReport(
+            independent=dict(self.independent),
+            conditional=dict(self.conditional),
+            high_ratio=self.high_ratio,
+            day=other.day,
+        )
+        merged.independent.update(other.independent)
+        merged.conditional.update(other.conditional)
+        return merged
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize for the daily-workflow use case (save after the full
+        campaign, reload for HIGH_ONLY refreshes on later days)."""
+        import json
+
+        return json.dumps({
+            "day": self.day,
+            "high_ratio": self.high_ratio,
+            "independent": [
+                [list(edge), err] for edge, err in sorted(self.independent.items())
+            ],
+            "conditional": [
+                [list(target), list(other), err]
+                for (target, other), err in sorted(self.conditional.items())
+            ],
+        }, indent=2)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "CrosstalkReport":
+        import json
+
+        data = json.loads(payload)
+        report = cls(high_ratio=data["high_ratio"], day=data["day"])
+        for edge, err in data["independent"]:
+            report.record_independent(tuple(edge), err)
+        for target, other, err in data["conditional"]:
+            report.record_conditional(tuple(target), tuple(other), err)
+        return report
+
+    def summary(self) -> str:
+        lines = [
+            f"crosstalk report (day {self.day}): "
+            f"{len(self.independent)} gates, "
+            f"{len(self.conditional)} conditional measurements"
+        ]
+        for pair in self.high_pairs():
+            a, b = sorted(pair)
+            lines.append(
+                f"  HIGH {a}|{b}: E(a|b)={self.conditional_error(a, b):.3f} "
+                f"({self.ratio(a, b):.1f}x), "
+                f"E(b|a)={self.conditional_error(b, a):.3f} "
+                f"({self.ratio(b, a):.1f}x)"
+            )
+        return "\n".join(lines)

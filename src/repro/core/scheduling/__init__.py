@@ -1,0 +1,22 @@
+"""Crosstalk-adaptive instruction scheduling (Sections 6–7)."""
+
+from repro.core.scheduling.xtalk import XtalkScheduler, ScheduledCircuit
+from repro.core.scheduling.baselines import par_sched, serial_sched, disable_sched
+from repro.core.scheduling.predictor import (
+    SuccessPrediction,
+    OmegaChoice,
+    predict_success,
+    tune_omega,
+)
+
+__all__ = [
+    "XtalkScheduler",
+    "ScheduledCircuit",
+    "par_sched",
+    "serial_sched",
+    "disable_sched",
+    "SuccessPrediction",
+    "OmegaChoice",
+    "predict_success",
+    "tune_omega",
+]

@@ -1,0 +1,58 @@
+"""The Table 1 baseline schedulers behind the same interface as XtalkSched.
+
+Both baselines are realized purely through barriers (or their absence),
+because barriers are the only ordering control the circuit-level ISA
+offers; the hardware's right-aligned scheduler then times the result.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.dag import CircuitDag
+from repro.device.topology import CouplingMap
+from repro.transpiler.barriers import reorder_and_barrier
+from repro.transpiler.scheduling import fully_barriered
+
+
+def par_sched(circuit: QuantumCircuit) -> QuantumCircuit:
+    """``ParSched``: maximum parallelism — submit the circuit unchanged.
+
+    The IBM hardware scheduler already parallelizes maximally and
+    right-aligns (Figure 1c); this is the state of the art the paper
+    compares against.
+    """
+    return circuit.copy(name=f"{circuit.name}_par")
+
+
+def serial_sched(circuit: QuantumCircuit) -> QuantumCircuit:
+    """``SerialSched``: a barrier after every gate serializes everything."""
+    return fully_barriered(circuit)
+
+
+def disable_sched(circuit: QuantumCircuit, coupling: CouplingMap,
+                  min_hops: int = 2) -> QuantumCircuit:
+    """The hardware-disable policy of Rigetti / Google Bristlecone [5, 6].
+
+    Those systems forbid *any* simultaneous nearby gates at the hardware
+    level, irrespective of whether the pair actually interferes.  This
+    baseline reproduces that policy in software: every DAG-concurrent
+    two-qubit gate pair closer than ``min_hops`` is serialized with a
+    barrier — no characterization data consulted.  The paper's argument
+    (Section 1) is that this blanket rule over-serializes; comparing it to
+    XtalkSched quantifies how much selectivity buys.
+    """
+    dag = CircuitDag(circuit)
+    two_q = dag.two_qubit_gate_indices()
+    serialized = []
+    for a_pos, i in enumerate(two_q):
+        for j in two_q[a_pos + 1:]:
+            if not dag.concurrent(i, j):
+                continue
+            distance = coupling.gate_distance(circuit[i].qubits,
+                                              circuit[j].qubits)
+            if 0 < distance < min_hops:
+                serialized.append((i, j))
+    order = dag.topological_order()
+    out = reorder_and_barrier(circuit, order, serialized)
+    out.name = f"{circuit.name}_disable"
+    return out

@@ -1,0 +1,191 @@
+"""Compiler-side success prediction and ω auto-tuning.
+
+The paper leaves ω a per-application knob (Section 9.3 shows its
+sensitivity).  This module adds the natural extension: predict a
+schedule's success probability *from compiler-visible data only* — the
+characterization report and daily calibration — and pick ω by minimizing
+the prediction over a sweep.  The predictor mirrors the executor's error
+accounting (conditional rates for actually-overlapping gate pairs, idle
+T1/T2 decay, readout error), but sees measured conditional rates instead
+of the hidden ground truth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.characterization.report import CrosstalkReport
+from repro.core.scheduling.xtalk import ScheduledCircuit, XtalkScheduler
+from repro.device.calibration import Calibration
+from repro.device.topology import normalize_edge
+from repro.sim.channels import decay_probabilities
+from repro.transpiler.schedule import Schedule
+from repro.transpiler.scheduling import hardware_schedule
+
+
+@dataclass(frozen=True)
+class SuccessPrediction:
+    """Breakdown of a schedule's predicted success probability."""
+
+    gate_success: float
+    decoherence_success: float
+    readout_success: float
+
+    @property
+    def total(self) -> float:
+        return self.gate_success * self.decoherence_success * self.readout_success
+
+    @property
+    def predicted_error(self) -> float:
+        return 1.0 - self.total
+
+
+def predict_success(schedule: Schedule, calibration: Calibration,
+                    report: CrosstalkReport,
+                    include_readout: bool = True) -> SuccessPrediction:
+    """Estimate the success probability of a timed schedule.
+
+    * every two-qubit gate contributes ``1 - E(g | overlapping partners)``
+      using the report's measured conditional rates (worst overlapping
+      partner, like the scheduler's own model);
+    * every idle window on an active qubit contributes the T1/T2 no-decay
+      probability;
+    * every measured qubit contributes its readout fidelity.
+    """
+    gate_success = 1.0
+    two_qubit_ops = schedule.two_qubit_ops()
+    for op in schedule:
+        instr = op.instruction
+        if instr.is_directive or instr.is_measure:
+            continue
+        if instr.is_two_qubit:
+            edge = normalize_edge(instr.qubits)
+            try:
+                rate = report.independent_error(edge)
+            except KeyError:
+                rate = calibration.cnot_error_of(*edge)
+            for other in two_qubit_ops:
+                if other.index == op.index or not other.overlaps(op):
+                    continue
+                rate = max(
+                    rate,
+                    report.conditional_error(
+                        edge, normalize_edge(other.instruction.qubits)
+                    ),
+                )
+            gate_success *= 1.0 - rate
+        else:
+            gate_success *= 1.0 - calibration.single_qubit_error[instr.qubits[0]]
+
+    decoherence_success = 1.0
+    for qubit in schedule.circuit.active_qubits():
+        for start, end in schedule.idle_windows(qubit):
+            gamma, p_z = decay_probabilities(
+                end - start, calibration.t1[qubit], calibration.t2[qubit]
+            )
+            decoherence_success *= (1.0 - gamma) * (1.0 - p_z)
+
+    readout_success = 1.0
+    if include_readout:
+        for instr in schedule.circuit:
+            if instr.is_measure:
+                readout_success *= 1.0 - calibration.readout_error[instr.qubits[0]]
+
+    return SuccessPrediction(gate_success, decoherence_success, readout_success)
+
+
+def explain_schedule(schedule: Schedule, calibration: Calibration,
+                     report: CrosstalkReport, top: int = 10) -> str:
+    """Human-readable error-budget breakdown of a timed schedule.
+
+    Lists the ``top`` largest error contributors — two-qubit gates with
+    their (conditional) rates and the overlapping partner that set them,
+    and idle windows with their decay probabilities — so a user can see
+    *why* a schedule is predicted to fail.
+    """
+    contributions = []  # (error_mass, description)
+    two_qubit_ops = schedule.two_qubit_ops()
+    for op in two_qubit_ops:
+        edge = normalize_edge(op.instruction.qubits)
+        try:
+            rate = report.independent_error(edge)
+        except KeyError:
+            rate = calibration.cnot_error_of(*edge)
+        culprit = None
+        for other in two_qubit_ops:
+            if other.index == op.index or not other.overlaps(op):
+                continue
+            conditional = report.conditional_error(
+                edge, normalize_edge(other.instruction.qubits)
+            )
+            if conditional > rate:
+                rate = conditional
+                culprit = normalize_edge(other.instruction.qubits)
+        note = f" (crosstalk with cx{culprit})" if culprit else ""
+        contributions.append(
+            (rate, f"cx{edge} @ {op.start:.0f} ns: {rate:.4f}{note}")
+        )
+    for qubit in schedule.circuit.active_qubits():
+        for start, end in schedule.idle_windows(qubit):
+            gamma, p_z = decay_probabilities(
+                end - start, calibration.t1[qubit], calibration.t2[qubit]
+            )
+            mass = gamma + p_z
+            if mass > 1e-6:
+                contributions.append((
+                    mass,
+                    f"q{qubit} idle {end - start:.0f} ns "
+                    f"[{start:.0f}, {end:.0f}]: decay {mass:.4f}",
+                ))
+    contributions.sort(reverse=True)
+    prediction = predict_success(schedule, calibration, report)
+    lines = [
+        f"schedule error budget (predicted success {prediction.total:.3f}; "
+        f"gates {prediction.gate_success:.3f}, decoherence "
+        f"{prediction.decoherence_success:.3f}, readout "
+        f"{prediction.readout_success:.3f})",
+    ]
+    for mass, description in contributions[:top]:
+        lines.append(f"  {description}")
+    if len(contributions) > top:
+        lines.append(f"  ... and {len(contributions) - top} smaller terms")
+    return "\n".join(lines)
+
+
+@dataclass
+class OmegaChoice:
+    """Result of an ω sweep."""
+
+    omega: float
+    prediction: SuccessPrediction
+    scheduled: ScheduledCircuit
+    sweep: Tuple[Tuple[float, float], ...]  # (omega, predicted success)
+
+
+def tune_omega(circuit: QuantumCircuit, calibration: Calibration,
+               report: CrosstalkReport,
+               omegas: Sequence[float] = (0.0, 0.05, 0.1, 0.2, 0.35, 0.5,
+                                          0.75, 1.0),
+               **scheduler_kwargs) -> OmegaChoice:
+    """Pick ω by maximizing predicted success over a sweep.
+
+    The prediction is evaluated on the *realized* hardware schedule of the
+    barriered output — not the solver's intended schedule — so it accounts
+    for barrier-granularity effects.  Purely compile-time: no execution.
+    """
+    best: Optional[OmegaChoice] = None
+    sweep = []
+    for omega in omegas:
+        scheduler = XtalkScheduler(calibration, report, omega=omega,
+                                   **scheduler_kwargs)
+        scheduled = scheduler.schedule(circuit)
+        hw = hardware_schedule(scheduled.circuit, calibration.durations)
+        prediction = predict_success(hw, calibration, report)
+        sweep.append((omega, prediction.total))
+        if best is None or prediction.total > best.prediction.total:
+            best = OmegaChoice(omega, prediction, scheduled, ())
+    best.sweep = tuple(sweep)
+    return best

@@ -1,0 +1,127 @@
+"""Qubit connectivity graphs and the hop metric between gates.
+
+A *gate* in the crosstalk analysis is an undirected coupling-map edge (the
+hardware CNOT resonator).  The paper's locality result — crosstalk is only
+significant between gates "separated by 1 hop" — uses the shortest-path
+distance between the two edges' nearest endpoints; this module provides that
+metric plus the pair-compatibility predicate the bin-packing optimizer needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+Edge = Tuple[int, int]
+
+
+def normalize_edge(edge: Sequence[int]) -> Edge:
+    """Canonical (sorted) form of an undirected coupling edge."""
+    a, b = edge
+    if a == b:
+        raise ValueError("self-loop edge")
+    return (a, b) if a < b else (b, a)
+
+
+class CouplingMap:
+    """Undirected qubit connectivity graph with cached distance queries."""
+
+    def __init__(self, num_qubits: int, edges: Iterable[Sequence[int]]):
+        self.num_qubits = num_qubits
+        self.graph = nx.Graph()
+        self.graph.add_nodes_from(range(num_qubits))
+        for edge in edges:
+            a, b = normalize_edge(edge)
+            if not (0 <= a < num_qubits and 0 <= b < num_qubits):
+                raise ValueError(f"edge {edge} out of range")
+            self.graph.add_edge(a, b)
+        if num_qubits > 1 and not nx.is_connected(self.graph):
+            raise ValueError("coupling map must be connected")
+        self._dist = dict(nx.all_pairs_shortest_path_length(self.graph))
+
+    # ------------------------------------------------------------------
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        """All hardware CNOT gates as sorted, canonically ordered edges."""
+        return tuple(sorted(normalize_edge(e) for e in self.graph.edges))
+
+    def has_edge(self, a: int, b: int) -> bool:
+        return self.graph.has_edge(a, b)
+
+    def neighbors(self, qubit: int) -> Tuple[int, ...]:
+        return tuple(sorted(self.graph.neighbors(qubit)))
+
+    def qubit_distance(self, a: int, b: int) -> int:
+        return self._dist[a][b]
+
+    def shortest_path(self, a: int, b: int) -> List[int]:
+        """A deterministic shortest path (lexicographically smallest)."""
+        return min(nx.all_shortest_paths(self.graph, a, b))
+
+    # ------------------------------------------------------------------
+    def gate_distance(self, gate_a: Sequence[int], gate_b: Sequence[int]) -> int:
+        """Hop distance between two hardware gates (coupling edges).
+
+        Distance 0 means the gates share a qubit (they can never run in
+        parallel); distance 1 is "1 hop" in the paper's terminology, the
+        range at which crosstalk is significant on these devices.
+        """
+        a = normalize_edge(gate_a)
+        b = normalize_edge(gate_b)
+        return min(self._dist[u][v] for u in a for v in b)
+
+    def simultaneous_gate_pairs(self) -> Tuple[FrozenSet[Edge], ...]:
+        """Every unordered pair of gates that can be driven in parallel.
+
+        These are the pairs that do not share a qubit — the all-pairs SRB
+        campaign of Section 4.2 measures each of them (221 pairs on
+        Poughkeepsie).
+        """
+        edges = self.edges
+        pairs = []
+        for i, e1 in enumerate(edges):
+            for e2 in edges[i + 1:]:
+                if self.gate_distance(e1, e2) > 0:
+                    pairs.append(frozenset((e1, e2)))
+        return tuple(pairs)
+
+    def one_hop_gate_pairs(self) -> Tuple[FrozenSet[Edge], ...]:
+        """Gate pairs at exactly 1 hop — Optimization 1's measurement set."""
+        return tuple(
+            pair for pair in self.simultaneous_gate_pairs()
+            if self.gate_distance(*tuple(pair)) == 1
+        )
+
+    def pairs_compatible(self, pair_a: Iterable[Edge], pair_b: Iterable[Edge],
+                         min_hops: int = 2) -> bool:
+        """True when two SRB experiments can share one parallel run.
+
+        Every gate of ``pair_a`` must be at least ``min_hops`` from every
+        gate of ``pair_b`` (Optimization 2's bin-compatibility rule).
+        """
+        return all(
+            self.gate_distance(ga, gb) >= min_hops
+            for ga in pair_a
+            for gb in pair_b
+        )
+
+
+def grid_coupling_map(rows: int, cols: int) -> CouplingMap:
+    """A full 2D grid — used by tests and synthetic scaling studies."""
+    def qid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((qid(r, c), qid(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((qid(r, c), qid(r + 1, c)))
+    return CouplingMap(rows * cols, edges)
+
+
+def line_coupling_map(num_qubits: int) -> CouplingMap:
+    """A 1D chain — the smallest topology exercising SWAP routing."""
+    return CouplingMap(num_qubits, [(i, i + 1) for i in range(num_qubits - 1)])

@@ -1,0 +1,214 @@
+"""Shared experiment pipeline.
+
+The pipeline mirrors Figure 2 of the paper: characterize the device (or,
+for experiments isolating scheduling effects, read the ground truth as a
+perfect characterization), schedule the workload with one of the three
+policies, execute it on the noisy backend, mitigate readout, and score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.characterization.campaign import (
+    CampaignOutcome,
+    CharacterizationCampaign,
+    CharacterizationPolicy,
+)
+from repro.core.characterization.report import CrosstalkReport
+from repro.core.scheduling.baselines import par_sched, serial_sched
+from repro.core.scheduling.xtalk import XtalkScheduler
+from repro.device.backend import NoisyBackend
+from repro.device.device import Device
+from repro.metrics.readout import mitigate_distribution
+from repro.metrics.tomography import bell_state_vector
+from repro.rb.executor import RBConfig
+from repro.workloads.swap import SwapBenchmark
+
+SCHEDULERS = ("SerialSched", "ParSched", "XtalkSched")
+
+
+@dataclass
+class ExperimentConfig:
+    """Execution sizing shared by the figure drivers.
+
+    The paper's shot counts (9216 for tomography, 8192 for distributions)
+    are kept; trajectory counts trade simulation accuracy for wall time.
+    """
+
+    shots: int = 4096
+    trajectories: int = 160
+    omega: float = 0.5
+    mitigate_readout: bool = True
+    #: Sample finite shots (paper-faithful) instead of using the exact
+    #: trajectory-averaged distribution.  Benches default to exact
+    #: distributions so scheduler differences are not buried in shot noise.
+    use_sampled_counts: bool = False
+    seed: int = 7
+
+    @classmethod
+    def fast(cls) -> "ExperimentConfig":
+        return cls(shots=512, trajectories=32)
+
+    @classmethod
+    def paper(cls) -> "ExperimentConfig":
+        return cls(shots=8192, trajectories=400, use_sampled_counts=True)
+
+
+# ----------------------------------------------------------------------
+# characterization inputs
+# ----------------------------------------------------------------------
+def ground_truth_report(device: Device, day: int = 0) -> CrosstalkReport:
+    """A perfect characterization: the ground truth, read as if measured.
+
+    Used by scheduling experiments to isolate scheduler quality from RB
+    measurement noise (the paper's scheduler likewise consumes the best
+    characterization available).  Only 1-hop conditional rates are
+    recorded, mirroring what a real campaign would measure.
+    """
+    cal = device.calibration(day)
+    report = CrosstalkReport(day=day)
+    for edge in device.coupling.edges:
+        report.record_independent(edge, cal.cnot_error_of(*edge))
+    for pair in device.coupling.one_hop_gate_pairs():
+        a, b = sorted(pair)
+        report.record_conditional(a, b, device.crosstalk.conditional_error(a, b, cal, day))
+        report.record_conditional(b, a, device.crosstalk.conditional_error(b, a, cal, day))
+    return report
+
+
+_report_cache: Dict[Tuple[str, int, int], CampaignOutcome] = {}
+
+
+def characterized_report(device: Device, day: int = 0,
+                         rb_config: Optional[RBConfig] = None,
+                         seed: int = 3, use_cache: bool = True) -> CampaignOutcome:
+    """Run (and cache) a 1-hop bin-packed SRB campaign on the device."""
+    key = (device.name, day, seed)
+    if use_cache and key in _report_cache:
+        return _report_cache[key]
+    campaign = CharacterizationCampaign(device, rb_config=rb_config, seed=seed)
+    outcome = campaign.run(CharacterizationPolicy.ONE_HOP_PACKED, day=day)
+    if use_cache:
+        _report_cache[key] = outcome
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# scheduling
+# ----------------------------------------------------------------------
+def prepare_circuit(scheduler: str, circuit: QuantumCircuit, device: Device,
+                    report: CrosstalkReport, omega: float = 0.5,
+                    day: int = 0) -> QuantumCircuit:
+    """Apply one of the Table 1 scheduling policies."""
+    if scheduler == "ParSched":
+        return par_sched(circuit)
+    if scheduler == "SerialSched":
+        return serial_sched(circuit)
+    if scheduler == "XtalkSched":
+        xs = XtalkScheduler(device.calibration(day), report, omega=omega)
+        return xs.schedule(circuit).circuit
+    raise ValueError(f"unknown scheduler {scheduler!r}; pick from {SCHEDULERS}")
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+def run_distribution(backend: NoisyBackend, circuit: QuantumCircuit,
+                     config: ExperimentConfig) -> np.ndarray:
+    """Execute and return the (optionally mitigated) clbit distribution."""
+    result = backend.run(
+        circuit, shots=config.shots, trajectories=config.trajectories,
+        readout_error=True, seed=config.seed,
+    )
+    if config.use_sampled_counts:
+        total = sum(result.counts.values())
+        probs = np.zeros(len(result.probabilities))
+        for bits, c in result.counts.items():
+            probs[int(bits, 2)] = c / total
+    else:
+        probs = result.probabilities
+    if config.mitigate_readout:
+        readout = backend.device.readout_model(backend.day)
+        confusion = readout.confusion_matrix(result.measured_qubits)
+        probs = mitigate_distribution(probs, confusion)
+    return probs
+
+
+def distribution_as_dict(probs: np.ndarray) -> Dict[str, float]:
+    n = int(round(np.log2(len(probs))))
+    return {format(i, f"0{n}b"): float(p) for i, p in enumerate(probs) if p > 0}
+
+
+# ----------------------------------------------------------------------
+# SWAP-circuit scoring
+# ----------------------------------------------------------------------
+def _insert_rotations_before_measures(circuit: QuantumCircuit,
+                                      rotations: Sequence) -> QuantumCircuit:
+    """Insert instructions immediately before the first measurement.
+
+    Scheduled circuits keep their measurements last (simultaneous readout),
+    so basis rotations inserted there follow every gate on the measured
+    qubits.
+    """
+    out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+    inserted = False
+    for instr in circuit:
+        if instr.is_measure and not inserted:
+            for rot in rotations:
+                out.append(rot)
+            inserted = True
+        out.append(instr)
+    if not inserted:
+        raise ValueError("circuit has no measurements")
+    return out
+
+
+def tomography_error(backend: NoisyBackend, prepared: QuantumCircuit,
+                     qubit_pair: Tuple[int, int], config: ExperimentConfig,
+                     target: Optional[np.ndarray] = None) -> float:
+    """Tomography error of an already-scheduled circuit.
+
+    Builds the 9 tomography variants by inserting basis rotations ahead of
+    the measurements (the two-qubit structure — and hence any scheduling
+    decisions — are identical across settings), executes each, and
+    reconstructs the two-qubit state.
+    """
+    from repro.metrics.tomography import (
+        _basis_rotation,
+        density_from_expectations,
+        expectations_from_distributions,
+        state_fidelity,
+        tomography_settings,
+    )
+
+    qa, qb = qubit_pair
+    dists = {}
+    for setting in tomography_settings():
+        rot = QuantumCircuit(backend.device.num_qubits)
+        _basis_rotation(rot, qa, setting[0])
+        _basis_rotation(rot, qb, setting[1])
+        variant = _insert_rotations_before_measures(prepared, rot.instructions)
+        dists[setting] = run_distribution(backend, variant, config)
+
+    rho = density_from_expectations(expectations_from_distributions(dists))
+    target = target if target is not None else bell_state_vector()
+    return 1.0 - state_fidelity(rho, target)
+
+
+def swap_error_rate(backend: NoisyBackend, bench: SwapBenchmark, scheduler: str,
+                    report: CrosstalkReport, config: ExperimentConfig,
+                    omega: Optional[float] = None) -> Tuple[float, float]:
+    """Tomography error rate and program duration for one SWAP benchmark."""
+    omega = config.omega if omega is None else omega
+    prepared = prepare_circuit(
+        scheduler, bench.circuit, backend.device, report, omega=omega,
+        day=backend.day,
+    )
+    duration = backend.schedule_of(prepared).makespan()
+    error = tomography_error(backend, prepared, bench.meeting_pair, config)
+    return error, duration

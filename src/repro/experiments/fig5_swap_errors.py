@@ -1,0 +1,164 @@
+"""Figure 5: SWAP-circuit error rates and durations under the 3 schedulers.
+
+For every crosstalk-affected endpoint pair on each device, the paper
+measures the tomography error rate of the meet-in-the-middle SWAP circuit
+under SerialSched, ParSched, and XtalkSched (ω = 0.5), plus the program
+durations on Poughkeepsie (Figure 5d).  Expected shape: XtalkSched at or
+below both baselines everywhere, with multi-x improvements where crosstalk
+dominates, at only a modest duration increase over ParSched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.device.backend import NoisyBackend
+from repro.device.device import Device
+from repro.device.presets import all_devices
+from repro.experiments.common import (
+    SCHEDULERS,
+    ExperimentConfig,
+    ground_truth_report,
+    swap_error_rate,
+)
+from repro.workloads.swap import (
+    crosstalk_affected_endpoints,
+    crosstalk_route,
+    swap_benchmark,
+)
+
+
+@dataclass
+class Fig5Row:
+    device: str
+    qubit_pair: Tuple[int, int]
+    path_length: int
+    error: Dict[str, float]      # scheduler -> tomography error rate
+    duration: Dict[str, float]   # scheduler -> program duration (ns)
+
+    @property
+    def improvement_over_par(self) -> float:
+        return self.error["ParSched"] / max(self.error["XtalkSched"], 1e-6)
+
+    @property
+    def improvement_over_serial(self) -> float:
+        return self.error["SerialSched"] / max(self.error["XtalkSched"], 1e-6)
+
+    @property
+    def duration_ratio_vs_par(self) -> float:
+        return self.duration["XtalkSched"] / self.duration["ParSched"]
+
+
+def run_fig5(devices: Optional[Sequence[Device]] = None,
+             config: Optional[ExperimentConfig] = None,
+             max_pairs_per_device: Optional[int] = None,
+             omega: float = 0.5) -> List[Fig5Row]:
+    devices = list(devices) if devices is not None else list(all_devices())
+    config = config or ExperimentConfig()
+    rows: List[Fig5Row] = []
+    for device in devices:
+        report = ground_truth_report(device)
+        backend = NoisyBackend(device)
+        endpoints = crosstalk_affected_endpoints(
+            device.coupling, report.high_pairs()
+        )
+        if max_pairs_per_device is not None:
+            endpoints = endpoints[:max_pairs_per_device]
+        for (s, d) in endpoints:
+            route = crosstalk_route(device.coupling, s, d, report.high_pairs())
+            bench = swap_benchmark(device.coupling, s, d, path=route)
+            error: Dict[str, float] = {}
+            duration: Dict[str, float] = {}
+            for scheduler in SCHEDULERS:
+                err, dur = swap_error_rate(
+                    backend, bench, scheduler, report, config, omega=omega
+                )
+                error[scheduler] = err
+                duration[scheduler] = dur
+            rows.append(
+                Fig5Row(
+                    device=device.name,
+                    qubit_pair=(s, d),
+                    path_length=bench.path_length,
+                    error=error,
+                    duration=duration,
+                )
+            )
+    return rows
+
+
+@dataclass
+class Fig5Summary:
+    max_improvement_over_par: float
+    geomean_improvement_over_par: float
+    max_improvement_over_serial: float
+    mean_duration_ratio_vs_par: float
+    max_duration_ratio_vs_par: float
+    wins: int
+    total: int
+
+
+def summarize(rows: Sequence[Fig5Row]) -> Fig5Summary:
+    over_par = [r.improvement_over_par for r in rows]
+    over_serial = [r.improvement_over_serial for r in rows]
+    ratios = [r.duration_ratio_vs_par for r in rows]
+    wins = sum(
+        1 for r in rows
+        if r.error["XtalkSched"] <= r.error["ParSched"] + 0.02
+        and r.error["XtalkSched"] <= r.error["SerialSched"] + 0.02
+    )
+    return Fig5Summary(
+        max_improvement_over_par=max(over_par),
+        geomean_improvement_over_par=float(np.exp(np.mean(np.log(over_par)))),
+        max_improvement_over_serial=max(over_serial),
+        mean_duration_ratio_vs_par=float(np.mean(ratios)),
+        max_duration_ratio_vs_par=max(ratios),
+        wins=wins,
+        total=len(rows),
+    )
+
+
+def format_table(rows: Sequence[Fig5Row]) -> str:
+    lines = [
+        "Figure 5: SWAP-circuit error rates (a-c) and durations (d)",
+        f"{'device':22s} {'pair':>8s} {'len':>3s} "
+        f"{'Serial':>8s} {'Par':>8s} {'Xtalk':>8s} "
+        f"{'x/Par':>6s} {'durSer':>8s} {'durPar':>8s} {'durXtk':>8s}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.device:22s} {str(r.qubit_pair):>8s} {r.path_length:3d} "
+            f"{r.error['SerialSched']:8.3f} {r.error['ParSched']:8.3f} "
+            f"{r.error['XtalkSched']:8.3f} {r.improvement_over_par:6.2f} "
+            f"{r.duration['SerialSched']:8.0f} {r.duration['ParSched']:8.0f} "
+            f"{r.duration['XtalkSched']:8.0f}"
+        )
+    s = summarize(rows)
+    lines.append(
+        f"\nXtalkSched vs ParSched: max {s.max_improvement_over_par:.1f}x, "
+        f"geomean {s.geomean_improvement_over_par:.2f}x "
+        f"(paper: max 5.6x, geomean 2x)"
+    )
+    lines.append(
+        f"XtalkSched vs SerialSched: max {s.max_improvement_over_serial:.1f}x "
+        f"(paper: up to 9.2x)"
+    )
+    lines.append(
+        f"duration vs ParSched: mean {s.mean_duration_ratio_vs_par:.2f}x, "
+        f"worst {s.max_duration_ratio_vs_par:.2f}x (paper: 1.16x / 1.7x)"
+    )
+    lines.append(f"XtalkSched best-or-tied on {s.wins}/{s.total} circuits")
+    return "\n".join(lines)
+
+
+def main(max_pairs_per_device: Optional[int] = None) -> List[Fig5Row]:
+    rows = run_fig5(max_pairs_per_device=max_pairs_per_device)
+    print(format_table(rows))
+    return rows
+
+
+if __name__ == "__main__":
+    main()

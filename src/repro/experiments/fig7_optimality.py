@@ -1,0 +1,121 @@
+"""Figure 7: XtalkSched error rates vs the crosstalk-free ideal.
+
+The paper checks optimality empirically: for each crosstalk-affected SWAP
+path, compare XtalkSched's error against the average error of same-length
+SWAP paths on crosstalk-free regions of the device (best schedule per
+path).  XtalkSched lands within the ideal band — near-optimal mitigation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.device.backend import NoisyBackend
+from repro.device.device import Device
+from repro.device.presets import ibmq_poughkeepsie
+from repro.experiments.common import (
+    ExperimentConfig,
+    ground_truth_report,
+    swap_error_rate,
+)
+from repro.workloads.swap import (
+    crosstalk_affected_endpoints,
+    crosstalk_free_endpoints,
+    crosstalk_route,
+    swap_benchmark,
+)
+
+
+@dataclass
+class Fig7Row:
+    qubit_pair: Tuple[int, int]
+    path_length: int
+    xtalk_error: float
+    ideal_mean: float
+    ideal_std: float
+
+    @property
+    def within_band(self) -> bool:
+        return self.xtalk_error <= self.ideal_mean + 2 * self.ideal_std
+
+
+def _ideal_band(device: Device, backend: NoisyBackend, report,
+                config: ExperimentConfig, length: int,
+                max_paths: int) -> Tuple[float, float]:
+    """Mean/std of best-schedule error over crosstalk-free paths."""
+    endpoints = crosstalk_free_endpoints(
+        device.coupling, report.high_pairs(), length
+    )[:max_paths]
+    errors: List[float] = []
+    for (s, d) in endpoints:
+        bench = swap_benchmark(device.coupling, s, d)
+        per_sched = []
+        for scheduler in ("ParSched", "XtalkSched"):
+            err, _ = swap_error_rate(backend, bench, scheduler, report, config)
+            per_sched.append(err)
+        errors.append(min(per_sched))  # "selecting the lowest error schedule"
+    if not errors:
+        return float("nan"), float("nan")
+    return float(np.mean(errors)), float(np.std(errors))
+
+
+def run_fig7(device: Optional[Device] = None,
+             config: Optional[ExperimentConfig] = None,
+             max_pairs: Optional[int] = None,
+             max_ideal_paths_per_length: int = 3) -> List[Fig7Row]:
+    device = device or ibmq_poughkeepsie()
+    config = config or ExperimentConfig()
+    report = ground_truth_report(device)
+    backend = NoisyBackend(device)
+
+    endpoints = crosstalk_affected_endpoints(device.coupling, report.high_pairs())
+    if max_pairs is not None:
+        endpoints = endpoints[:max_pairs]
+
+    bands: Dict[int, Tuple[float, float]] = {}
+    rows: List[Fig7Row] = []
+    for (s, d) in endpoints:
+        route = crosstalk_route(device.coupling, s, d, report.high_pairs())
+        bench = swap_benchmark(device.coupling, s, d, path=route)
+        length = bench.path_length
+        if length not in bands:
+            bands[length] = _ideal_band(
+                device, backend, report, config, length,
+                max_ideal_paths_per_length,
+            )
+        err, _ = swap_error_rate(backend, bench, "XtalkSched", report, config)
+        mean, std = bands[length]
+        rows.append(Fig7Row((s, d), length, err, mean, std))
+    return rows
+
+
+def format_table(rows: Sequence[Fig7Row]) -> str:
+    lines = [
+        "Figure 7: XtalkSched vs crosstalk-free ideal error rates",
+        f"{'pair':>10s} {'len':>4s} {'XtalkSched':>11s} "
+        f"{'ideal mean':>11s} {'ideal std':>10s} {'in band':>8s}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{str(r.qubit_pair):>10s} {r.path_length:4d} {r.xtalk_error:11.3f} "
+            f"{r.ideal_mean:11.3f} {r.ideal_std:10.3f} {str(r.within_band):>8s}"
+        )
+    in_band = sum(1 for r in rows if r.within_band)
+    lines.append(
+        f"\n{in_band}/{len(rows)} circuits within the crosstalk-free band "
+        f"(paper: within 1% +- 16% of ideal)"
+    )
+    return "\n".join(lines)
+
+
+def main(max_pairs: Optional[int] = None) -> List[Fig7Row]:
+    rows = run_fig7(max_pairs=max_pairs)
+    print(format_table(rows))
+    return rows
+
+
+if __name__ == "__main__":
+    main()

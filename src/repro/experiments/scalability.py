@@ -1,0 +1,99 @@
+"""Section 9.4: scheduler compile-time scaling on supremacy circuits.
+
+The paper compiles random supremacy-style circuits of 6-18 qubits and
+100-1000 gates (depth 40): 500-gate instances solve in under 2 minutes,
+1000-gate instances in under 15.  Scaling depends on the gate count, not
+the qubit count, because the constraints live on the gate schedule.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.scheduling.xtalk import XtalkScheduler
+from repro.device.device import Device
+from repro.device.presets import ibmq_poughkeepsie
+from repro.experiments.common import ground_truth_report
+from repro.workloads.supremacy import supremacy_circuit
+
+#: (num_qubits, num_gates) instances; the paper's sweep shape.
+DEFAULT_INSTANCES: Tuple[Tuple[int, int], ...] = (
+    (6, 100),
+    (8, 200),
+    (12, 300),
+    (16, 500),
+    (18, 750),
+    (18, 1000),
+)
+
+
+@dataclass
+class ScalabilityRow:
+    num_qubits: int
+    num_gates: int
+    num_decisions: int
+    compile_seconds: float
+    exact: bool
+
+
+#: Qubit priority centred on Poughkeepsie's crosstalk-prone middle rows, so
+#: every instance actually contains high-crosstalk edges (random circuits on
+#: a clean corner would give XtalkSched nothing to decide).
+_QUBIT_PRIORITY = (10, 11, 12, 5, 15, 13, 14, 7, 6, 9, 8, 17, 16, 18, 19,
+                   2, 3, 4, 1, 0)
+
+
+def run_scalability(device: Optional[Device] = None,
+                    instances: Sequence[Tuple[int, int]] = DEFAULT_INSTANCES,
+                    omega: float = 0.5, seed: int = 1) -> List[ScalabilityRow]:
+    device = device or ibmq_poughkeepsie()
+    report = ground_truth_report(device)
+    calibration = device.calibration()
+    rows: List[ScalabilityRow] = []
+    for num_qubits, num_gates in instances:
+        qubits = sorted(_QUBIT_PRIORITY[:num_qubits])
+        circuit = supremacy_circuit(device.coupling, qubits, num_gates, seed=seed)
+        scheduler = XtalkScheduler(calibration, report, omega=omega)
+        t0 = time.perf_counter()
+        result = scheduler.schedule(circuit)
+        elapsed = time.perf_counter() - t0
+        rows.append(
+            ScalabilityRow(
+                num_qubits=num_qubits,
+                num_gates=len(circuit),
+                num_decisions=len(result.candidate_pairs),
+                compile_seconds=elapsed,
+                exact=result.solution.exact,
+            )
+        )
+    return rows
+
+
+def format_table(rows: Sequence[ScalabilityRow]) -> str:
+    lines = [
+        "Section 9.4: XtalkSched compile-time scaling (supremacy circuits)",
+        f"{'qubits':>6s} {'gates':>6s} {'decisions':>9s} "
+        f"{'compile (s)':>12s} {'exact':>6s}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.num_qubits:6d} {r.num_gates:6d} {r.num_decisions:9d} "
+            f"{r.compile_seconds:12.2f} {str(r.exact):>6s}"
+        )
+    lines.append(
+        "\npaper: <2 min at 500 gates, <15 min at 1000 gates (Z3); the "
+        "greedy mode engages automatically past the exact-decision limit"
+    )
+    return "\n".join(lines)
+
+
+def main() -> List[ScalabilityRow]:
+    rows = run_scalability()
+    print(format_table(rows))
+    return rows
+
+
+if __name__ == "__main__":
+    main()

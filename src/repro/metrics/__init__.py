@@ -1,0 +1,53 @@
+"""Measurement post-processing and figures of merit (Section 8.4).
+
+* :mod:`repro.metrics.readout` — readout-error mitigation via confusion
+  matrix inversion (the paper applies Qiskit Ignis' mitigation to every
+  experiment);
+* :mod:`repro.metrics.tomography` — two-qubit state tomography (9 basis
+  settings, 1024 trials each) with linear inversion and PSD projection,
+  producing the SWAP-circuit error rate;
+* :mod:`repro.metrics.distributions` — cross entropy (QAOA), success
+  probability (Hidden Shift), Hellinger/TVD helpers.
+"""
+
+from repro.metrics.readout import (
+    mitigate_distribution,
+    mitigate_counts,
+    measure_readout_model,
+)
+from repro.metrics.tomography import (
+    TomographyResult,
+    tomography_settings,
+    tomography_circuits,
+    run_state_tomography,
+    density_from_expectations,
+    state_fidelity,
+    bell_state_vector,
+)
+from repro.metrics.distributions import (
+    cross_entropy,
+    cross_entropy_loss,
+    ideal_cross_entropy,
+    success_probability,
+    total_variation_distance,
+    hellinger_distance,
+)
+
+__all__ = [
+    "mitigate_distribution",
+    "mitigate_counts",
+    "measure_readout_model",
+    "TomographyResult",
+    "tomography_settings",
+    "tomography_circuits",
+    "run_state_tomography",
+    "density_from_expectations",
+    "state_fidelity",
+    "bell_state_vector",
+    "cross_entropy",
+    "cross_entropy_loss",
+    "ideal_cross_entropy",
+    "success_probability",
+    "total_variation_distance",
+    "hellinger_distance",
+]

@@ -1,0 +1,147 @@
+"""Two-qubit state tomography (the SWAP-circuit metric, Section 8.4).
+
+The paper measures SWAP-circuit quality by preparing a known Bell state and
+running state tomography with 9 basis-pair settings x 1024 trials.  This
+module builds the 9 measurement circuits, estimates all 16 two-qubit Pauli
+expectations, reconstructs the density matrix by linear inversion, projects
+it onto the physical (PSD, trace-1) set, and reports the error rate
+``1 - F(rho, |psi_target>)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.sim.channels import counts_to_distribution
+from repro.sim.unitaries import pauli_matrix
+
+BASES = ("X", "Y", "Z")
+
+
+def tomography_settings() -> Tuple[Tuple[str, str], ...]:
+    """The 9 measurement settings (basis for qubit a, basis for qubit b)."""
+    return tuple(itertools.product(BASES, repeat=2))
+
+
+def _basis_rotation(circ: QuantumCircuit, qubit: int, basis: str) -> None:
+    """Rotate ``basis`` eigenstates onto the Z axis before measurement."""
+    if basis == "X":
+        circ.h(qubit)
+    elif basis == "Y":
+        circ.sdg(qubit)
+        circ.h(qubit)
+    elif basis != "Z":
+        raise ValueError(f"unknown basis {basis!r}")
+
+
+def tomography_circuits(base: QuantumCircuit, qubit_a: int, qubit_b: int
+                        ) -> Dict[Tuple[str, str], QuantumCircuit]:
+    """The 9 measurement circuits for tomography of ``(qubit_a, qubit_b)``.
+
+    Each circuit is ``base`` plus basis rotations and measurements of the
+    two target qubits into clbits 0 and 1.
+    """
+    circuits = {}
+    for setting in tomography_settings():
+        circ = base.copy(name=f"{base.name}_tomo_{setting[0]}{setting[1]}")
+        if circ.num_clbits < 2:
+            circ.num_clbits = 2
+        _basis_rotation(circ, qubit_a, setting[0])
+        _basis_rotation(circ, qubit_b, setting[1])
+        circ.measure(qubit_a, 0)
+        circ.measure(qubit_b, 1)
+        circuits[setting] = circ
+    return circuits
+
+
+def expectations_from_distributions(
+    dists: Dict[Tuple[str, str], np.ndarray]
+) -> Dict[Tuple[str, str], float]:
+    """All 16 Pauli expectations from the 9 setting distributions.
+
+    Distribution arrays index outcomes little-endian: bit 0 = qubit a.
+    Marginal expectations (e.g. <X I>) are averaged over the three settings
+    that share the relevant basis, reducing shot noise.
+    """
+    exps: Dict[Tuple[str, str], float] = {("I", "I"): 1.0}
+    signs = np.array([1.0, -1.0, -1.0, 1.0])      # (-1)^(b0+b1)
+    sign_a = np.array([1.0, -1.0, 1.0, -1.0])     # (-1)^b0
+    sign_b = np.array([1.0, 1.0, -1.0, -1.0])     # (-1)^b1
+    for (ba, bb), dist in dists.items():
+        exps[(ba, bb)] = float(np.dot(signs, dist))
+    for basis in BASES:
+        vals_a = [float(np.dot(sign_a, dists[(basis, bb)])) for bb in BASES]
+        exps[(basis, "I")] = float(np.mean(vals_a))
+        vals_b = [float(np.dot(sign_b, dists[(ba, basis)])) for ba in BASES]
+        exps[("I", basis)] = float(np.mean(vals_b))
+    return exps
+
+
+def density_from_expectations(exps: Dict[Tuple[str, str], float]) -> np.ndarray:
+    """Linear-inversion density matrix, projected onto PSD and trace one.
+
+    The Pauli label for qubits (a, b) maps to ``pauli_matrix(pa + pb)``
+    where position 0 of the label acts on qubit a (the little-endian
+    convention of :func:`repro.sim.unitaries.pauli_matrix`).
+    """
+    rho = np.zeros((4, 4), dtype=complex)
+    for (pa, pb), value in exps.items():
+        rho += value * pauli_matrix(pa + pb)
+    rho /= 4.0
+    # PSD projection: clip negative eigenvalues, renormalize.
+    rho = (rho + rho.conj().T) / 2.0
+    vals, vecs = np.linalg.eigh(rho)
+    vals = np.clip(vals, 0.0, None)
+    if vals.sum() <= 0:
+        raise ValueError("tomography produced a zero state")
+    vals /= vals.sum()
+    return (vecs * vals) @ vecs.conj().T
+
+
+def state_fidelity(rho: np.ndarray, target: np.ndarray) -> float:
+    """``<psi| rho |psi>`` for a pure target statevector."""
+    target = np.asarray(target, dtype=complex)
+    target = target / np.linalg.norm(target)
+    return float(np.real(target.conj() @ rho @ target))
+
+
+def bell_state_vector() -> np.ndarray:
+    """``(|00> + |11>) / sqrt(2)`` — the SWAP-circuit target state."""
+    return np.array([1.0, 0.0, 0.0, 1.0]) / np.sqrt(2.0)
+
+
+@dataclass
+class TomographyResult:
+    """Reconstructed state and derived figures."""
+
+    rho: np.ndarray
+    expectations: Dict[Tuple[str, str], float]
+    fidelity: float
+
+    @property
+    def error_rate(self) -> float:
+        """The paper's SWAP-circuit error metric: ``1 - fidelity``."""
+        return 1.0 - self.fidelity
+
+
+def run_state_tomography(run_circuit: Callable[[QuantumCircuit], np.ndarray],
+                         base: QuantumCircuit, qubit_a: int, qubit_b: int,
+                         target: Optional[np.ndarray] = None) -> TomographyResult:
+    """Full tomography loop.
+
+    ``run_circuit`` executes one measurement circuit and returns the
+    (mitigated) outcome distribution over clbits (bit 0 = qubit a).  This
+    indirection lets callers choose scheduler, shots, and mitigation.
+    """
+    dists = {}
+    for setting, circ in tomography_circuits(base, qubit_a, qubit_b).items():
+        dists[setting] = np.asarray(run_circuit(circ), dtype=float)
+    exps = expectations_from_distributions(dists)
+    rho = density_from_expectations(exps)
+    target = target if target is not None else bell_state_vector()
+    return TomographyResult(rho, exps, state_fidelity(rho, target))

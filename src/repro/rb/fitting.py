@@ -1,0 +1,94 @@
+"""Exponential-decay fitting for RB survival curves.
+
+Survival data ``(m, p_m)`` is fit to the standard RB model
+``p_m = A * f**m + B``; the error per Clifford is
+``r = (1 - f) * (2**n - 1) / 2**n`` and the CNOT error rate follows by
+dividing by the average CNOTs per Clifford (1.5 for the exact 2-qubit
+group), exactly the procedure of Section 8.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import optimize
+
+
+@dataclass(frozen=True)
+class RBFit:
+    """Fitted RB decay parameters and derived error rates."""
+
+    amplitude: float
+    decay: float
+    offset: float
+    num_qubits: int
+
+    @property
+    def error_per_clifford(self) -> float:
+        dim = 2 ** self.num_qubits
+        return (1.0 - self.decay) * (dim - 1) / dim
+
+    def error_per_cnot(self, cnots_per_clifford: float = 1.5) -> float:
+        return error_per_clifford_to_cnot(self.error_per_clifford, cnots_per_clifford)
+
+    def survival(self, length: float) -> float:
+        return self.amplitude * self.decay ** length + self.offset
+
+
+def fit_rb_decay(lengths: Sequence[int], survivals: Sequence[float],
+                 num_qubits: int = 2) -> RBFit:
+    """Least-squares fit of ``A * f**m + B`` with physical bounds.
+
+    Falls back to a log-linear two-point estimate when the optimizer cannot
+    improve on it (e.g. survival saturated at the floor).
+    """
+    lengths = np.asarray(lengths, dtype=float)
+    survivals = np.asarray(survivals, dtype=float)
+    if len(lengths) != len(survivals):
+        raise ValueError("lengths and survivals must align")
+    if len(lengths) < 3:
+        raise ValueError("need at least three lengths for a stable fit")
+
+    dim = 2 ** num_qubits
+    floor = 1.0 / dim
+    amp0 = 1.0 - floor
+    f0 = _initial_decay(lengths, survivals, floor, amp0)
+
+    def model(m, a, f, b):
+        return a * np.power(f, m) + b
+
+    try:
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", optimize.OptimizeWarning)
+            popt, _ = optimize.curve_fit(
+                model, lengths, survivals,
+                p0=(amp0, f0, floor),
+                bounds=((0.0, 0.0, 0.0), (1.0, 1.0, 1.0)),
+                maxfev=20_000,
+            )
+        amplitude, decay, offset = (float(v) for v in popt)
+    except (RuntimeError, ValueError):
+        amplitude, decay, offset = amp0, f0, floor
+    return RBFit(amplitude, decay, offset, num_qubits)
+
+
+def _initial_decay(lengths: np.ndarray, survivals: np.ndarray,
+                   floor: float, amp: float) -> float:
+    """Decay estimate from the first/last points, clipped to (0, 1)."""
+    y0 = max(survivals[0] - floor, 1e-6) / amp
+    y1 = max(survivals[-1] - floor, 1e-6) / amp
+    span = max(lengths[-1] - lengths[0], 1.0)
+    ratio = min(max(y1 / y0, 1e-9), 1.0 - 1e-9)
+    return float(np.clip(ratio ** (1.0 / span), 1e-6, 1.0 - 1e-6))
+
+
+def error_per_clifford_to_cnot(error_per_clifford: float,
+                               cnots_per_clifford: float = 1.5) -> float:
+    """Upper-bound CNOT error from Clifford error (Section 8.1)."""
+    if cnots_per_clifford <= 0:
+        raise ValueError("cnots_per_clifford must be positive")
+    return error_per_clifford / cnots_per_clifford

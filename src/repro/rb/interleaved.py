@@ -1,0 +1,129 @@
+"""Interleaved randomized benchmarking (Magesan et al., PRL 109, 080505).
+
+Standard RB upper-bounds a CNOT's error by dividing the Clifford error by
+the average CNOT count (1.5) — the paper's procedure.  Interleaved RB
+measures the *specific* gate directly: run a reference RB decay, then a
+second decay where the target gate is interleaved after every random
+Clifford; the ratio of decays isolates the interleaved gate's error:
+
+    r_gate = (1 - f_interleaved / f_reference) * (d - 1) / d
+
+This module layers the protocol on the existing RB machinery and executor,
+giving the characterization stack a second, sharper estimator that can be
+cross-checked against the planted ground truth (and against the standard
+estimator's upper bound).
+
+Calibration note: the device model injects a uniform non-identity Pauli
+with probability ``p`` per CNOT.  The *average gate infidelity* of that
+channel is ``r = 0.8 p`` (a non-identity two-qubit Pauli has average
+fidelity 1/5), and interleaved RB measures exactly ``r`` — so recovering
+~0.8x the planted ``p`` is correct, not a bias.  The standard estimator's
+per-CNOT number conventionally lands at ≈``p`` for this channel and is an
+upper bound, as the paper notes (Section 8.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.device.device import Device
+from repro.device.topology import Edge, normalize_edge
+from repro.rb.clifford import CliffordElement, clifford_group
+from repro.rb.executor import RBConfig, RBExecutor
+from repro.rb.fitting import RBFit, fit_rb_decay
+from repro.rb.sequences import RBSequence
+
+
+@dataclass(frozen=True)
+class InterleavedResult:
+    """Reference and interleaved fits plus the derived gate error."""
+
+    reference: RBFit
+    interleaved: RBFit
+    gate_error: float
+    #: the standard-RB upper bound for comparison (reference / 1.5)
+    standard_upper_bound: float
+
+
+def _interleave_cnot(sequence: RBSequence, group) -> RBSequence:
+    """Insert the CNOT after every random Clifford and fix the inverse.
+
+    The CNOT (on local qubits (0, 1)) is itself a Clifford, so the
+    composite still closes with a group inverse.
+    """
+    cnot = group.element_of(
+        _cnot_tableau(group)
+    )
+    elements: List[CliffordElement] = []
+    for el in sequence.elements:
+        elements.append(el)
+        elements.append(cnot)
+    product = elements[0].tableau
+    for el in elements[1:]:
+        product = product.compose(el.tableau)
+    inverse = group.inverse_element(product)
+    return RBSequence(tuple(elements), inverse)
+
+
+def _cnot_tableau(group):
+    from repro.rb.clifford import _gate_tableau
+
+    return _gate_tableau(2, "cx", (0, 1))
+
+
+class InterleavedRB:
+    """Runs reference + interleaved decays for one hardware CNOT."""
+
+    def __init__(self, device: Device, day: int = 0,
+                 config: Optional[RBConfig] = None,
+                 seed: Optional[int] = None):
+        self.device = device
+        self.day = day
+        self.config = config or RBConfig()
+        self._seed = seed if seed is not None else device.seed * 31 + day
+        self._group = clifford_group(2)
+
+    def run(self, gate: Sequence[int]) -> InterleavedResult:
+        edge = normalize_edge(gate)
+        cfg = self.config
+
+        # Reference decay: plain independent RB on the gate.
+        reference_exec = RBExecutor(self.device, day=self.day, config=cfg,
+                                    seed=self._seed)
+        reference = reference_exec.run_independent(edge)
+        ref_fit = reference.fits[edge]
+
+        # Interleaved decay: same machinery, sequences with the CNOT
+        # inserted after every Clifford.  Reuse the executor's private
+        # survival engine by monkey-free delegation: generate sequences
+        # here and hand them to the survival evaluator.
+        rng = np.random.default_rng(self._seed + 1)
+        from repro.rb.sequences import generate_rb_sequence
+
+        interleaved_exec = RBExecutor(self.device, day=self.day, config=cfg,
+                                      seed=self._seed + 1)
+        survivals: List[List[float]] = [[] for _ in cfg.lengths]
+        for li, length in enumerate(cfg.lengths):
+            for _ in range(cfg.num_sequences):
+                base = generate_rb_sequence(self._group, length, rng)
+                seq = _interleave_cnot(base, self._group)
+                means = interleaved_exec._run_sequences([edge], {edge: seq})
+                value = means[edge]
+                if cfg.shots is not None:
+                    value = rng.binomial(cfg.shots, value) / cfg.shots
+                survivals[li].append(value)
+        mean_survivals = [float(np.mean(v)) for v in survivals]
+        int_fit = fit_rb_decay(cfg.lengths, mean_survivals, num_qubits=2)
+
+        d = 4  # two-qubit dimension
+        ratio = min(max(int_fit.decay / max(ref_fit.decay, 1e-9), 0.0), 1.0)
+        gate_error = (1.0 - ratio) * (d - 1) / d
+        return InterleavedResult(
+            reference=ref_fit,
+            interleaved=int_fit,
+            gate_error=gate_error,
+            standard_upper_bound=ref_fit.error_per_cnot(),
+        )

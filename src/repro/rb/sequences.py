@@ -1,0 +1,64 @@
+"""RB sequence construction.
+
+An RB sequence of length ``m`` is ``m`` uniformly random Clifford elements
+followed by the group inverse of their product, so an ideal execution is
+the identity and the survival probability (returning to |0..0>) decays as
+``A f**m + B`` under noise.  Sequences are built on local qubits 0..n-1 and
+mapped onto device qubits when executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.rb.clifford import CliffordElement, CliffordGroup
+
+GateList = Tuple[Tuple[str, Tuple[int, ...]], ...]
+
+
+@dataclass(frozen=True)
+class RBSequence:
+    """One random sequence: the sampled Cliffords plus the closing inverse."""
+
+    elements: Tuple[CliffordElement, ...]
+    inverse: CliffordElement
+
+    @property
+    def length(self) -> int:
+        """RB length ``m`` (number of random Cliffords, inverse excluded)."""
+        return len(self.elements)
+
+    def layers(self) -> Tuple[GateList, ...]:
+        """Per-Clifford gate layers (local qubit indices), inverse last.
+
+        The executor aligns layer ``k`` of simultaneously-benchmarked pairs,
+        which is how concurrent driving is modelled in SRB.
+        """
+        return tuple(el.gates for el in (*self.elements, self.inverse))
+
+    def total_cnots(self) -> int:
+        return sum(el.cnot_count for el in (*self.elements, self.inverse))
+
+    def mapped_gates(self, qubits: Sequence[int]) -> GateList:
+        """All gates with local indices replaced by device ``qubits``."""
+        out = []
+        for layer in self.layers():
+            for name, locals_ in layer:
+                out.append((name, tuple(qubits[q] for q in locals_)))
+        return tuple(out)
+
+
+def generate_rb_sequence(group: CliffordGroup, length: int,
+                         rng: np.random.Generator) -> RBSequence:
+    """Sample a length-``m`` sequence and close it with the exact inverse."""
+    if length < 1:
+        raise ValueError("RB length must be at least 1")
+    elements = tuple(group.sample(rng) for _ in range(length))
+    product = elements[0].tableau
+    for el in elements[1:]:
+        product = product.compose(el.tableau)
+    inverse = group.inverse_element(product)
+    return RBSequence(elements, inverse)

@@ -1,0 +1,210 @@
+"""CHP-style stabilizer simulator (Aaronson & Gottesman, 2004).
+
+Randomized benchmarking circuits are Clifford-only, so the RB substrate
+(:mod:`repro.rb`) simulates them on this tableau simulator instead of the
+dense statevector engine.  The tableau tracks ``2n`` generators (``n``
+destabilizers followed by ``n`` stabilizers) as x/z bit matrices plus a
+phase column.
+
+Supported operations: H, S, Sdg, X, Y, Z, CX, CZ, SWAP, projective Z
+measurement, and exact outcome-probability queries (each measurement is
+either deterministic or a fair coin for stabilizer states, so bitstring
+probabilities are exactly ``2**-k``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class StabilizerSimulator:
+    """Mutable stabilizer state of ``num_qubits`` qubits, initially |0...0>."""
+
+    def __init__(self, num_qubits: int, rng: Optional[np.random.Generator] = None):
+        if num_qubits <= 0:
+            raise ValueError("need at least one qubit")
+        self.num_qubits = num_qubits
+        self._rng = rng if rng is not None else np.random.default_rng()
+        n = num_qubits
+        self.x = np.zeros((2 * n, n), dtype=np.uint8)
+        self.z = np.zeros((2 * n, n), dtype=np.uint8)
+        self.r = np.zeros(2 * n, dtype=np.uint8)
+        # Destabilizers X_i, stabilizers Z_i.
+        for i in range(n):
+            self.x[i, i] = 1
+            self.z[n + i, i] = 1
+
+    def copy(self) -> "StabilizerSimulator":
+        out = StabilizerSimulator.__new__(StabilizerSimulator)
+        out.num_qubits = self.num_qubits
+        out._rng = self._rng
+        out.x = self.x.copy()
+        out.z = self.z.copy()
+        out.r = self.r.copy()
+        return out
+
+    # ------------------------------------------------------------------
+    # Clifford gates
+    # ------------------------------------------------------------------
+    def h(self, a: int) -> None:
+        self.r ^= self.x[:, a] & self.z[:, a]
+        self.x[:, a], self.z[:, a] = self.z[:, a].copy(), self.x[:, a].copy()
+
+    def s(self, a: int) -> None:
+        self.r ^= self.x[:, a] & self.z[:, a]
+        self.z[:, a] ^= self.x[:, a]
+
+    def sdg(self, a: int) -> None:
+        self.s(a)
+        self.z_gate(a)
+
+    def x_gate(self, a: int) -> None:
+        self.r ^= self.z[:, a]
+
+    def y_gate(self, a: int) -> None:
+        self.r ^= self.x[:, a] ^ self.z[:, a]
+
+    def z_gate(self, a: int) -> None:
+        self.r ^= self.x[:, a]
+
+    def cx(self, a: int, b: int) -> None:
+        if a == b:
+            raise ValueError("cx needs distinct qubits")
+        self.r ^= self.x[:, a] & self.z[:, b] & (self.x[:, b] ^ self.z[:, a] ^ 1)
+        self.x[:, b] ^= self.x[:, a]
+        self.z[:, a] ^= self.z[:, b]
+
+    def cz(self, a: int, b: int) -> None:
+        self.h(b)
+        self.cx(a, b)
+        self.h(b)
+
+    def swap(self, a: int, b: int) -> None:
+        self.cx(a, b)
+        self.cx(b, a)
+        self.cx(a, b)
+
+    def apply_gate(self, name: str, qubits: Sequence[int]) -> None:
+        """Dispatch a named Clifford gate (subset of the IR gate set)."""
+        table = {
+            "id": lambda: None,
+            "h": lambda: self.h(qubits[0]),
+            "s": lambda: self.s(qubits[0]),
+            "sdg": lambda: self.sdg(qubits[0]),
+            "x": lambda: self.x_gate(qubits[0]),
+            "y": lambda: self.y_gate(qubits[0]),
+            "z": lambda: self.z_gate(qubits[0]),
+            "cx": lambda: self.cx(qubits[0], qubits[1]),
+            "cz": lambda: self.cz(qubits[0], qubits[1]),
+            "swap": lambda: self.swap(qubits[0], qubits[1]),
+        }
+        try:
+            table[name]()
+        except KeyError:
+            raise KeyError(f"gate {name!r} is not Clifford or not supported") from None
+
+    def apply_pauli(self, label: str, qubits: Sequence[int]) -> None:
+        """Apply a Pauli string, e.g. ``apply_pauli("XZ", (3, 5))``."""
+        if len(label) != len(qubits):
+            raise ValueError("label/qubit length mismatch")
+        dispatch = {"I": lambda q: None, "X": self.x_gate, "Y": self.y_gate, "Z": self.z_gate}
+        for ch, q in zip(label, qubits):
+            dispatch[ch](q)
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+    def _g(self, x1: int, z1: int, x2: int, z2: int) -> int:
+        """Exponent of i when multiplying Paulis (x1,z1)*(x2,z2); in {-1,0,1}."""
+        if x1 == 0 and z1 == 0:
+            return 0
+        if x1 == 1 and z1 == 1:  # Y
+            return z2 - x2
+        if x1 == 1 and z1 == 0:  # X
+            return z2 * (2 * x2 - 1)
+        return x2 * (1 - 2 * z2)  # Z
+
+    def _rowsum(self, h: int, i: int) -> None:
+        """Row h := row h * row i, with correct phase (AG05 rowsum)."""
+        phase = 2 * int(self.r[h]) + 2 * int(self.r[i])
+        for j in range(self.num_qubits):
+            phase += self._g(int(self.x[i, j]), int(self.z[i, j]),
+                             int(self.x[h, j]), int(self.z[h, j]))
+        self.r[h] = (phase % 4) // 2
+        self.x[h] ^= self.x[i]
+        self.z[h] ^= self.z[i]
+
+    def measure(self, a: int, forced_outcome: Optional[int] = None) -> int:
+        """Projective Z measurement of qubit ``a`` with collapse.
+
+        ``forced_outcome`` postselects a random measurement (used by the
+        exact probability query); forcing a deterministic measurement to the
+        wrong value raises.
+        """
+        n = self.num_qubits
+        p = next((i for i in range(n, 2 * n) if self.x[i, a]), None)
+        if p is not None:
+            # Random outcome.
+            if forced_outcome is None:
+                outcome = int(self._rng.integers(2))
+            else:
+                outcome = forced_outcome
+            for i in range(2 * n):
+                if i != p and self.x[i, a]:
+                    self._rowsum(i, p)
+            self.x[p - n] = self.x[p].copy()
+            self.z[p - n] = self.z[p].copy()
+            self.r[p - n] = self.r[p]
+            self.x[p] = 0
+            self.z[p] = 0
+            self.z[p, a] = 1
+            self.r[p] = outcome
+            return outcome
+        # Deterministic outcome: accumulate into scratch row via rowsum.
+        self.x = np.vstack([self.x, np.zeros((1, n), dtype=np.uint8)])
+        self.z = np.vstack([self.z, np.zeros((1, n), dtype=np.uint8)])
+        self.r = np.append(self.r, np.uint8(0))
+        scratch = 2 * n
+        for i in range(n):
+            if self.x[i, a]:
+                self._rowsum(scratch, i + n)
+        outcome = int(self.r[scratch])
+        self.x = self.x[:-1]
+        self.z = self.z[:-1]
+        self.r = self.r[:-1]
+        if forced_outcome is not None and forced_outcome != outcome:
+            raise ValueError("cannot force a deterministic measurement to the other value")
+        return outcome
+
+    def is_deterministic(self, a: int) -> bool:
+        """True when measuring qubit ``a`` has a certain outcome."""
+        n = self.num_qubits
+        return not any(self.x[i, a] for i in range(n, 2 * n))
+
+    def probability_of_outcome(self, bits: Dict[int, int]) -> float:
+        """Exact probability of jointly observing ``bits`` = {qubit: 0/1}.
+
+        Measures the requested qubits sequentially on a copy; every random
+        step contributes a factor 1/2, a contradicted deterministic step
+        makes the probability 0.
+        """
+        sim = self.copy()
+        prob = 1.0
+        for qubit in sorted(bits):
+            target = bits[qubit]
+            if sim.is_deterministic(qubit):
+                if sim.measure(qubit) != target:
+                    return 0.0
+            else:
+                prob *= 0.5
+                sim.measure(qubit, forced_outcome=target)
+        return prob
+
+    def survival_probability(self) -> float:
+        """Probability that measuring every qubit yields all zeros.
+
+        This is the RB survival quantity: ideal sequences return to |0...0>.
+        """
+        return self.probability_of_outcome({q: 0 for q in range(self.num_qubits)})

@@ -1,0 +1,155 @@
+"""Unitary matrices for the IR gate set.
+
+Conventions: qubit 0 is the least-significant bit of the computational basis
+index (little-endian, matching Qiskit).  For two-qubit gates the first qubit
+in ``Instruction.qubits`` is the control of ``cx``.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Sequence, Tuple
+
+import numpy as np
+
+_SQ2 = 1.0 / math.sqrt(2.0)
+
+I2 = np.eye(2, dtype=complex)
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+Z = np.array([[1, 0], [0, -1]], dtype=complex)
+H = np.array([[_SQ2, _SQ2], [_SQ2, -_SQ2]], dtype=complex)
+S = np.array([[1, 0], [0, 1j]], dtype=complex)
+SDG = S.conj().T
+T = np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]], dtype=complex)
+TDG = T.conj().T
+SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+SXDG = SX.conj().T
+
+#: The single-qubit Pauli basis, indexed I, X, Y, Z.
+PAULIS_1Q = (I2, X, Y, Z)
+
+
+def rx(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def ry(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def rz(theta: float) -> np.ndarray:
+    return np.array(
+        [[np.exp(-1j * theta / 2), 0], [0, np.exp(1j * theta / 2)]], dtype=complex
+    )
+
+
+def u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=complex,
+    )
+
+
+def u2(phi: float, lam: float) -> np.ndarray:
+    return u3(math.pi / 2, phi, lam)
+
+
+def u1(lam: float) -> np.ndarray:
+    return np.array([[1, 0], [0, np.exp(1j * lam)]], dtype=complex)
+
+
+# Two-qubit matrices in little-endian convention for qubit order (q0, q1):
+# basis index b = b1*2 + b0 where b0 is the state of the *first* listed qubit.
+# CX below is control = first listed qubit, target = second.
+CX = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 0, 1],
+        [0, 0, 1, 0],
+        [0, 1, 0, 0],
+    ],
+    dtype=complex,
+)
+CZ = np.diag([1, 1, 1, -1]).astype(complex)
+SWAP = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 1, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+    ],
+    dtype=complex,
+)
+
+_FIXED = {
+    "id": I2,
+    "x": X,
+    "y": Y,
+    "z": Z,
+    "h": H,
+    "s": S,
+    "sdg": SDG,
+    "t": T,
+    "tdg": TDG,
+    "sx": SX,
+    "sxdg": SXDG,
+    "cx": CX,
+    "cz": CZ,
+    "swap": SWAP,
+}
+
+_PARAMETRIC = {
+    "rx": rx,
+    "ry": ry,
+    "rz": rz,
+    "u1": u1,
+    "u2": u2,
+    "u3": u3,
+}
+
+
+def gate_unitary(name: str, params: Sequence[float] = ()) -> np.ndarray:
+    """Return the unitary matrix for a gate name and parameter tuple.
+
+    Raises:
+        KeyError: for directives or unknown gates (barriers and measurements
+            have no unitary).
+    """
+    if name in _FIXED:
+        return _FIXED[name]
+    if name in _PARAMETRIC:
+        return _PARAMETRIC[name](*params)
+    raise KeyError(f"gate {name!r} has no unitary")
+
+
+@lru_cache(maxsize=None)
+def pauli_matrix(label: str) -> np.ndarray:
+    """Tensor product of single-qubit Paulis, e.g. ``"XZ"``.
+
+    ``label[k]`` acts on qubit ``k`` (little-endian: the kron order is
+    reversed so that index 0 is the least significant qubit).
+    """
+    lookup = {"I": I2, "X": X, "Y": Y, "Z": Z}
+    mat = np.array([[1.0 + 0j]])
+    for ch in label:
+        mat = np.kron(lookup[ch], mat)
+    return mat
+
+
+def two_qubit_pauli_labels(include_identity: bool = False) -> Tuple[str, ...]:
+    """The 15 (or 16) two-qubit Pauli labels used by depolarizing sampling."""
+    labels = []
+    for a in "IXYZ":
+        for b in "IXYZ":
+            if not include_identity and a == "I" and b == "I":
+                continue
+            labels.append(a + b)
+    return tuple(labels)

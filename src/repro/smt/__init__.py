@@ -1,0 +1,44 @@
+"""A small optimizing solver for scheduling-shaped SMT problems.
+
+The paper formulates gate scheduling as an SMT optimization and solves it
+with Z3 (Section 7).  Z3 is unavailable offline, so this package implements
+an exact solver for precisely the fragment the formulation uses:
+
+* real **variables** (gate start times) constrained by **difference
+  constraints** ``x - y >= c`` (data dependencies, serialization orders,
+  containment, readout simultaneity);
+* categorical **decisions** whose options activate different constraint
+  sets (the overlap-indicator structure of constraints (2)–(8) and the
+  IBMQ full-containment disjunction (11)–(13));
+* an objective that splits into a decision-dependent constant part (the
+  ``ω Σ log g.ε`` gate-error terms, supplied as a monotone partial-cost
+  callback) plus a linear function of the reals (the decoherence lifetime
+  terms), minimized by LP once decisions are fixed.
+
+:class:`~repro.smt.solver.OptimizingSolver` performs DPLL-style
+branch-and-bound over the decisions with a Bellman–Ford theory check and
+LP-based bounding — exact on paper-scale instances — and a greedy dive
+mode for the large supremacy-circuit scalability study.
+"""
+
+from repro.smt.model import (
+    DiffConstraint,
+    Option,
+    Decision,
+    ScheduleModel,
+)
+from repro.smt.feasibility import difference_feasible
+from repro.smt.solver import OptimizingSolver, Solution
+from repro.smt.smtlib import model_to_smtlib, assignment_to_smtlib_asserts
+
+__all__ = [
+    "DiffConstraint",
+    "Option",
+    "Decision",
+    "ScheduleModel",
+    "difference_feasible",
+    "OptimizingSolver",
+    "Solution",
+    "model_to_smtlib",
+    "assignment_to_smtlib_asserts",
+]

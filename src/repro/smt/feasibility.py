@@ -1,0 +1,56 @@
+"""Feasibility of difference-constraint systems via Bellman–Ford.
+
+A system of constraints ``x - y >= c`` is feasible iff the standard
+constraint graph has no negative cycle.  Using the shortest-path potential
+also yields a concrete satisfying assignment (the ASAP solution), which the
+solver uses as a warm start and as a fallback when SciPy's LP is
+unnecessary (all-objective-zero subproblems).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.smt.model import DiffConstraint
+
+
+def difference_feasible(num_vars: int,
+                        constraints: Iterable[DiffConstraint]) -> Optional[List[float]]:
+    """Return a satisfying assignment with all vars >= 0, or None.
+
+    The returned assignment is the component-wise *smallest* non-negative
+    solution (every variable as early as possible) — the ASAP schedule of
+    the partial ordering.
+    """
+    # Convert x - y >= c into edge y -> x with weight c and compute longest
+    # paths from a virtual source (x >= 0 for all x).  Feasible iff no
+    # positive cycle; the longest-path distances are the minimal solution.
+    edges: List[Tuple[int, int, float]] = []  # (src, dst, weight)
+    for c in constraints:
+        if c.var_lo is None:
+            # x >= offset: edge from source handled via initial distance.
+            edges.append((-1, c.var_hi, c.offset))
+        else:
+            edges.append((c.var_lo, c.var_hi, c.offset))
+
+    dist = [0.0] * num_vars  # source gives every var >= 0
+    for src, dst, w in edges:
+        if src == -1 and w > dist[dst]:
+            dist[dst] = w
+
+    # Bellman-Ford longest path relaxation.
+    real_edges = [(s, d, w) for s, d, w in edges if s != -1]
+    for iteration in range(num_vars):
+        changed = False
+        for src, dst, w in real_edges:
+            cand = dist[src] + w
+            if cand > dist[dst] + 1e-9:
+                dist[dst] = cand
+                changed = True
+        if not changed:
+            return dist
+    # One extra pass: any further relaxation means a positive cycle.
+    for src, dst, w in real_edges:
+        if dist[src] + w > dist[dst] + 1e-9:
+            return None
+    return dist

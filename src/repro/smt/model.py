@@ -1,0 +1,121 @@
+"""Model objects for the scheduling solver.
+
+A :class:`ScheduleModel` owns a set of real variables (indexed 0..n-1),
+base difference constraints that always hold, a list of categorical
+decisions, and a linear objective over the reals.  The decision-dependent
+constant part of the objective is supplied to the solver as a callback
+(see :mod:`repro.smt.solver`), keeping this package independent of
+quantum-specific error semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class DiffConstraint:
+    """``var_hi - var_lo >= offset`` (with ``var_lo=None``: ``var_hi >= offset``).
+
+    Difference constraints are exactly what gate scheduling needs: data
+    dependencies (eq. 1), serialization orders, containment overlap
+    (eqs. 11–13 after choosing a disjunct), and equalities (two opposed
+    constraints).
+    """
+
+    var_hi: int
+    var_lo: Optional[int]
+    offset: float
+
+    def __post_init__(self) -> None:
+        if self.var_lo is not None and self.var_hi == self.var_lo:
+            raise ValueError("constraint relates a variable to itself")
+
+    @staticmethod
+    def after(later: int, earlier: int, gap: float) -> "DiffConstraint":
+        """``later`` starts at least ``gap`` after ``earlier`` starts."""
+        return DiffConstraint(later, earlier, gap)
+
+    @staticmethod
+    def at_least(var: int, value: float) -> "DiffConstraint":
+        return DiffConstraint(var, None, value)
+
+    @staticmethod
+    def equal(a: int, b: int) -> Tuple["DiffConstraint", "DiffConstraint"]:
+        return (DiffConstraint(a, b, 0.0), DiffConstraint(b, a, 0.0))
+
+
+@dataclass(frozen=True)
+class Option:
+    """One branch of a decision: a label plus the constraints it activates."""
+
+    label: str
+    constraints: Tuple[DiffConstraint, ...] = ()
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A categorical decision between mutually exclusive options.
+
+    For the scheduler, each high-crosstalk candidate pair ``(gi, gj)``
+    yields one decision with three options: serialize ``gi`` first,
+    serialize ``gj`` first, or overlap with full containment.
+    """
+
+    name: str
+    options: Tuple[Option, ...]
+    #: Arbitrary payload for the cost callback (e.g. the gate index pair).
+    payload: object = None
+
+    def __post_init__(self) -> None:
+        if len(self.options) < 1:
+            raise ValueError(f"decision {self.name!r} needs at least one option")
+
+
+class ScheduleModel:
+    """A complete solver input."""
+
+    def __init__(self, num_vars: int):
+        if num_vars <= 0:
+            raise ValueError("model needs at least one variable")
+        self.num_vars = num_vars
+        self.base_constraints: List[DiffConstraint] = []
+        self.decisions: List[Decision] = []
+        #: Linear objective coefficients over the real variables (minimized).
+        self.objective: Dict[int, float] = {}
+        #: Constant objective offset (e.g. gate-duration parts of lifetimes).
+        self.objective_offset: float = 0.0
+
+    # ------------------------------------------------------------------
+    def _check_var(self, var: Optional[int]) -> None:
+        if var is not None and not 0 <= var < self.num_vars:
+            raise ValueError(f"variable {var} out of range")
+
+    def add_constraint(self, constraint: DiffConstraint) -> None:
+        self._check_var(constraint.var_hi)
+        self._check_var(constraint.var_lo)
+        self.base_constraints.append(constraint)
+
+    def add_decision(self, decision: Decision) -> None:
+        for option in decision.options:
+            for c in option.constraints:
+                self._check_var(c.var_hi)
+                self._check_var(c.var_lo)
+        self.decisions.append(decision)
+
+    def add_objective_term(self, var: int, coefficient: float) -> None:
+        self._check_var(var)
+        self.objective[var] = self.objective.get(var, 0.0) + coefficient
+
+    # ------------------------------------------------------------------
+    def constraints_for(self, assignment: Sequence[int]) -> List[DiffConstraint]:
+        """Base constraints plus those of the assigned decision options.
+
+        ``assignment[k]`` is the option index chosen for decision ``k``;
+        entries beyond ``len(assignment)`` are undecided.
+        """
+        out = list(self.base_constraints)
+        for decision, choice in zip(self.decisions, assignment):
+            out.extend(decision.options[choice].constraints)
+        return out

@@ -1,0 +1,42 @@
+"""Compilation pipeline: layout, routing, decomposition, baseline scheduling.
+
+This package re-implements the Qiskit Terra stages the paper's toolflow
+invokes before (and after) the crosstalk-adaptive scheduler:
+
+* :mod:`repro.transpiler.routing` — SWAP insertion for non-adjacent CNOTs
+  (including the meet-in-the-middle paths of the SWAP-circuit study);
+* :mod:`repro.transpiler.decompose` — lowering SWAP/CZ onto the CNOT basis;
+* :mod:`repro.transpiler.schedule` — the timed-schedule data structure;
+* :mod:`repro.transpiler.scheduling` — ASAP / right-aligned-ALAP
+  (``ParSched``, the IBM default) and fully serial (``SerialSched``)
+  baseline schedulers, plus the barrier-respecting hardware scheduler that
+  models how IBMQ control electronics time a submitted circuit;
+* :mod:`repro.transpiler.barriers` — post-processing that realizes a target
+  schedule's orderings with barrier instructions (the only control knob the
+  circuit-level ISA offers, Section 7.2).
+"""
+
+from repro.transpiler.schedule import TimedInstruction, Schedule
+from repro.transpiler.scheduling import (
+    asap_schedule,
+    alap_schedule,
+    serial_schedule,
+    hardware_schedule,
+)
+from repro.transpiler.routing import (
+    swap_path_circuit,
+    route_circuit,
+)
+from repro.transpiler.decompose import decompose_to_basis
+
+__all__ = [
+    "TimedInstruction",
+    "Schedule",
+    "asap_schedule",
+    "alap_schedule",
+    "serial_schedule",
+    "hardware_schedule",
+    "swap_path_circuit",
+    "route_circuit",
+    "decompose_to_basis",
+]

@@ -1,0 +1,75 @@
+"""Realizing a target schedule with barrier instructions.
+
+The circuit-level IBMQ ISA cannot express start times; the only ordering
+control is the barrier (Section 7.2, "IBMQ-specific constraints").  The
+XtalkSched post-processing step therefore re-emits the circuit in intended
+start-time order and drops a barrier across each serialized gate pair so
+the hardware's right-aligned scheduler cannot re-parallelize them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import Instruction
+
+
+def reorder_and_barrier(circuit: QuantumCircuit,
+                        order: Sequence[int],
+                        serialized_pairs: Iterable[Tuple[int, int]]) -> QuantumCircuit:
+    """Like :func:`reorder_with_barriers` but returns only the circuit."""
+    return reorder_with_barriers(circuit, order, serialized_pairs)[0]
+
+
+def reorder_with_barriers(circuit: QuantumCircuit,
+                          order: Sequence[int],
+                          serialized_pairs: Iterable[Tuple[int, int]]
+                          ) -> Tuple[QuantumCircuit, Dict[int, int]]:
+    """Rebuild ``circuit`` in ``order`` with barriers enforcing serialization.
+
+    Args:
+        circuit: the hardware-compliant input circuit (no barriers yet).
+        order: a topological order of instruction indices — normally the
+            intended schedule sorted by start time.
+        serialized_pairs: instruction index pairs ``(i, j)`` that must not
+            overlap; whichever comes later in ``order`` gets a barrier over
+            the union of both gates' qubits immediately before it.
+
+    Returns:
+        The new circuit plus a map from original instruction index to its
+        position in the new circuit (barriers shift positions).
+    """
+    if sorted(order) != list(range(len(circuit))):
+        raise ValueError("order must be a permutation of all instructions")
+    position = {idx: pos for pos, idx in enumerate(order)}
+    # For each instruction, the serialized partners that must precede it.
+    barrier_before: Dict[int, Set[int]] = {}
+    for i, j in serialized_pairs:
+        first, second = (i, j) if position[i] < position[j] else (j, i)
+        barrier_before.setdefault(second, set()).add(first)
+
+    out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+    emitted: Set[int] = set()
+    new_position: Dict[int, int] = {}
+    for idx in order:
+        partners = barrier_before.get(idx, ())
+        ready = [p for p in partners if p in emitted]
+        if ready:
+            span: Set[int] = set(circuit[idx].qubits)
+            for p in ready:
+                span.update(circuit[p].qubits)
+            out.barrier(*sorted(span))
+        new_position[idx] = len(out)
+        out.append(circuit[idx])
+        emitted.add(idx)
+    return out, new_position
+
+
+def strip_barriers(circuit: QuantumCircuit) -> QuantumCircuit:
+    """A copy of ``circuit`` without any barrier instructions."""
+    out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits, circuit.name)
+    for instr in circuit:
+        if not instr.is_barrier:
+            out.append(instr)
+    return out

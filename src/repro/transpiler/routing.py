@@ -1,0 +1,175 @@
+"""SWAP insertion for nearest-neighbour architectures.
+
+Two entry points:
+
+* :func:`swap_path_circuit` — the paper's meet-in-the-middle communication
+  pattern (Section 8.3): to interact two far-apart qubits, SWAP both toward
+  the middle of the shortest path and apply the CNOT where they meet.
+* :func:`route_circuit` — a greedy general router used to make arbitrary
+  workloads hardware-compliant: for every non-adjacent two-qubit gate it
+  swaps the control along the shortest path until adjacency holds.
+
+Both return circuits whose two-qubit gates all lie on coupling-map edges,
+which is the hardware-compliant IR the schedulers take as input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import Instruction
+from repro.device.topology import CouplingMap
+
+
+@dataclass(frozen=True)
+class MeetInMiddlePlan:
+    """The SWAP plan for one long-range CNOT.
+
+    ``left_swaps`` move the source toward the middle, ``right_swaps`` move
+    the destination; ``cnot`` is the adjacent pair where they meet.  The two
+    swap chains are logically independent, which is exactly what gives
+    ParSched parallelism to exploit — and crosstalk to suffer.
+    """
+
+    path: Tuple[int, ...]
+    left_swaps: Tuple[Tuple[int, int], ...]
+    right_swaps: Tuple[Tuple[int, int], ...]
+    cnot: Tuple[int, int]
+
+
+def meet_in_middle_plan(coupling: CouplingMap, source: int, dest: int,
+                        path: Optional[Sequence[int]] = None) -> MeetInMiddlePlan:
+    """Compute the meet-in-the-middle SWAP plan along a shortest path.
+
+    ``path`` pins an explicit route (it must be a valid path from source to
+    dest over coupling edges); by default the deterministic shortest path
+    is used.
+    """
+    if source == dest:
+        raise ValueError("source and destination must differ")
+    if path is not None:
+        path = tuple(path)
+        if path[0] != source or path[-1] != dest:
+            raise ValueError("explicit path must run from source to dest")
+        for a, b in zip(path, path[1:]):
+            if not coupling.has_edge(a, b):
+                raise ValueError(f"path step ({a},{b}) is not a coupling edge")
+    else:
+        path = tuple(coupling.shortest_path(source, dest))
+    # After the swaps, the source payload sits at path[meet_left] and the
+    # destination payload at path[meet_left + 1].
+    hops = len(path) - 1  # number of edges on the path
+    left_count = (hops - 1) // 2          # swaps applied from the source side
+    right_count = hops - 1 - left_count   # swaps applied from the dest side
+    left_swaps = tuple(
+        (path[i], path[i + 1]) for i in range(left_count)
+    )
+    right_swaps = tuple(
+        (path[len(path) - 1 - i], path[len(path) - 2 - i]) for i in range(right_count)
+    )
+    cnot = (path[left_count], path[left_count + 1])
+    return MeetInMiddlePlan(path, left_swaps, right_swaps, cnot)
+
+
+def swap_path_circuit(coupling: CouplingMap, source: int, dest: int,
+                      num_qubits: Optional[int] = None,
+                      path: Optional[Sequence[int]] = None) -> QuantumCircuit:
+    """The paper's SWAP benchmark circuit between ``source`` and ``dest``.
+
+    Prepares a Bell pair between the two payloads (a U2 on the source
+    creates the superposition, as in Figure 6), moves them together with
+    meet-in-the-middle SWAPs, and applies the entangling CNOT.  The final
+    state on the meeting qubits is a Bell state measured by tomography.
+    """
+    plan = meet_in_middle_plan(coupling, source, dest, path=path)
+    n = num_qubits if num_qubits is not None else coupling.num_qubits
+    circ = QuantumCircuit(n, name=f"swap_{source}_{dest}")
+    circ.u2(0.0, 3.141592653589793, source)  # H via the IBM basis, as in Fig. 6
+    for a, b in plan.left_swaps:
+        circ.swap(a, b)
+    for a, b in plan.right_swaps:
+        circ.swap(a, b)
+    circ.cx(*plan.cnot)
+    return circ
+
+
+def min_crosstalk_path(coupling: CouplingMap, source: int, dest: int,
+                       high_pairs) -> Tuple[int, ...]:
+    """The shortest path whose meet-in-the-middle chains cross the fewest
+    high-crosstalk pairs (ties broken lexicographically).
+
+    A routing-level complement to XtalkSched: when an equally short route
+    avoids the interfering region entirely, taking it beats scheduling
+    around the interference (DESIGN.md lists this as an ablation).
+    """
+    import networkx as nx
+
+    from repro.device.topology import normalize_edge as _norm
+
+    high_pairs = [frozenset(p) for p in high_pairs]
+
+    def crossings(path) -> int:
+        plan = meet_in_middle_plan(coupling, source, dest, path=path)
+        left = {_norm(s) for s in plan.left_swaps}
+        right = {_norm(s) for s in plan.right_swaps}
+        count = 0
+        for pair in high_pairs:
+            a, b = tuple(pair)
+            if (a in left and b in right) or (b in left and a in right):
+                count += 1
+        return count
+
+    candidates = sorted(nx.all_shortest_paths(coupling.graph, source, dest))
+    return tuple(min(candidates, key=lambda p: (crossings(p), p)))
+
+
+def route_circuit(circuit: QuantumCircuit, coupling: CouplingMap,
+                  initial_layout: Optional[Sequence[int]] = None) -> Tuple[QuantumCircuit, List[int]]:
+    """Greedy SWAP-insertion router.
+
+    ``initial_layout[logical] = physical``.  Returns the physical circuit
+    plus the final layout (so callers can map measured clbits back).  The
+    router moves the first operand of each non-adjacent gate along the
+    shortest physical path; simple, deterministic, and sufficient for the
+    paper's small benchmark circuits.
+    """
+    n_phys = coupling.num_qubits
+    if initial_layout is None:
+        initial_layout = list(range(circuit.num_qubits))
+    if len(initial_layout) != circuit.num_qubits:
+        raise ValueError("layout must place every logical qubit")
+    layout = list(initial_layout)  # logical -> physical
+    phys_of = dict(enumerate(layout))
+
+    out = QuantumCircuit(n_phys, max(circuit.num_clbits, 0), name=f"{circuit.name}_routed")
+
+    def physical(logical: int) -> int:
+        return layout[logical]
+
+    for instr in circuit:
+        if instr.is_barrier:
+            out.barrier(*(physical(q) for q in instr.qubits))
+            continue
+        if len(instr.qubits) <= 1:
+            out.append(Instruction(instr.name, (physical(instr.qubits[0]),),
+                                   instr.params, clbit=instr.clbit, label=instr.label))
+            continue
+        la, lb = instr.qubits
+        pa, pb = physical(la), physical(lb)
+        if not coupling.has_edge(pa, pb):
+            path = coupling.shortest_path(pa, pb)
+            # Swap the first operand down the path until adjacent.
+            for step in path[1:-1]:
+                out.swap(pa, step)
+                # update layout: whichever logical qubits sit on pa/step swap
+                for logical, phys in enumerate(layout):
+                    if phys == pa:
+                        layout[logical] = step
+                    elif phys == step:
+                        layout[logical] = pa
+                pa = step
+        out.append(Instruction(instr.name, (pa, layout[lb]), instr.params,
+                               clbit=instr.clbit, label=instr.label))
+    return out, layout

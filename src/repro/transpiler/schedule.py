@@ -1,0 +1,203 @@
+"""Timed schedules over circuit instructions.
+
+A :class:`Schedule` binds every instruction of a circuit to a start time
+(ns).  It is the object the noisy backend executes, and the object whose
+overlap structure determines which conditional error rates apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import Instruction
+from repro.device.calibration import GateDurations
+
+#: Slack below which two intervals are considered non-overlapping; keeps
+#: floating-point boundary touches (end == start) from counting as overlap.
+_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class TimedInstruction:
+    """An instruction with its scheduled start time and duration (ns)."""
+
+    index: int
+    instruction: Instruction
+    start: float
+    duration: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def overlaps(self, other: "TimedInstruction") -> bool:
+        """True when the two intervals intersect with positive measure."""
+        return (
+            self.start < other.end - _EPS and other.start < self.end - _EPS
+        )
+
+    def format(self) -> str:
+        return f"[{self.start:8.1f}, {self.end:8.1f}] {self.instruction.format()}"
+
+
+class Schedule:
+    """An immutable assignment of start times to a circuit's instructions."""
+
+    def __init__(self, circuit: QuantumCircuit, durations: GateDurations,
+                 start_times: Sequence[float]):
+        if len(start_times) != len(circuit):
+            raise ValueError("need one start time per instruction")
+        self.circuit = circuit
+        self.durations = durations
+        self._timed: List[TimedInstruction] = [
+            TimedInstruction(i, instr, float(start_times[i]), durations.of(instr))
+            for i, instr in enumerate(circuit)
+        ]
+        for t in self._timed:
+            if t.start < -_EPS:
+                raise ValueError(f"negative start time for {t.instruction.format()}")
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._timed)
+
+    def __iter__(self):
+        return iter(self._timed)
+
+    def __getitem__(self, index: int) -> TimedInstruction:
+        return self._timed[index]
+
+    @property
+    def start_times(self) -> Tuple[float, ...]:
+        return tuple(t.start for t in self._timed)
+
+    def makespan(self) -> float:
+        """Total program duration (ns) — Figure 5d's metric."""
+        return max((t.end for t in self._timed), default=0.0)
+
+    # ------------------------------------------------------------------
+    def qubit_timeline(self, qubit: int) -> Tuple[TimedInstruction, ...]:
+        """Non-directive operations on ``qubit``, ordered by start time."""
+        ops = [
+            t for t in self._timed
+            if qubit in t.instruction.qubits and not t.instruction.is_barrier
+        ]
+        return tuple(sorted(ops, key=lambda t: (t.start, t.index)))
+
+    def qubit_lifetime(self, qubit: int) -> float:
+        """Elapsed time from the qubit's first operation to its last end.
+
+        This is the paper's lifetime ``q.t`` (constraint 9): decoherence on
+        IBM systems only starts once the first gate is applied.
+        """
+        timeline = self.qubit_timeline(qubit)
+        if not timeline:
+            return 0.0
+        return max(t.end for t in timeline) - min(t.start for t in timeline)
+
+    def idle_windows(self, qubit: int) -> Tuple[Tuple[float, float], ...]:
+        """Gaps between consecutive operations on ``qubit``.
+
+        These are the windows in which decoherence noise is applied by the
+        executor.
+        """
+        timeline = self.qubit_timeline(qubit)
+        windows = []
+        for prev, nxt in zip(timeline, timeline[1:]):
+            if nxt.start > prev.end + _EPS:
+                windows.append((prev.end, nxt.start))
+        return tuple(windows)
+
+    # ------------------------------------------------------------------
+    def two_qubit_ops(self) -> Tuple[TimedInstruction, ...]:
+        return tuple(t for t in self._timed if t.instruction.is_two_qubit)
+
+    def overlapping_two_qubit_pairs(self) -> Tuple[Tuple[int, int], ...]:
+        """Index pairs of two-qubit gates that overlap in time."""
+        ops = self.two_qubit_ops()
+        pairs = []
+        for i, a in enumerate(ops):
+            for b in ops[i + 1:]:
+                if a.overlaps(b):
+                    pairs.append((a.index, b.index))
+        return tuple(pairs)
+
+    def simultaneous_partners(self, index: int) -> Tuple[TimedInstruction, ...]:
+        """Two-qubit gates overlapping the two-qubit gate at ``index``."""
+        target = self._timed[index]
+        if not target.instruction.is_two_qubit:
+            raise ValueError("overlap analysis applies to two-qubit gates")
+        return tuple(
+            t for t in self.two_qubit_ops()
+            if t.index != index and t.overlaps(target)
+        )
+
+    def validate_dependencies(self, dag) -> bool:
+        """Check every DAG edge is respected (predecessor ends before
+        successor starts, up to float slack)."""
+        for u, v in dag.graph.edges:
+            if self._timed[u].end > self._timed[v].start + _EPS:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    def format(self, qubits: Optional[Iterable[int]] = None) -> str:
+        """Per-qubit timeline rendering for humans (Figure 6 style)."""
+        show = sorted(qubits) if qubits is not None else sorted(
+            self.circuit.active_qubits()
+        )
+        lines = [f"schedule of {self.circuit.name}: makespan {self.makespan():.0f} ns"]
+        for q in show:
+            entries = ", ".join(
+                f"{t.instruction.name}{t.instruction.qubits}@{t.start:.0f}"
+                for t in self.qubit_timeline(q)
+            )
+            lines.append(f"  q{q}: {entries}")
+        return "\n".join(lines)
+
+    def shifted(self, offset: float) -> "Schedule":
+        """A copy with every start time shifted by ``offset``."""
+        return Schedule(
+            self.circuit, self.durations,
+            [t.start + offset for t in self._timed],
+        )
+
+    def gantt(self, qubits: Optional[Iterable[int]] = None,
+              width: int = 72) -> str:
+        """ASCII Gantt chart of the schedule (Figure 6 style).
+
+        One row per qubit; ``#`` spans two-qubit gates, ``=`` single-qubit
+        gates, ``M`` measurements, ``.`` idle time inside the qubit's
+        lifetime.
+        """
+        show = sorted(qubits) if qubits is not None else sorted(
+            self.circuit.active_qubits()
+        )
+        span = max(self.makespan(), 1e-9)
+        scale = (width - 1) / span
+
+        def col(t: float) -> int:
+            return min(width - 1, int(t * scale))
+
+        lines = [f"0 ns {'-' * (width - 12)} {span:.0f} ns"]
+        for q in show:
+            row = [" "] * width
+            timeline = self.qubit_timeline(q)
+            if timeline:
+                first = col(min(t.start for t in timeline))
+                last = col(max(t.end for t in timeline))
+                for i in range(first, last + 1):
+                    row[i] = "."
+            for t in timeline:
+                if t.instruction.is_measure:
+                    mark = "M"
+                elif t.instruction.is_two_qubit:
+                    mark = "#"
+                else:
+                    mark = "="
+                for i in range(col(t.start), max(col(t.end), col(t.start) + 1)):
+                    row[i] = mark
+            lines.append(f"q{q:<3d} {''.join(row)}")
+        return "\n".join(lines)

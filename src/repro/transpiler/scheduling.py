@@ -1,0 +1,127 @@
+"""Baseline schedulers and the IBMQ hardware-timing model.
+
+Three timing policies appear in the paper (Table 1):
+
+* ``SerialSched`` — every instruction strictly after the previous one;
+* ``ParSched`` — maximum parallelism.  On IBM hardware this is additionally
+  *right-aligned*: readout of all qubits happens simultaneously at the end,
+  and every gate is pushed as late as its dependencies allow (Figure 1c).
+  :func:`hardware_schedule` implements exactly this and is what the noisy
+  backend uses to time any submitted circuit — including circuits that
+  XtalkSched has post-processed with barriers;
+* ``XtalkSched`` — lives in :mod:`repro.core.scheduling`; its output is
+  enforced through barriers and then timed by the same hardware model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.dag import CircuitDag
+from repro.device.calibration import GateDurations
+from repro.transpiler.schedule import Schedule
+
+
+def asap_schedule(circuit: QuantumCircuit, durations: GateDurations,
+                  dag: Optional[CircuitDag] = None) -> Schedule:
+    """As-soon-as-possible schedule respecting the dependency DAG."""
+    dag = dag or CircuitDag(circuit)
+    start = [0.0] * len(circuit)
+    for idx in dag.topological_order():
+        preds = dag.predecessors(idx)
+        if preds:
+            start[idx] = max(
+                start[p] + durations.of(circuit[p]) for p in preds
+            )
+    return Schedule(circuit, durations, start)
+
+
+def alap_schedule(circuit: QuantumCircuit, durations: GateDurations,
+                  dag: Optional[CircuitDag] = None,
+                  align_measurements: bool = True) -> Schedule:
+    """As-late-as-possible (right-aligned) schedule.
+
+    With ``align_measurements`` (the IBMQ behaviour), all measure operations
+    start simultaneously at the common readout time, and every other gate is
+    pushed right against its earliest successor.  The overall makespan is
+    the ASAP makespan — right alignment never stretches the program.
+    """
+    dag = dag or CircuitDag(circuit)
+    asap = asap_schedule(circuit, durations, dag)
+
+    measure_indices = [i for i, ins in enumerate(circuit) if ins.is_measure]
+    if align_measurements and measure_indices:
+        readout_start = max(asap[i].start for i in measure_indices)
+        horizon = readout_start
+    else:
+        readout_start = None
+        horizon = asap.makespan()
+
+    start = [0.0] * len(circuit)
+    for idx in reversed(dag.topological_order()):
+        instr = circuit[idx]
+        dur = durations.of(instr)
+        if instr.is_measure and readout_start is not None:
+            start[idx] = readout_start
+            continue
+        succs = dag.successors(idx)
+        if succs:
+            start[idx] = min(start[s] for s in succs) - dur
+        else:
+            start[idx] = horizon - dur
+    # Barriers may land at negative times when a barrier has no
+    # predecessors; clamp directives (they are zero-duration markers).
+    for idx, instr in enumerate(circuit):
+        if instr.is_directive and start[idx] < 0.0:
+            start[idx] = 0.0
+    shift = -min(start) if min(start) < 0.0 else 0.0
+    return Schedule(circuit, durations, [s + shift for s in start])
+
+
+def serial_schedule(circuit: QuantumCircuit, durations: GateDurations) -> Schedule:
+    """Fully serialized schedule (``SerialSched``).
+
+    Every non-measure instruction runs strictly after the previous one in
+    program order; all measurements then fire simultaneously (the hardware
+    performs readout of every qubit at once).
+    """
+    start = [0.0] * len(circuit)
+    clock = 0.0
+    for idx, instr in enumerate(circuit):
+        if instr.is_measure:
+            continue
+        start[idx] = clock
+        clock += durations.of(instr)
+    for idx, instr in enumerate(circuit):
+        if instr.is_measure:
+            start[idx] = clock
+    return Schedule(circuit, durations, start)
+
+
+def hardware_schedule(circuit: QuantumCircuit, durations: GateDurations) -> Schedule:
+    """How IBMQ control hardware times a submitted circuit.
+
+    Maximum parallelism, right alignment, simultaneous readout — i.e. the
+    ParSched policy — while honouring any barriers present in the circuit.
+    This single entry point is used by the noisy backend for *every*
+    scheduler: the baselines and XtalkSched differ only in the barriers
+    they insert (and, for SerialSched, in barriers after each gate).
+    """
+    return alap_schedule(circuit, durations, align_measurements=True)
+
+
+def fully_barriered(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Insert a global barrier after every instruction (``SerialSched``'s
+    circuit-level encoding)."""
+    out = QuantumCircuit(circuit.num_qubits, circuit.num_clbits,
+                         f"{circuit.name}_serial")
+    pending_measures = [ins for ins in circuit if ins.is_measure]
+    for instr in circuit:
+        if instr.is_barrier or instr.is_measure:
+            continue
+        out.append(instr)
+        out.barrier()
+    for instr in pending_measures:
+        out.append(instr)
+    return out

@@ -1,0 +1,272 @@
+"""Dependency-free SVG rendering of device maps and schedules.
+
+Two renderers, both emitting standalone SVG text (no matplotlib):
+
+* :func:`device_map_svg` — the coupling graph with high-crosstalk pairs
+  drawn as red dashed arcs between edge midpoints: Figure 3 as an actual
+  figure;
+* :func:`schedule_svg` — a Gantt chart of a timed schedule: Figure 6 as an
+  actual figure (one lane per qubit, two-qubit gates spanning both lanes).
+
+The benchmark harness archives these next to the text tables.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.device.device import Device
+from repro.device.topology import Edge
+from repro.transpiler.schedule import Schedule
+
+_GRID_COLS = 5
+
+
+def _qubit_position(qubit: int, spacing: float = 90.0,
+                    margin: float = 50.0) -> Tuple[float, float]:
+    row, col = divmod(qubit, _GRID_COLS)
+    return margin + col * spacing, margin + row * spacing
+
+
+def device_map_svg(device: Device,
+                   high_pairs: Optional[Iterable[FrozenSet[Edge]]] = None,
+                   title: Optional[str] = None) -> str:
+    """Render a 20-qubit grid device with crosstalk pairs highlighted.
+
+    ``high_pairs`` defaults to the device's planted ground truth; pass a
+    report's ``high_pairs()`` to draw what characterization measured.
+    """
+    pairs = list(high_pairs) if high_pairs is not None else \
+        list(device.true_high_pairs())
+    title = title or device.name
+    width = 2 * 50 + (_GRID_COLS - 1) * 90
+    rows = (device.num_qubits + _GRID_COLS - 1) // _GRID_COLS
+    height = 2 * 50 + (rows - 1) * 90 + 30
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<text x="{width / 2}" y="20" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="14">{html.escape(title)}</text>',
+    ]
+
+    # coupling edges
+    for a, b in device.coupling.edges:
+        xa, ya = _qubit_position(a)
+        xb, yb = _qubit_position(b)
+        parts.append(
+            f'<line x1="{xa}" y1="{ya}" x2="{xb}" y2="{yb}" '
+            f'stroke="#888" stroke-width="2"/>'
+        )
+
+    # crosstalk arcs between edge midpoints
+    for pair in pairs:
+        (a1, b1), (a2, b2) = sorted(pair)
+        x1 = sum(_qubit_position(q)[0] for q in (a1, b1)) / 2
+        y1 = sum(_qubit_position(q)[1] for q in (a1, b1)) / 2
+        x2 = sum(_qubit_position(q)[0] for q in (a2, b2)) / 2
+        y2 = sum(_qubit_position(q)[1] for q in (a2, b2)) / 2
+        cx, cy = (x1 + x2) / 2 + 14, (y1 + y2) / 2 - 14
+        parts.append(
+            f'<path d="M {x1} {y1} Q {cx} {cy} {x2} {y2}" fill="none" '
+            f'stroke="#c0392b" stroke-width="2.5" stroke-dasharray="6,4"/>'
+        )
+
+    # qubit nodes
+    for q in range(device.num_qubits):
+        x, y = _qubit_position(q)
+        parts.append(
+            f'<circle cx="{x}" cy="{y}" r="14" fill="#f4f4f4" '
+            f'stroke="#333" stroke-width="1.5"/>'
+        )
+        parts.append(
+            f'<text x="{x}" y="{y + 4}" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="11">{q}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+_SERIES_COLORS = ("#2e6fb7", "#c0392b", "#7fb77e", "#b08948",
+                  "#8e44ad", "#16a085", "#d35400", "#2c3e50")
+
+
+def line_chart_svg(series: Dict[str, Sequence[Tuple[float, float]]],
+                   title: str = "", x_label: str = "", y_label: str = "",
+                   width: float = 640.0, height: float = 400.0) -> str:
+    """A multi-series line chart (Figure 4 / Figure 8 style).
+
+    ``series`` maps a legend label to its (x, y) points.  Axes are linear
+    with padded auto-ranges; the legend renders in the top-right corner.
+    """
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        raise ValueError("no data")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    pad = (y_hi - y_lo) * 0.1 or max(abs(y_hi), 1e-6) * 0.1
+    y_lo, y_hi = y_lo - pad, y_hi + pad
+
+    left, right, top, bottom = 60.0, 16.0, 34.0, 44.0
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+
+    def px(x: float) -> float:
+        return left + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def py(y: float) -> float:
+        return top + (1.0 - (y - y_lo) / (y_hi - y_lo)) * plot_h
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}">',
+        f'<text x="{width / 2:.0f}" y="18" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="13">{html.escape(title)}</text>',
+        f'<rect x="{left}" y="{top}" width="{plot_w:.1f}" '
+        f'height="{plot_h:.1f}" fill="none" stroke="#999"/>',
+    ]
+    # axis ticks (5 per axis)
+    for i in range(5):
+        xv = x_lo + (x_hi - x_lo) * i / 4
+        yv = y_lo + (y_hi - y_lo) * i / 4
+        parts.append(
+            f'<text x="{px(xv):.1f}" y="{height - 26:.0f}" '
+            f'text-anchor="middle" font-family="sans-serif" '
+            f'font-size="10">{xv:.2g}</text>'
+        )
+        parts.append(
+            f'<text x="{left - 6:.0f}" y="{py(yv) + 3:.1f}" '
+            f'text-anchor="end" font-family="sans-serif" '
+            f'font-size="10">{yv:.3g}</text>'
+        )
+    if x_label:
+        parts.append(
+            f'<text x="{left + plot_w / 2:.0f}" y="{height - 8:.0f}" '
+            f'text-anchor="middle" font-family="sans-serif" '
+            f'font-size="11">{html.escape(x_label)}</text>'
+        )
+    if y_label:
+        parts.append(
+            f'<text x="14" y="{top + plot_h / 2:.0f}" text-anchor="middle" '
+            f'transform="rotate(-90 14 {top + plot_h / 2:.0f})" '
+            f'font-family="sans-serif" font-size="11">'
+            f'{html.escape(y_label)}</text>'
+        )
+    for idx, (label, pts) in enumerate(series.items()):
+        color = _SERIES_COLORS[idx % len(_SERIES_COLORS)]
+        path = " ".join(
+            f"{'M' if i == 0 else 'L'} {px(x):.1f} {py(y):.1f}"
+            for i, (x, y) in enumerate(sorted(pts))
+        )
+        parts.append(
+            f'<path d="{path}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>'
+        )
+        for x, y in pts:
+            parts.append(
+                f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="3" '
+                f'fill="{color}"/>'
+            )
+        ly = top + 14 + idx * 15
+        parts.append(
+            f'<rect x="{width - right - 160:.0f}" y="{ly - 9:.0f}" '
+            f'width="10" height="10" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{width - right - 146:.0f}" y="{ly:.0f}" '
+            f'font-family="sans-serif" font-size="10">'
+            f'{html.escape(label)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+_LANE_HEIGHT = 26.0
+_LEFT_GUTTER = 52.0
+
+_COLORS = {
+    "two_qubit": "#2e6fb7",
+    "single_qubit": "#7fb77e",
+    "measure": "#b08948",
+}
+
+
+def schedule_svg(schedule: Schedule,
+                 qubits: Optional[Sequence[int]] = None,
+                 width: float = 760.0,
+                 title: Optional[str] = None) -> str:
+    """Render a timed schedule as an SVG Gantt chart."""
+    show = sorted(qubits) if qubits is not None else sorted(
+        schedule.circuit.active_qubits()
+    )
+    span = max(schedule.makespan(), 1e-9)
+    scale = (width - _LEFT_GUTTER - 12) / span
+    lane_of = {q: i for i, q in enumerate(show)}
+    height = 40 + len(show) * _LANE_HEIGHT + 20
+    title = title or schedule.circuit.name
+
+    def x_of(t: float) -> float:
+        return _LEFT_GUTTER + t * scale
+
+    def y_of(q: int) -> float:
+        return 36 + lane_of[q] * _LANE_HEIGHT
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}">',
+        f'<text x="{width / 2:.0f}" y="16" text-anchor="middle" '
+        f'font-family="sans-serif" font-size="13">{html.escape(title)} '
+        f'({span:.0f} ns)</text>',
+    ]
+    for q in show:
+        y = y_of(q)
+        parts.append(
+            f'<text x="8" y="{y + 15:.1f}" font-family="monospace" '
+            f'font-size="11">q{q}</text>'
+        )
+        parts.append(
+            f'<line x1="{_LEFT_GUTTER}" y1="{y + _LANE_HEIGHT - 4:.1f}" '
+            f'x2="{width - 10:.0f}" y2="{y + _LANE_HEIGHT - 4:.1f}" '
+            f'stroke="#eee"/>'
+        )
+
+    for op in sorted(schedule, key=lambda t: t.start):
+        instr = op.instruction
+        if instr.is_barrier or not all(q in lane_of for q in instr.qubits):
+            continue
+        if instr.is_measure:
+            color = _COLORS["measure"]
+        elif instr.is_two_qubit:
+            color = _COLORS["two_qubit"]
+        else:
+            color = _COLORS["single_qubit"]
+        x = x_of(op.start)
+        w = max(op.duration * scale, 2.0)
+        lanes = [y_of(q) for q in instr.qubits]
+        if instr.is_two_qubit:
+            top, bottom = min(lanes), max(lanes)
+            parts.append(
+                f'<rect x="{x:.1f}" y="{top + 2:.1f}" width="{w:.1f}" '
+                f'height="{bottom - top + _LANE_HEIGHT - 8:.1f}" '
+                f'fill="{color}" fill-opacity="0.75" rx="3"/>'
+            )
+        else:
+            y = lanes[0]
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y + 2:.1f}" width="{w:.1f}" '
+                f'height="{_LANE_HEIGHT - 8:.1f}" fill="{color}" '
+                f'fill-opacity="0.85" rx="3"/>'
+            )
+        label = instr.name
+        parts.append(
+            f'<text x="{x + 2:.1f}" y="{min(lanes) + 15:.1f}" '
+            f'font-family="monospace" font-size="9" fill="#fff">'
+            f'{html.escape(label)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,34 @@
+"""Benchmark workloads of the paper's evaluation (Section 8.3).
+
+* :mod:`repro.workloads.swap` — meet-in-the-middle SWAP circuits preparing
+  a Bell state (the communication primitive study of Figures 5–7);
+* :mod:`repro.workloads.qaoa` — the 4-qubit, 43-gate hardware-efficient
+  QAOA ansatz (Figure 8);
+* :mod:`repro.workloads.hidden_shift` — Hidden Shift circuits with the
+  optional redundant-CNOT susceptibility knob (Figure 9);
+* :mod:`repro.workloads.supremacy` — random quantum-supremacy-style
+  circuits for the compile-time scalability study (Section 9.4).
+"""
+
+from repro.workloads.swap import (
+    SwapBenchmark,
+    swap_benchmark,
+    crosstalk_affected_endpoints,
+    crosstalk_free_endpoints,
+)
+from repro.workloads.qaoa import qaoa_ansatz, qaoa_on_region, QAOA_REGIONS
+from repro.workloads.hidden_shift import hidden_shift_circuit, hidden_shift_on_region
+from repro.workloads.supremacy import supremacy_circuit
+
+__all__ = [
+    "SwapBenchmark",
+    "swap_benchmark",
+    "crosstalk_affected_endpoints",
+    "crosstalk_free_endpoints",
+    "qaoa_ansatz",
+    "qaoa_on_region",
+    "QAOA_REGIONS",
+    "hidden_shift_circuit",
+    "hidden_shift_on_region",
+    "supremacy_circuit",
+]

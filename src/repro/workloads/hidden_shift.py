@@ -1,0 +1,89 @@
+"""Hidden Shift circuits (Figure 9's ω-sensitivity study).
+
+For the Maiorana–McFarland bent function ``f(x) = x0·x1 ⊕ x2·x3`` (its own
+dual), the Hidden Shift algorithm recovers a secret shift ``s`` with the
+circuit::
+
+    H^4 · X^s · O_f · X^s · H^4 · O_f · H^4   ->   measure = s
+
+where the phase oracle ``O_f`` is CZ(0,1)·CZ(2,3), realized as
+H(b)·CX(a,b)·H(b) on hardware — two layers of two parallel CNOTs, matching
+the paper's description.  The expected output is the single bitstring
+``s``, so the error rate is the fraction of trials that miss it.
+
+The ``redundant`` knob replaces each CNOT with three (the first two cancel
+logically but still radiate crosstalk), making the benchmark maximally
+susceptible to crosstalk noise — the paper's Figure 9b variant.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.device.topology import CouplingMap
+
+#: CZ pairs of the inner-product oracle on the 4-qubit line.
+_ORACLE_PAIRS: Tuple[Tuple[int, int], ...] = ((0, 1), (2, 3))
+
+
+def _oracle(circ: QuantumCircuit, redundant: bool) -> None:
+    """Apply O_f = CZ(0,1) CZ(2,3) in the CNOT basis."""
+    copies = 3 if redundant else 1
+    for a, b in _ORACLE_PAIRS:
+        circ.h(b)
+        for copy in range(copies):
+            circ.cx(a, b, label="redundant" if redundant and copy < copies - 1 else None)
+        circ.h(b)
+
+
+def hidden_shift_circuit(shift: str = "1010", redundant: bool = False) -> QuantumCircuit:
+    """The logical 4-qubit Hidden Shift circuit for ``shift``."""
+    if len(shift) != 4 or any(c not in "01" for c in shift):
+        raise ValueError("shift must be a 4-character bitstring")
+    circ = QuantumCircuit(4, name=f"hs_{shift}{'_red' if redundant else ''}")
+    for q in range(4):
+        circ.h(q)
+    # shift[0] is qubit 0 (bitstring convention: clbit 0 rightmost when
+    # formatted, but the shift argument here is qubit-ordered left to right).
+    shifted = [q for q in range(4) if shift[q] == "1"]
+    for q in shifted:
+        circ.x(q)
+    _oracle(circ, redundant)
+    for q in shifted:
+        circ.x(q)
+    for q in range(4):
+        circ.h(q)
+    _oracle(circ, redundant)
+    for q in range(4):
+        circ.h(q)
+    return circ
+
+
+def expected_output(shift: str) -> str:
+    """The measured bitstring (clbit 0 rightmost) for a given shift."""
+    return shift[::-1]
+
+
+def hidden_shift_on_region(coupling: CouplingMap, region: Sequence[int],
+                           shift: str = "1010",
+                           redundant: bool = False) -> QuantumCircuit:
+    """Place the Hidden Shift circuit on a 4-qubit device path.
+
+    The oracle pairs (0,1) and (2,3) land on the path's outer edges — on
+    crosstalk-prone regions those are exactly the interfering gate pairs.
+    Measures region qubit ``i`` into clbit ``i``.
+    """
+    region = list(region)
+    if len(region) != 4:
+        raise ValueError("hidden shift needs a 4-qubit region")
+    for a, b in zip(region, region[1:]):
+        if not coupling.has_edge(a, b):
+            raise ValueError(f"region {region} is not a path: ({a},{b}) missing")
+    logical = hidden_shift_circuit(shift, redundant)
+    placed = logical.remap(region, num_qubits=coupling.num_qubits)
+    placed.num_clbits = 4
+    for i, q in enumerate(region):
+        placed.measure(q, i)
+    placed.name = f"{logical.name}_on_{'_'.join(map(str, region))}"
+    return placed

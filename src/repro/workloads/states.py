@@ -1,0 +1,93 @@
+"""Additional library workloads: GHZ chains and Bernstein–Vazirani.
+
+Not part of the paper's evaluation, but standard NISQ benchmarks that
+exercise the same pipeline (both are communication-light circuits whose
+CNOT layers can straddle crosstalk-prone edges when placed on device
+paths).  Used by examples and by the extended test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.device.topology import CouplingMap
+
+
+def ghz_chain_circuit(num_qubits: int) -> QuantumCircuit:
+    """GHZ preparation along a line: H then a CNOT chain.
+
+    Noiseless output distribution: half |0...0>, half |1...1>.
+    """
+    if num_qubits < 2:
+        raise ValueError("GHZ needs at least two qubits")
+    circ = QuantumCircuit(num_qubits, name=f"ghz_{num_qubits}")
+    circ.h(0)
+    for q in range(num_qubits - 1):
+        circ.cx(q, q + 1)
+    return circ
+
+
+def ghz_on_region(coupling: CouplingMap, region: Sequence[int]) -> QuantumCircuit:
+    """GHZ chain placed on a device path, measured into clbits 0..k-1."""
+    region = list(region)
+    for a, b in zip(region, region[1:]):
+        if not coupling.has_edge(a, b):
+            raise ValueError(f"region {region} is not a path: ({a},{b}) missing")
+    placed = ghz_chain_circuit(len(region)).remap(
+        region, num_qubits=coupling.num_qubits
+    )
+    placed.num_clbits = len(region)
+    for i, q in enumerate(region):
+        placed.measure(q, i)
+    placed.name = f"ghz_on_{'_'.join(map(str, region))}"
+    return placed
+
+
+def bernstein_vazirani_circuit(secret: str) -> QuantumCircuit:
+    """Bernstein–Vazirani for a secret bitstring over a line.
+
+    Qubit layout: data qubits 0..n-1, oracle ancilla at index n (the last
+    qubit).  Noiseless output over the data qubits is exactly ``secret``.
+    """
+    if not secret or any(c not in "01" for c in secret):
+        raise ValueError("secret must be a non-empty bitstring")
+    n = len(secret)
+    circ = QuantumCircuit(n + 1, name=f"bv_{secret}")
+    circ.x(n)
+    for q in range(n + 1):
+        circ.h(q)
+    for q, bit in enumerate(secret):
+        if bit == "1":
+            circ.cx(q, n)
+    for q in range(n):
+        circ.h(q)
+    return circ
+
+
+def bv_expected_output(secret: str) -> str:
+    """Measured bitstring (clbit 0 rightmost) for the data qubits."""
+    return secret[::-1]
+
+
+def bv_on_region(coupling: CouplingMap, region: Sequence[int],
+                 secret: str) -> QuantumCircuit:
+    """Bernstein–Vazirani on a device path; the ancilla takes the last
+    region qubit, data qubits measure into clbits 0..n-1.
+
+    Requires every data qubit adjacent to the ancilla or routed; for
+    simplicity this helper only accepts regions where the oracle CNOTs are
+    hardware-compliant after greedy routing.
+    """
+    from repro.transpiler.routing import route_circuit
+
+    region = list(region)
+    if len(region) != len(secret) + 1:
+        raise ValueError("region must have len(secret)+1 qubits")
+    logical = bernstein_vazirani_circuit(secret)
+    routed, layout = route_circuit(logical, coupling, initial_layout=region)
+    routed.num_clbits = len(secret)
+    for logical_q in range(len(secret)):
+        routed.measure(layout[logical_q], logical_q)
+    routed.name = f"{logical.name}_on_{'_'.join(map(str, region))}"
+    return routed

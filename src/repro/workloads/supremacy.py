@@ -1,0 +1,74 @@
+"""Random quantum-supremacy-style circuits (Section 9.4 scalability study).
+
+These circuits follow the structure of Markov et al. [35]: alternating
+layers of random single-qubit gates and CNOTs on randomly chosen disjoint
+coupling edges.  They are classically hard to simulate at scale, but the
+scalability study only *compiles* them — the interesting quantity is
+XtalkSched's solve time as the gate count grows (6–18 qubits, 100–1000
+gates, depth ~40 in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.device.topology import CouplingMap
+
+_SINGLE_QUBIT_POOL = ("h", "t", "sx")
+
+
+def supremacy_circuit(coupling: CouplingMap, qubits: Sequence[int],
+                      num_gates: int, seed: int = 0,
+                      two_qubit_fraction: float = 0.35) -> QuantumCircuit:
+    """A random circuit with ~``num_gates`` gates on the given qubits.
+
+    Layers alternate: every layer applies a random single-qubit gate to
+    each idle qubit, then CNOTs on a random maximal set of disjoint edges
+    within the qubit subset.  Generation stops once ``num_gates`` is
+    reached.
+    """
+    qubits = list(qubits)
+    if len(qubits) < 2:
+        raise ValueError("need at least two qubits")
+    subset = set(qubits)
+    edges = [e for e in coupling.edges if e[0] in subset and e[1] in subset]
+    if not edges:
+        raise ValueError("qubit subset induces no coupling edges")
+    rng = np.random.default_rng(seed)
+    circ = QuantumCircuit(coupling.num_qubits, name=f"supremacy_{len(qubits)}q_{num_gates}g")
+
+    while len(circ) < num_gates:
+        # Random disjoint CNOT layer.
+        order = rng.permutation(len(edges))
+        used: set = set()
+        layer_edges = []
+        for k in order:
+            a, b = edges[k]
+            if a in used or b in used:
+                continue
+            if rng.random() > two_qubit_fraction * 2:
+                continue
+            layer_edges.append((a, b))
+            used.update((a, b))
+        for a, b in layer_edges:
+            if len(circ) >= num_gates:
+                break
+            if rng.random() < 0.5:
+                circ.cx(a, b)
+            else:
+                circ.cx(b, a)
+        # Single-qubit layer on the rest.
+        for q in qubits:
+            if len(circ) >= num_gates:
+                break
+            if q in used:
+                continue
+            name = _SINGLE_QUBIT_POOL[rng.integers(len(_SINGLE_QUBIT_POOL))]
+            circ.add(name, q)
+    circ.num_clbits = len(qubits)
+    for i, q in enumerate(qubits):
+        circ.measure(q, i)
+    return circ

@@ -1,0 +1,149 @@
+"""SWAP-circuit benchmarks (Figures 5–7).
+
+A SWAP benchmark between qubits ``(source, dest)`` prepares a Bell pair,
+moves the two halves together with meet-in-the-middle SWAP chains, and
+entangles them where they meet; tomography of the meeting qubits then
+scores the schedule.  The two SWAP chains are logically independent, so
+ParSched overlaps them — which is exactly where crosstalk strikes when the
+chains pass near each other.
+
+``crosstalk_affected_endpoints`` enumerates the endpoint pairs whose chains
+can overlap on a high-crosstalk gate pair (the paper's 46 circuits across
+three devices); ``crosstalk_free_endpoints`` finds same-length paths that
+avoid all of them (the Figure 7 ideal baseline).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.device.topology import CouplingMap, Edge, normalize_edge
+from repro.transpiler.decompose import decompose_to_basis
+from repro.transpiler.routing import MeetInMiddlePlan, meet_in_middle_plan, swap_path_circuit
+
+
+@dataclass(frozen=True)
+class SwapBenchmark:
+    """One prepared SWAP benchmark circuit plus its metadata."""
+
+    source: int
+    dest: int
+    circuit: QuantumCircuit          # decomposed to CNOTs, with measurements
+    meeting_pair: Tuple[int, int]    # qubits holding the Bell state
+    plan: MeetInMiddlePlan
+
+    @property
+    def path_length(self) -> int:
+        return len(self.plan.path) - 1
+
+    @property
+    def label(self) -> str:
+        return f"{self.source},{self.dest}"
+
+
+def swap_benchmark(coupling: CouplingMap, source: int, dest: int,
+                   path: Optional[Sequence[int]] = None) -> SwapBenchmark:
+    """Build the measured, basis-decomposed SWAP benchmark circuit."""
+    plan = meet_in_middle_plan(coupling, source, dest, path=path)
+    circ = decompose_to_basis(swap_path_circuit(coupling, source, dest, path=path))
+    circ.num_clbits = 2
+    qa, qb = plan.cnot
+    circ.measure(qa, 0)
+    circ.measure(qb, 1)
+    return SwapBenchmark(source, dest, circ, (qa, qb), plan)
+
+
+# ----------------------------------------------------------------------
+# endpoint selection
+# ----------------------------------------------------------------------
+def _chain_edges(swaps: Sequence[Tuple[int, int]]) -> Tuple[Edge, ...]:
+    return tuple(normalize_edge(s) for s in swaps)
+
+
+def plan_has_crosstalk(plan: MeetInMiddlePlan,
+                       high_pairs: Iterable[FrozenSet[Edge]]) -> bool:
+    """True when the two (parallelizable) SWAP chains can overlap on a
+    high-crosstalk pair.
+
+    The left chain, right chain, and final CNOT partition the plan's gates;
+    left and right chains are mutually independent, and the final CNOT
+    depends on both, so only left-vs-right overlaps occur under ParSched.
+    """
+    left = set(_chain_edges(plan.left_swaps))
+    right = set(_chain_edges(plan.right_swaps))
+    for pair in high_pairs:
+        a, b = tuple(pair)
+        if (a in left and b in right) or (b in left and a in right):
+            return True
+    return False
+
+
+def path_touches_crosstalk(plan: MeetInMiddlePlan,
+                           high_pairs: Iterable[FrozenSet[Edge]]) -> bool:
+    """True when *any* edge of the path belongs to a high-crosstalk pair.
+
+    Stricter than :func:`plan_has_crosstalk`; used to pick genuinely clean
+    paths for the Figure 7 crosstalk-free baseline.
+    """
+    edges = set(_chain_edges(plan.left_swaps)) | set(_chain_edges(plan.right_swaps))
+    edges.add(normalize_edge(plan.cnot))
+    members = {e for pair in high_pairs for e in pair}
+    return bool(edges & members)
+
+
+def crosstalk_affected_endpoints(coupling: CouplingMap,
+                                 high_pairs: Iterable[FrozenSet[Edge]],
+                                 max_path_length: int = 8
+                                 ) -> List[Tuple[int, int]]:
+    """Endpoint pairs with *some* shortest SWAP route whose chains overlap
+    a high-crosstalk pair.
+
+    The paper's SWAP study deliberately selects circuits that pass through
+    crosstalk-prone regions (46 such circuits across the three devices), so
+    all shortest routes are considered, not just the router's default one.
+    Use :func:`crosstalk_route` to obtain the crossing route itself.
+    """
+    return [
+        (s, d)
+        for s, d in itertools.combinations(range(coupling.num_qubits), 2)
+        if crosstalk_route(coupling, s, d, high_pairs, max_path_length) is not None
+    ]
+
+
+def crosstalk_route(coupling: CouplingMap, source: int, dest: int,
+                    high_pairs: Iterable[FrozenSet[Edge]],
+                    max_path_length: int = 8) -> Optional[Tuple[int, ...]]:
+    """A shortest path whose meet-in-the-middle plan crosses a high pair.
+
+    Returns None when no shortest route between the endpoints does (or the
+    path is too short for two parallel chains / too long for the study).
+    """
+    import networkx as nx
+
+    high_pairs = list(high_pairs)
+    distance = coupling.qubit_distance(source, dest)
+    if distance < 3 or distance > max_path_length:
+        return None
+    for path in sorted(nx.all_shortest_paths(coupling.graph, source, dest)):
+        plan = meet_in_middle_plan(coupling, source, dest, path=path)
+        if plan_has_crosstalk(plan, high_pairs):
+            return tuple(path)
+    return None
+
+
+def crosstalk_free_endpoints(coupling: CouplingMap,
+                             high_pairs: Iterable[FrozenSet[Edge]],
+                             path_length: int) -> List[Tuple[int, int]]:
+    """Endpoint pairs at ``path_length`` hops avoiding all high pairs."""
+    high_pairs = list(high_pairs)
+    out = []
+    for s, d in itertools.combinations(range(coupling.num_qubits), 2):
+        if coupling.qubit_distance(s, d) != path_length:
+            continue
+        plan = meet_in_middle_plan(coupling, s, d)
+        if not path_touches_crosstalk(plan, high_pairs):
+            out.append((s, d))
+    return out

@@ -1,0 +1,141 @@
+"""Unit tests for the QuantumCircuit container."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit, bell_pair_circuit
+from repro.circuit.gates import Instruction
+from repro.sim.statevector import simulate_statevector
+
+
+class TestConstruction:
+    def test_empty_circuit(self):
+        circ = QuantumCircuit(3)
+        assert len(circ) == 0
+        assert circ.num_qubits == 3
+        assert circ.depth() == 0
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(0)
+        with pytest.raises(ValueError):
+            QuantumCircuit(2, num_clbits=-1)
+
+    def test_builder_chaining(self):
+        circ = QuantumCircuit(2).h(0).cx(0, 1).x(1)
+        assert [i.name for i in circ] == ["h", "cx", "x"]
+
+    def test_out_of_range_qubit_rejected(self):
+        circ = QuantumCircuit(2)
+        with pytest.raises(ValueError, match="out of range"):
+            circ.h(2)
+        with pytest.raises(ValueError, match="out of range"):
+            circ.cx(0, 5)
+
+    def test_out_of_range_clbit_rejected(self):
+        circ = QuantumCircuit(2, 1)
+        with pytest.raises(ValueError, match="out of range"):
+            circ.measure(0, 1)
+
+    def test_all_single_qubit_builders(self):
+        circ = QuantumCircuit(1)
+        circ.id(0).x(0).y(0).z(0).h(0).s(0).sdg(0).t(0).tdg(0).sx(0)
+        circ.rx(0.1, 0).ry(0.2, 0).rz(0.3, 0)
+        circ.u1(0.4, 0).u2(0.5, 0.6, 0).u3(0.7, 0.8, 0.9, 0)
+        assert len(circ) == 16
+
+    def test_barrier_defaults_to_all_qubits(self):
+        circ = QuantumCircuit(3).barrier()
+        assert circ[0].qubits == (0, 1, 2)
+
+    def test_measure_all_grows_clbits(self):
+        circ = QuantumCircuit(3).h(0)
+        circ.measure_all()
+        assert circ.num_clbits == 3
+        assert sum(1 for i in circ if i.is_measure) == 3
+
+
+class TestQueries:
+    def test_depth_ignores_barriers(self):
+        circ = QuantumCircuit(2).h(0).barrier().h(0)
+        assert circ.depth() == 2
+
+    def test_depth_parallel_gates(self):
+        circ = QuantumCircuit(4).h(0).h(1).h(2).h(3)
+        assert circ.depth() == 1
+        circ.cx(0, 1).cx(2, 3)
+        assert circ.depth() == 2
+        circ.cx(1, 2)
+        assert circ.depth() == 3
+
+    def test_count_ops(self):
+        circ = QuantumCircuit(2).h(0).h(1).cx(0, 1)
+        assert circ.count_ops() == {"h": 2, "cx": 1}
+
+    def test_two_qubit_gate_count(self):
+        circ = QuantumCircuit(3).h(0).cx(0, 1).swap(1, 2).cz(0, 2)
+        assert circ.two_qubit_gate_count() == 3
+
+    def test_active_qubits_excludes_barrier_only(self):
+        circ = QuantumCircuit(4).h(1).barrier(0, 1, 2, 3).cx(1, 2)
+        assert circ.active_qubits() == (1, 2)
+
+    def test_format_contains_instructions(self):
+        text = QuantumCircuit(2, name="demo").h(0).cx(0, 1).format()
+        assert "demo" in text
+        assert "cx q0, q1" in text
+
+
+class TestWholeCircuitOps:
+    def test_copy_is_independent(self):
+        a = QuantumCircuit(2).h(0)
+        b = a.copy()
+        b.x(1)
+        assert len(a) == 1
+        assert len(b) == 2
+
+    def test_equality(self):
+        assert QuantumCircuit(2).h(0) == QuantumCircuit(2).h(0)
+        assert QuantumCircuit(2).h(0) != QuantumCircuit(2).h(1)
+        assert QuantumCircuit(2) != QuantumCircuit(3)
+
+    def test_compose(self):
+        a = QuantumCircuit(2).h(0)
+        b = QuantumCircuit(2).cx(0, 1)
+        c = a.compose(b)
+        assert [i.name for i in c] == ["h", "cx"]
+        assert len(a) == 1  # original untouched
+
+    def test_compose_size_check(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(2).compose(QuantumCircuit(3))
+
+    def test_inverse_reverses_unitary(self):
+        circ = QuantumCircuit(2).h(0).t(0).cx(0, 1).s(1).u3(0.3, 0.4, 0.5, 0)
+        round_trip = circ.compose(circ.inverse())
+        state = simulate_statevector(round_trip)
+        vec = state.vector
+        assert abs(abs(vec[0]) - 1.0) < 1e-9  # back to |00> up to phase
+
+    def test_remap(self):
+        circ = QuantumCircuit(2).h(0).cx(0, 1)
+        mapped = circ.remap([5, 3], num_qubits=6)
+        assert mapped[0].qubits == (5,)
+        assert mapped[1].qubits == (5, 3)
+        assert mapped.num_qubits == 6
+
+    def test_remap_rejects_non_injective(self):
+        with pytest.raises(ValueError, match="injective"):
+            QuantumCircuit(2).h(0).remap([1, 1])
+
+    def test_remap_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="every circuit qubit"):
+            QuantumCircuit(2).h(0).remap([0])
+
+
+class TestBellPair:
+    def test_bell_pair_state(self):
+        state = simulate_statevector(bell_pair_circuit())
+        expected = np.zeros(4)
+        expected[0] = expected[3] = 1 / np.sqrt(2)
+        assert np.allclose(np.abs(state.vector), expected)

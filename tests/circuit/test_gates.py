@@ -1,0 +1,135 @@
+"""Unit tests for the gate/instruction layer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.gates import (
+    GATE_SPECS,
+    Instruction,
+    gate_spec,
+    inverse_instruction,
+    is_two_qubit_gate,
+)
+from repro.sim.unitaries import gate_unitary
+
+
+class TestGateSpec:
+    def test_known_gates_present(self):
+        for name in ("x", "h", "cx", "swap", "measure", "barrier", "u3"):
+            assert name in GATE_SPECS
+
+    def test_gate_spec_lookup(self):
+        assert gate_spec("cx").num_qubits == 2
+        assert gate_spec("u2").num_params == 2
+        assert gate_spec("barrier").directive
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(KeyError, match="unknown gate"):
+            gate_spec("toffoli")
+
+    def test_is_two_qubit_gate(self):
+        assert is_two_qubit_gate("cx")
+        assert is_two_qubit_gate("swap")
+        assert not is_two_qubit_gate("h")
+        assert not is_two_qubit_gate("barrier")
+        assert not is_two_qubit_gate("nonsense")
+
+    def test_hermitian_flags(self):
+        for name in ("x", "y", "z", "h", "cx", "cz", "swap"):
+            assert gate_spec(name).hermitian
+        for name in ("s", "t", "rx", "u3"):
+            assert not gate_spec(name).hermitian
+
+
+class TestInstruction:
+    def test_basic_construction(self):
+        instr = Instruction("cx", (0, 1))
+        assert instr.is_two_qubit
+        assert not instr.is_barrier
+        assert not instr.is_measure
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="expects 2 qubits"):
+            Instruction("cx", (0,))
+        with pytest.raises(ValueError, match="expects 1 qubits"):
+            Instruction("h", (0, 1))
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Instruction("cx", (3, 3))
+
+    def test_param_count_enforced(self):
+        with pytest.raises(ValueError, match="expects 3 params"):
+            Instruction("u3", (0,), (1.0,))
+        Instruction("u3", (0,), (1.0, 2.0, 3.0))  # ok
+
+    def test_measure_requires_clbit(self):
+        with pytest.raises(ValueError, match="clbit"):
+            Instruction("measure", (0,))
+        instr = Instruction("measure", (0,), clbit=2)
+        assert instr.is_measure
+        assert instr.clbit == 2
+
+    def test_empty_barrier_rejected(self):
+        with pytest.raises(ValueError, match="barrier"):
+            Instruction("barrier", ())
+
+    def test_barrier_spans_any_qubits(self):
+        instr = Instruction("barrier", (0, 3, 7))
+        assert instr.is_barrier
+        assert instr.is_directive
+
+    def test_format(self):
+        assert Instruction("cx", (3, 4)).format() == "cx q3, q4"
+        assert Instruction("measure", (1,), clbit=0).format() == "measure q1 -> c0"
+        assert "rz(1.5)" in Instruction("rz", (0,), (1.5,)).format()
+
+
+class TestInverseInstruction:
+    def _unitary_of(self, instr):
+        return gate_unitary(instr.name, instr.params)
+
+    @pytest.mark.parametrize("name", ["x", "y", "z", "h", "cx", "cz", "swap"])
+    def test_hermitian_gates_self_inverse(self, name):
+        n = gate_spec(name).num_qubits
+        instr = Instruction(name, tuple(range(n)))
+        assert inverse_instruction(instr) == instr
+
+    @pytest.mark.parametrize("name,inv", [("s", "sdg"), ("sdg", "s"),
+                                          ("t", "tdg"), ("tdg", "t")])
+    def test_named_inverses(self, name, inv):
+        assert inverse_instruction(Instruction(name, (0,))).name == inv
+
+    @pytest.mark.parametrize("name", ["rx", "ry", "rz", "u1"])
+    def test_rotation_inverses_negate_angle(self, name):
+        instr = Instruction(name, (0,), (0.7,))
+        inv = inverse_instruction(instr)
+        assert inv.params == (-0.7,)
+        product = self._unitary_of(inv) @ self._unitary_of(instr)
+        assert np.allclose(product, np.eye(2))
+
+    def test_u2_inverse_is_exact(self):
+        instr = Instruction("u2", (0,), (0.3, 1.1))
+        inv = inverse_instruction(instr)
+        product = self._unitary_of(inv) @ self._unitary_of(instr)
+        # Equal up to global phase.
+        phase = product[0, 0]
+        assert abs(abs(phase) - 1.0) < 1e-9
+        assert np.allclose(product, phase * np.eye(2))
+
+    def test_u3_inverse_is_exact(self):
+        instr = Instruction("u3", (0,), (0.4, -0.9, 2.2))
+        inv = inverse_instruction(instr)
+        product = self._unitary_of(inv) @ self._unitary_of(instr)
+        phase = product[0, 0]
+        assert np.allclose(product, phase * np.eye(2))
+
+    def test_measure_has_no_inverse(self):
+        with pytest.raises(ValueError):
+            inverse_instruction(Instruction("measure", (0,), clbit=0))
+
+    def test_barrier_has_no_inverse(self):
+        with pytest.raises(ValueError):
+            inverse_instruction(Instruction("barrier", (0,)))

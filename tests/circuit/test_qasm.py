@@ -1,0 +1,137 @@
+"""Tests for OpenQASM 2.0 serialization."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.qasm import circuit_to_qasm, qasm_to_circuit
+from repro.sim.statevector import simulate_statevector
+
+
+class TestExport:
+    def test_header_and_registers(self):
+        text = circuit_to_qasm(QuantumCircuit(3, 2))
+        assert "OPENQASM 2.0;" in text
+        assert "qreg q[3];" in text
+        assert "creg c[2];" in text
+
+    def test_no_creg_when_no_clbits(self):
+        assert "creg" not in circuit_to_qasm(QuantumCircuit(2))
+
+    def test_gate_rendering(self):
+        circ = QuantumCircuit(2, 1)
+        circ.h(0).cx(0, 1).rz(math.pi / 2, 1).measure(1, 0)
+        circ.barrier(0, 1)
+        text = circuit_to_qasm(circ)
+        assert "h q[0];" in text
+        assert "cx q[0],q[1];" in text
+        assert "rz(pi/2) q[1];" in text
+        assert "measure q[1] -> c[0];" in text
+        assert "barrier q[0],q[1];" in text
+
+    def test_u2_params(self):
+        circ = QuantumCircuit(1).u2(0.0, math.pi, 0)
+        assert "u2(" in circuit_to_qasm(circ)
+
+    def test_delay_rejected(self):
+        circ = QuantumCircuit(1).add("delay", 0, params=(100.0,))
+        with pytest.raises(ValueError):
+            circuit_to_qasm(circ)
+
+
+class TestImport:
+    def test_minimal_program(self):
+        circ = qasm_to_circuit("""
+            OPENQASM 2.0;
+            include "qelib1.inc";
+            qreg q[2];
+            creg c[2];
+            h q[0];
+            cx q[0],q[1];
+            measure q[0] -> c[0];
+            measure q[1] -> c[1];
+        """)
+        assert circ.num_qubits == 2
+        assert [i.name for i in circ] == ["h", "cx", "measure", "measure"]
+
+    def test_comments_stripped(self):
+        circ = qasm_to_circuit("""
+            OPENQASM 2.0;   // header
+            qreg q[1];
+            x q[0];  // flip
+        """)
+        assert circ.count_ops() == {"x": 1}
+
+    def test_pi_arithmetic(self):
+        circ = qasm_to_circuit("""
+            OPENQASM 2.0;
+            qreg q[1];
+            rz(pi/2) q[0];
+            rx(-pi) q[0];
+            ry(3*pi/4) q[0];
+            u1(0.25) q[0];
+        """)
+        assert circ[0].params[0] == pytest.approx(math.pi / 2)
+        assert circ[1].params[0] == pytest.approx(-math.pi)
+        assert circ[2].params[0] == pytest.approx(3 * math.pi / 4)
+        assert circ[3].params[0] == pytest.approx(0.25)
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            qasm_to_circuit("qreg q[2]; h q[0];")
+
+    def test_missing_qreg_rejected(self):
+        with pytest.raises(ValueError, match="qreg"):
+            qasm_to_circuit("OPENQASM 2.0; h q[0];")
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ValueError, match="unsupported gate"):
+            qasm_to_circuit("OPENQASM 2.0; qreg q[3]; ccx q[0],q[1],q[2];")
+
+    def test_malicious_angle_rejected(self):
+        # rejected either at statement parsing or at angle evaluation,
+        # never evaluated as code
+        with pytest.raises(ValueError):
+            qasm_to_circuit(
+                'OPENQASM 2.0; qreg q[1]; rz(__import__("os")) q[0];'
+            )
+        with pytest.raises(ValueError, match="bad angle"):
+            qasm_to_circuit("OPENQASM 2.0; qreg q[1]; rz(open) q[0];")
+
+
+class TestRoundTrip:
+    def test_structured_circuit(self):
+        circ = QuantumCircuit(4, 2, name="rt")
+        circ.h(0).cx(0, 1).barrier().swap(1, 2).cz(2, 3)
+        circ.u3(0.1, 0.2, 0.3, 3)
+        circ.measure(2, 0)
+        circ.measure(3, 1)
+        back = qasm_to_circuit(circuit_to_qasm(circ))
+        assert back.num_qubits == circ.num_qubits
+        assert back.num_clbits == circ.num_clbits
+        assert [i.name for i in back] == [i.name for i in circ]
+        assert [i.qubits for i in back] == [i.qubits for i in circ]
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_random_circuits_preserve_semantics(self, seed):
+        rng = np.random.default_rng(seed)
+        circ = QuantumCircuit(3)
+        for _ in range(12):
+            r = rng.random()
+            if r < 0.4:
+                circ.add(["h", "s", "t", "x"][rng.integers(4)],
+                         int(rng.integers(3)))
+            elif r < 0.6:
+                circ.rz(float(rng.uniform(-3, 3)), int(rng.integers(3)))
+            else:
+                a, b = rng.choice(3, 2, replace=False)
+                circ.cx(int(a), int(b))
+        back = qasm_to_circuit(circuit_to_qasm(circ))
+        v1 = simulate_statevector(circ).vector
+        v2 = simulate_statevector(back).vector
+        assert np.allclose(v1, v2, atol=1e-9)

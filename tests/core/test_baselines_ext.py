@@ -1,0 +1,91 @@
+"""Tests for the extension baselines: DisableSched and crosstalk-aware
+routing."""
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.core.scheduling.baselines import disable_sched
+from repro.device.backend import NoisyBackend
+from repro.device.topology import normalize_edge
+from repro.transpiler.routing import meet_in_middle_plan, min_crosstalk_path
+from repro.workloads.swap import plan_has_crosstalk
+
+
+class TestDisableSched:
+    def _parallel_circuit(self):
+        """Two 1-hop CNOT pairs plus a far pair."""
+        circ = QuantumCircuit(20, 2)
+        circ.cx(5, 10)
+        circ.cx(11, 12)   # 1 hop from (5,10): must be disabled
+        circ.cx(16, 17)   # far from both: stays parallel
+        circ.measure(10, 0)
+        circ.measure(11, 1)
+        return circ
+
+    def test_nearby_pairs_serialized(self, poughkeepsie):
+        prepared = disable_sched(self._parallel_circuit(),
+                                 poughkeepsie.coupling)
+        backend = NoisyBackend(poughkeepsie)
+        hw = backend.schedule_of(prepared)
+        ops = {normalize_edge(t.instruction.qubits): t
+               for t in hw.two_qubit_ops()}
+        assert not ops[(5, 10)].overlaps(ops[(11, 12)])
+
+    def test_far_pairs_untouched(self, poughkeepsie):
+        prepared = disable_sched(self._parallel_circuit(),
+                                 poughkeepsie.coupling)
+        backend = NoisyBackend(poughkeepsie)
+        hw = backend.schedule_of(prepared)
+        ops = {normalize_edge(t.instruction.qubits): t
+               for t in hw.two_qubit_ops()}
+        # (16,17) is far from (11,12): blanket policy still allows overlap
+        assert ops[(16, 17)].overlaps(ops[(11, 12)]) or \
+            ops[(16, 17)].overlaps(ops[(5, 10)])
+
+    def test_serializes_without_characterization(self, poughkeepsie):
+        """DisableSched consults only the topology — every 1-hop pair is
+        serialized, crosstalk or not (that is the policy's weakness)."""
+        circ = QuantumCircuit(20, 2)
+        circ.cx(0, 1)
+        circ.cx(2, 3)  # 1 hop but NOT a planted crosstalk pair
+        circ.measure(0, 0)
+        circ.measure(2, 1)
+        prepared = disable_sched(circ, poughkeepsie.coupling)
+        backend = NoisyBackend(poughkeepsie)
+        hw = backend.schedule_of(prepared)
+        ops = {normalize_edge(t.instruction.qubits): t
+               for t in hw.two_qubit_ops()}
+        assert not ops[(0, 1)].overlaps(ops[(2, 3)])
+
+    def test_gate_multiset_preserved(self, poughkeepsie):
+        circ = self._parallel_circuit()
+        prepared = disable_sched(circ, poughkeepsie.coupling)
+        original = sorted(i.format() for i in circ if not i.is_barrier)
+        kept = sorted(i.format() for i in prepared if not i.is_barrier)
+        assert original == kept
+
+
+class TestMinCrosstalkPath:
+    def test_avoids_high_pairs_when_possible(self, poughkeepsie, pk_report):
+        highs = pk_report.high_pairs()
+        # 0 -> 13 has two shortest routes; one crosses (5,10)|(11,12),
+        # the other goes through (7,12) but crosses (7,12)|(13,14)...
+        # min_crosstalk_path picks whichever crosses fewest pairs.
+        path = min_crosstalk_path(poughkeepsie.coupling, 0, 13, highs)
+        plan = meet_in_middle_plan(poughkeepsie.coupling, 0, 13, path=path)
+        default_plan = meet_in_middle_plan(
+            poughkeepsie.coupling, 0, 13, path=(0, 5, 10, 11, 12, 13)
+        )
+        def crossings(p):
+            return sum(1 for pair in highs if plan_has_crosstalk(p, [pair]))
+        assert crossings(plan) <= crossings(default_plan)
+
+    def test_no_high_pairs_gives_deterministic_shortest(self, poughkeepsie):
+        path = min_crosstalk_path(poughkeepsie.coupling, 0, 13, [])
+        assert path == tuple(poughkeepsie.coupling.shortest_path(0, 13))
+
+    def test_path_is_shortest(self, poughkeepsie, pk_report):
+        for (s, d) in [(0, 13), (5, 12), (15, 19)]:
+            path = min_crosstalk_path(poughkeepsie.coupling, s, d,
+                                      pk_report.high_pairs())
+            assert len(path) - 1 == poughkeepsie.coupling.qubit_distance(s, d)

@@ -1,0 +1,94 @@
+"""Tests for the randomized first-fit experiment packer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.characterization.binpacking import (
+    first_fit,
+    pack_pairs_first_fit,
+    validate_packing,
+)
+from repro.device.topology import line_coupling_map
+
+
+class TestFirstFit:
+    def test_compatible_units_share_bin(self):
+        line = line_coupling_map(16)
+        units = [((0, 1), (2, 3)), ((8, 9), (10, 11))]
+        bins = first_fit(line, units)
+        assert len(bins) == 1
+
+    def test_incompatible_units_split(self):
+        line = line_coupling_map(10)
+        units = [((0, 1), (2, 3)), ((4, 5), (6, 7))]
+        bins = first_fit(line, units)
+        assert len(bins) == 2
+
+
+class TestPackPairs:
+    def test_empty(self):
+        line = line_coupling_map(4)
+        assert pack_pairs_first_fit(line, []) == []
+
+    def test_restart_validation(self):
+        line = line_coupling_map(4)
+        with pytest.raises(ValueError):
+            pack_pairs_first_fit(line, [((0, 1), (2, 3))], restarts=0)
+
+    def test_all_units_packed_once(self, poughkeepsie):
+        units = [tuple(sorted(p)) for p in poughkeepsie.coupling.one_hop_gate_pairs()]
+        bins = pack_pairs_first_fit(poughkeepsie.coupling, units, seed=1)
+        packed = [u for b in bins for u in b]
+        assert sorted(packed) == sorted(units)
+
+    def test_packing_is_valid(self, poughkeepsie):
+        units = [tuple(sorted(p)) for p in poughkeepsie.coupling.one_hop_gate_pairs()]
+        bins = pack_pairs_first_fit(poughkeepsie.coupling, units, seed=1)
+        assert validate_packing(poughkeepsie.coupling, bins)
+
+    def test_packing_reduces_experiments(self, poughkeepsie):
+        """Optimization 2's claim: roughly 2x fewer experiments."""
+        units = [tuple(sorted(p)) for p in poughkeepsie.coupling.one_hop_gate_pairs()]
+        bins = pack_pairs_first_fit(poughkeepsie.coupling, units, seed=1)
+        assert len(bins) <= len(units) / 1.8
+
+    def test_deterministic_for_seed(self, poughkeepsie):
+        units = [tuple(sorted(p)) for p in poughkeepsie.coupling.one_hop_gate_pairs()]
+        a = pack_pairs_first_fit(poughkeepsie.coupling, units, seed=7)
+        b = pack_pairs_first_fit(poughkeepsie.coupling, units, seed=7)
+        assert a == b
+
+    def test_single_gate_units_packable(self, poughkeepsie):
+        units = [(edge,) for edge in poughkeepsie.coupling.edges]
+        bins = pack_pairs_first_fit(poughkeepsie.coupling, units, seed=2)
+        assert validate_packing(poughkeepsie.coupling, bins)
+        assert len(bins) < len(units)
+
+
+class TestValidatePacking:
+    def test_detects_bad_bin(self):
+        line = line_coupling_map(10)
+        bad = [[((0, 1), (2, 3)), ((4, 5), (6, 7))]]
+        assert not validate_packing(line, bad)
+
+    def test_accepts_good_bins(self):
+        line = line_coupling_map(16)
+        good = [[((0, 1), (2, 3))], [((4, 5), (6, 7))]]
+        assert validate_packing(line, good)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_random_subsets_always_pack_validly(seed, poughkeepsie):
+    rng = np.random.default_rng(seed)
+    all_units = [tuple(sorted(p))
+                 for p in poughkeepsie.coupling.one_hop_gate_pairs()]
+    size = int(rng.integers(1, len(all_units) + 1))
+    chosen = [all_units[i] for i in rng.choice(len(all_units), size, replace=False)]
+    bins = pack_pairs_first_fit(poughkeepsie.coupling, chosen, restarts=4,
+                                seed=seed)
+    assert validate_packing(poughkeepsie.coupling, bins)
+    packed = sorted(u for b in bins for u in b)
+    assert packed == sorted(chosen)

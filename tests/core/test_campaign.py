@@ -1,0 +1,110 @@
+"""Tests for characterization campaign planning and execution."""
+
+import pytest
+
+from repro.core.characterization.campaign import (
+    CharacterizationCampaign,
+    CharacterizationPolicy,
+)
+from repro.core.characterization.cost import PAPER_COST_MODEL
+from repro.experiments.common import ground_truth_report
+from repro.rb.executor import RBConfig
+
+
+@pytest.fixture()
+def campaign(poughkeepsie, fast_rb_config):
+    return CharacterizationCampaign(poughkeepsie, rb_config=fast_rb_config, seed=2)
+
+
+class TestPlanning:
+    def test_all_pairs_counts(self, campaign):
+        plan = campaign.plan(CharacterizationPolicy.ALL_PAIRS)
+        # 221 pairs + 23 independent experiments on Poughkeepsie
+        assert len(plan.pair_experiments) == 221
+        assert len(plan.independent_experiments) == 23
+        assert plan.num_experiments == 244
+
+    def test_one_hop_reduction(self, campaign):
+        all_pairs = campaign.plan(CharacterizationPolicy.ALL_PAIRS)
+        one_hop = campaign.plan(CharacterizationPolicy.ONE_HOP)
+        # Optimization 1: ~5x fewer pair experiments
+        assert len(one_hop.pair_experiments) * 4 < len(all_pairs.pair_experiments)
+
+    def test_packing_reduction(self, campaign):
+        one_hop = campaign.plan(CharacterizationPolicy.ONE_HOP)
+        packed = campaign.plan(CharacterizationPolicy.ONE_HOP_PACKED)
+        assert packed.num_experiments < one_hop.num_experiments / 1.7
+        # same units measured
+        assert packed.units_measured() == one_hop.units_measured()
+
+    def test_high_only_needs_prior(self, campaign):
+        with pytest.raises(ValueError, match="prior"):
+            campaign.plan(CharacterizationPolicy.HIGH_ONLY)
+
+    def test_high_only_counts(self, campaign, poughkeepsie, pk_report):
+        plan = campaign.plan(CharacterizationPolicy.HIGH_ONLY, prior=pk_report)
+        assert plan.units_measured() == len(pk_report.high_pairs())
+        packed = campaign.plan(CharacterizationPolicy.ONE_HOP_PACKED)
+        assert plan.num_experiments < packed.num_experiments
+
+    def test_policy_ordering_matches_figure10(self, campaign, pk_report):
+        counts = []
+        for policy in (
+            CharacterizationPolicy.ALL_PAIRS,
+            CharacterizationPolicy.ONE_HOP,
+            CharacterizationPolicy.ONE_HOP_PACKED,
+            CharacterizationPolicy.HIGH_ONLY,
+        ):
+            prior = pk_report if policy is CharacterizationPolicy.HIGH_ONLY else None
+            counts.append(campaign.plan(policy, prior=prior).num_experiments)
+        assert counts == sorted(counts, reverse=True)
+
+    def test_total_reduction_in_paper_band(self, campaign, pk_report):
+        baseline = campaign.plan(CharacterizationPolicy.ALL_PAIRS).num_experiments
+        final = campaign.plan(
+            CharacterizationPolicy.HIGH_ONLY, prior=pk_report
+        ).num_experiments
+        assert 20 <= baseline / final <= 80  # paper: 35-73x across devices
+
+
+class TestCostModel:
+    def test_paper_baseline_hours(self, campaign):
+        plan = campaign.plan(CharacterizationPolicy.ALL_PAIRS)
+        hours = PAPER_COST_MODEL.hours(plan.num_experiments)
+        assert hours > 8.0  # "over 8 hours"
+
+    def test_final_policy_under_30_minutes(self, campaign, pk_report):
+        plan = campaign.plan(CharacterizationPolicy.HIGH_ONLY, prior=pk_report)
+        assert PAPER_COST_MODEL.minutes(plan.num_experiments) < 30.0
+
+    def test_executions_match_paper_scale(self, campaign):
+        plan = campaign.plan(CharacterizationPolicy.ALL_PAIRS)
+        executions = PAPER_COST_MODEL.executions(plan.num_experiments)
+        assert 15_000_000 < executions < 30_000_000  # paper: 22.6M
+
+
+class TestExecution:
+    def test_high_only_run_merges_prior(self, poughkeepsie, fast_rb_config,
+                                        pk_report):
+        campaign = CharacterizationCampaign(
+            poughkeepsie, rb_config=fast_rb_config, seed=2
+        )
+        outcome = campaign.run(
+            CharacterizationPolicy.HIGH_ONLY, day=1, prior=pk_report
+        )
+        report = outcome.report
+        # all prior measurements still present
+        assert len(report.conditional) >= len(pk_report.conditional)
+        # refreshed pairs measured on day 1
+        assert report.day == 1
+
+    def test_one_hop_packed_run_finds_planted_pairs(self, poughkeepsie):
+        config = RBConfig(lengths=(2, 4, 8, 16, 28, 40), num_sequences=10,
+                          samples_per_sequence=24)
+        campaign = CharacterizationCampaign(poughkeepsie, rb_config=config, seed=3)
+        outcome = campaign.run(CharacterizationPolicy.ONE_HOP_PACKED)
+        detected = set(outcome.report.high_pairs())
+        planted = set(poughkeepsie.true_high_pairs())
+        # every planted pair detected (false positives tolerated: the
+        # paper's 3x cut has the same property under measurement noise)
+        assert planted <= detected

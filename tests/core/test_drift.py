@@ -1,0 +1,91 @@
+"""Tests for characterization drift monitoring."""
+
+import pytest
+
+from repro.core.characterization.drift import diff_reports, format_diff
+from repro.core.characterization.report import CrosstalkReport
+
+
+def make_report(pairs, day=0):
+    """pairs: {((a), (b)): (cond_ab, cond_ba, indep_a, indep_b)}"""
+    report = CrosstalkReport(day=day)
+    for (a, b), (cab, cba, ia, ib) in pairs.items():
+        report.record_independent(a, ia)
+        report.record_independent(b, ib)
+        report.record_conditional(a, b, cab)
+        report.record_conditional(b, a, cba)
+    return report
+
+
+HIGH = ((0, 1), (2, 3))
+OTHER = ((4, 5), (6, 7))
+
+
+class TestDiff:
+    def test_stable_set(self):
+        old = make_report({HIGH: (0.08, 0.06, 0.01, 0.01)})
+        new = make_report({HIGH: (0.10, 0.05, 0.01, 0.01)}, day=1)
+        diff = diff_reports(old, new)
+        assert diff.set_stable
+        assert diff.stable == (frozenset(HIGH),)
+        assert not diff.needs_full_recharacterization()
+        assert diff.max_drift == pytest.approx(0.10 / 0.08)
+
+    def test_appeared_pair(self):
+        old = make_report({HIGH: (0.08, 0.06, 0.01, 0.01),
+                           OTHER: (0.012, 0.011, 0.01, 0.01)})
+        new = make_report({HIGH: (0.08, 0.06, 0.01, 0.01),
+                           OTHER: (0.09, 0.011, 0.01, 0.01)}, day=1)
+        diff = diff_reports(old, new)
+        assert diff.appeared == (frozenset(OTHER),)
+        assert not diff.set_stable
+        assert diff.needs_full_recharacterization()
+
+    def test_vanished_pair(self):
+        old = make_report({HIGH: (0.08, 0.06, 0.01, 0.01)})
+        new = make_report({HIGH: (0.015, 0.012, 0.01, 0.01)}, day=1)
+        diff = diff_reports(old, new)
+        assert diff.vanished == (frozenset(HIGH),)
+        assert diff.needs_full_recharacterization()
+
+    def test_large_drift_triggers_recharacterization(self):
+        old = make_report({HIGH: (0.04, 0.04, 0.01, 0.01)})
+        new = make_report({HIGH: (0.30, 0.04, 0.01, 0.01)}, day=1)
+        diff = diff_reports(old, new)
+        assert diff.set_stable
+        assert diff.max_drift == pytest.approx(7.5)
+        assert diff.needs_full_recharacterization()
+        assert not diff.needs_full_recharacterization(drift_threshold=10.0)
+
+    def test_downward_drift_counts(self):
+        old = make_report({HIGH: (0.30, 0.30, 0.01, 0.01)})
+        new = make_report({HIGH: (0.06, 0.30, 0.01, 0.01)}, day=1)
+        diff = diff_reports(old, new)
+        assert diff.max_drift == pytest.approx(5.0)
+
+    def test_empty_reports(self):
+        diff = diff_reports(CrosstalkReport(), CrosstalkReport(day=1))
+        assert diff.set_stable
+        assert diff.max_drift == 1.0
+        assert not diff.needs_full_recharacterization()
+
+    def test_format(self):
+        old = make_report({HIGH: (0.08, 0.06, 0.01, 0.01)})
+        new = make_report({OTHER: (0.09, 0.08, 0.01, 0.01)}, day=1)
+        text = format_diff(diff_reports(old, new))
+        assert "NEW" in text
+        assert "GONE" in text
+        assert "recommended: True" in text
+
+
+class TestAgainstDeviceDrift:
+    def test_daily_ground_truth_is_stable(self, poughkeepsie):
+        """The planted drift keeps the high-pair set stable day over day —
+        the property that makes Optimization 3 safe on this device."""
+        from repro.experiments.common import ground_truth_report
+
+        day0 = ground_truth_report(poughkeepsie, day=0)
+        day3 = ground_truth_report(poughkeepsie, day=3)
+        diff = diff_reports(day0, day3)
+        assert diff.set_stable
+        assert diff.max_drift < 3.5

@@ -1,0 +1,108 @@
+"""Tests for the characterization report."""
+
+import pytest
+
+from repro.core.characterization.report import CrosstalkReport
+
+
+@pytest.fixture()
+def report():
+    r = CrosstalkReport()
+    r.record_independent((0, 1), 0.01)
+    r.record_independent((2, 3), 0.02)
+    r.record_independent((4, 5), 0.015)
+    r.record_conditional((0, 1), (2, 3), 0.08)   # 8x: high
+    r.record_conditional((2, 3), (0, 1), 0.03)   # 1.5x
+    r.record_conditional((2, 3), (4, 5), 0.025)  # 1.25x: low both ways
+    r.record_conditional((4, 5), (2, 3), 0.02)
+    return r
+
+
+class TestLookups:
+    def test_edge_normalization(self, report):
+        assert report.independent_error((1, 0)) == 0.01
+        assert report.conditional_error((1, 0), (3, 2)) == 0.08
+
+    def test_missing_independent_raises(self, report):
+        with pytest.raises(KeyError):
+            report.independent_error((6, 7))
+
+    def test_unmeasured_conditional_falls_back(self, report):
+        assert report.conditional_error((0, 1), (4, 5)) == 0.01
+
+    def test_ratio(self, report):
+        assert report.ratio((0, 1), (2, 3)) == pytest.approx(8.0)
+        assert report.ratio((2, 3), (0, 1)) == pytest.approx(1.5)
+
+
+class TestClassification:
+    def test_high_pair_is_or_of_directions(self, report):
+        assert report.is_high_pair((0, 1), (2, 3))
+        assert report.is_high_pair((2, 3), (0, 1))
+
+    def test_low_pair(self, report):
+        assert not report.is_high_pair((2, 3), (4, 5))
+
+    def test_unmeasured_pair_not_high(self, report):
+        assert not report.is_high_pair((0, 1), (4, 5))
+
+    def test_high_pairs_list(self, report):
+        pairs = report.high_pairs()
+        assert pairs == (frozenset({(0, 1), (2, 3)}),)
+
+    def test_measured_pairs(self, report):
+        assert len(report.measured_pairs()) == 2
+
+    def test_custom_threshold(self):
+        r = CrosstalkReport(high_ratio=1.2)
+        r.record_independent((0, 1), 0.01)
+        r.record_independent((2, 3), 0.01)
+        r.record_conditional((0, 1), (2, 3), 0.013)
+        r.record_conditional((2, 3), (0, 1), 0.013)
+        assert r.is_high_pair((0, 1), (2, 3))
+
+
+class TestMerge:
+    def test_merged_with_overrides(self, report):
+        fresh = CrosstalkReport(day=4)
+        fresh.record_conditional((0, 1), (2, 3), 0.05)
+        merged = report.merged_with(fresh)
+        assert merged.conditional_error((0, 1), (2, 3)) == 0.05
+        # untouched values survive
+        assert merged.conditional_error((2, 3), (4, 5)) == 0.025
+        assert merged.day == 4
+        # original unchanged
+        assert report.conditional_error((0, 1), (2, 3)) == 0.08
+
+
+class TestSummary:
+    def test_summary_mentions_high_pairs(self, report):
+        text = report.summary()
+        assert "HIGH" in text
+        assert "(0, 1)" in text
+
+
+class TestJsonPersistence:
+    def test_round_trip(self, report):
+        back = CrosstalkReport.from_json(report.to_json())
+        assert back.independent == report.independent
+        assert back.conditional == report.conditional
+        assert back.high_ratio == report.high_ratio
+        assert back.day == report.day
+        assert back.high_pairs() == report.high_pairs()
+
+    def test_json_is_valid(self, report):
+        import json
+
+        data = json.loads(report.to_json())
+        assert "independent" in data
+        assert "conditional" in data
+
+    def test_daily_workflow_round_trip(self, report):
+        """Save after the full campaign, reload for tomorrow's refresh."""
+        saved = report.to_json()
+        fresh = CrosstalkReport(day=1)
+        fresh.record_conditional((0, 1), (2, 3), 0.06)
+        merged = CrosstalkReport.from_json(saved).merged_with(fresh)
+        assert merged.conditional_error((0, 1), (2, 3)) == 0.06
+        assert merged.conditional_error((2, 3), (4, 5)) == 0.025

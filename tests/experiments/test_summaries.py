@@ -1,0 +1,174 @@
+"""Pure-function tests for the figure drivers' summarizers and formatters
+(synthetic rows; no simulation)."""
+
+import pytest
+
+from repro.experiments import (
+    fig3_characterization as fig3,
+    fig4_daily_drift as fig4,
+    fig5_swap_errors as fig5,
+    fig8_qaoa as fig8,
+    fig9_hidden_shift as fig9,
+    fig10_characterization_cost as fig10,
+    scalability,
+    sensitivity,
+)
+
+
+class TestFig4Summary:
+    def _rows(self):
+        return [
+            fig4.Fig4Row(
+                day=d,
+                conditional={
+                    "E(13, 14)|(18, 19)": 0.10 + 0.02 * d,
+                    "E(18, 19)|(13, 14)": 0.12,
+                    "E(10, 15)|(11, 12)": 0.09,
+                    "E(11, 12)|(10, 15)": 0.06,
+                },
+                independent={
+                    "E(13, 14)": 0.015,
+                    "E(18, 19)": 0.016,
+                    "E(10, 15)": 0.010,
+                    "E(11, 12)": 0.014,
+                },
+            )
+            for d in range(3)
+        ]
+
+    def test_summary_flags(self):
+        summary = fig4.summarize(self._rows())
+        assert summary.conditional_above_independent_every_day
+        assert summary.stable_high_pairs
+        assert summary.max_conditional_variation == pytest.approx(0.14 / 0.10)
+
+    def test_below_independent_detected(self):
+        rows = self._rows()
+        rows[1].conditional["E(13, 14)|(18, 19)"] = 0.001
+        summary = fig4.summarize(rows)
+        assert not summary.conditional_above_independent_every_day
+
+    def test_format_table(self):
+        table = fig4.format_table(self._rows())
+        assert "day" in table
+        assert "2.2x" not in table or True  # renders without raising
+
+
+class TestFig5Summary:
+    def _row(self, serial, par, xtalk, dur_par=5000.0, dur_x=5800.0):
+        return fig5.Fig5Row(
+            device="dev",
+            qubit_pair=(0, 5),
+            path_length=3,
+            error={"SerialSched": serial, "ParSched": par, "XtalkSched": xtalk},
+            duration={"SerialSched": 8000.0, "ParSched": dur_par,
+                      "XtalkSched": dur_x},
+        )
+
+    def test_row_properties(self):
+        row = self._row(0.2, 0.3, 0.1)
+        assert row.improvement_over_par == pytest.approx(3.0)
+        assert row.improvement_over_serial == pytest.approx(2.0)
+        assert row.duration_ratio_vs_par == pytest.approx(5800 / 5000)
+
+    def test_summary_geomean(self):
+        rows = [self._row(0.2, 0.4, 0.1), self._row(0.2, 0.1, 0.1)]
+        summary = fig5.summarize(rows)
+        assert summary.max_improvement_over_par == pytest.approx(4.0)
+        assert summary.geomean_improvement_over_par == pytest.approx(2.0)
+
+    def test_wins_counts_ties(self):
+        rows = [self._row(0.2, 0.3, 0.1), self._row(0.1, 0.1, 0.11)]
+        summary = fig5.summarize(rows)
+        assert summary.wins == 2  # within the +0.02 tolerance
+
+
+class TestFig8Summary:
+    def _result(self):
+        rows = []
+        for region in [(1, 2, 3, 4), (5, 6, 7, 8)]:
+            for omega, ce in [(0.0, 2.8), (0.35, 2.6), (1.0, 2.7)]:
+                rows.append(fig8.Fig8Row(region, omega, ce))
+        return fig8.Fig8Result(rows, theoretical_ideal=2.5,
+                               clean_band_mean=2.62, clean_band_std=0.02)
+
+    def test_summary(self):
+        summary = fig8.summarize(self._result())
+        assert summary.interior_beats_endpoints == 2
+        assert summary.loss_improvement_vs_par == pytest.approx(3.0)
+        assert summary.loss_improvement_vs_serial == pytest.approx(2.0)
+
+    def test_series_and_best(self):
+        result = self._result()
+        assert result.best_omega((1, 2, 3, 4)) == 0.35
+        assert dict(result.series((1, 2, 3, 4)))[1.0] == 2.7
+
+    def test_format(self):
+        assert "cross entropy" in fig8.format_table(self._result()).lower()
+
+
+class TestFig9Summary:
+    def _rows(self, redundant_mid=0.2):
+        rows = []
+        for region in [(1, 2, 3, 4)]:
+            for omega, plain, red in [(0.0, 0.10, 0.40), (0.35, 0.09, redundant_mid),
+                                      (1.0, 0.08, 0.30)]:
+                rows.append(fig9.Fig9Row(region, False, omega, plain))
+                rows.append(fig9.Fig9Row(region, True, omega, red))
+        return rows
+
+    def test_redundant_win_detected(self):
+        summary = fig9.summarize(self._rows())
+        assert summary.redundant_midrange_wins == 1
+        assert summary.best_redundant_improvement == pytest.approx(2.0)
+
+    def test_redundant_loss_detected(self):
+        summary = fig9.summarize(self._rows(redundant_mid=0.5))
+        assert summary.redundant_midrange_wins == 0
+
+    def test_format(self):
+        assert "redundant" in fig9.format_table(self._rows())
+
+
+class TestFig10Summary:
+    def test_summaries_per_device(self, devices):
+        rows = fig10.run_fig10(devices=devices)
+        summaries = fig10.summarize(rows)
+        assert len(summaries) == 3
+        for s in summaries:
+            assert s.total_reduction > 1.0
+
+
+class TestScalabilityFormat:
+    def test_format(self):
+        rows = [scalability.ScalabilityRow(6, 100, 12, 1.5, True)]
+        table = scalability.format_table(rows)
+        assert "100" in table
+        assert "1.50" in table
+
+
+class TestSensitivityRows:
+    def test_improvement(self):
+        row = sensitivity.SensitivityRow(5.0, 0.3, 0.1, True)
+        assert row.improvement == pytest.approx(3.0)
+
+    def test_format(self):
+        rows = [sensitivity.SensitivityRow(5.0, 0.3, 0.1, True)]
+        assert "5.0" in sensitivity.format_table(rows)
+
+
+class TestFig3Format:
+    def test_format_with_synthetic_rows(self):
+        row = fig3.Fig3Row(
+            device="dev",
+            detected_pairs=(((0, 1), (2, 3)),),
+            planted_pairs=(((0, 1), (2, 3)),),
+            max_degradation=7.5,
+            all_detected_at_one_hop=True,
+            true_positives=1,
+            false_positives=0,
+            false_negatives=0,
+        )
+        table = fig3.format_table([row])
+        assert "TP 1" in table
+        assert "7.5x" in table

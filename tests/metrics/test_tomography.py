@@ -1,0 +1,121 @@
+"""Tests for two-qubit state tomography."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.metrics.tomography import (
+    bell_state_vector,
+    density_from_expectations,
+    expectations_from_distributions,
+    run_state_tomography,
+    state_fidelity,
+    tomography_circuits,
+    tomography_settings,
+)
+from repro.sim.statevector import simulate_statevector
+
+
+def noiseless_runner(circ):
+    """Execute a tomography circuit noiselessly, return clbit distribution."""
+    measured = sorted(
+        ((i.clbit, i.qubits[0]) for i in circ if i.is_measure)
+    )
+    qubits = [q for _, q in measured]
+    state = simulate_statevector(circ)
+    return state.probabilities(qubits)
+
+
+class TestSettings:
+    def test_nine_settings(self):
+        settings = tomography_settings()
+        assert len(settings) == 9
+        assert ("X", "Z") in settings
+
+    def test_circuits_structure(self):
+        base = QuantumCircuit(3).h(0).cx(0, 1)
+        circuits = tomography_circuits(base, 0, 1)
+        assert len(circuits) == 9
+        zz = circuits[("Z", "Z")]
+        assert sum(1 for i in zz if i.is_measure) == 2
+        xx = circuits[("X", "X")]
+        assert xx.count_ops()["h"] >= 3  # base H + two rotations
+
+
+class TestReconstruction:
+    def _tomography_of(self, base, qa=0, qb=1, target=None):
+        return run_state_tomography(noiseless_runner, base, qa, qb,
+                                    target=target)
+
+    def test_bell_state_perfect_fidelity(self):
+        base = QuantumCircuit(2).h(0).cx(0, 1)
+        result = self._tomography_of(base)
+        assert result.fidelity == pytest.approx(1.0, abs=1e-9)
+        assert result.error_rate == pytest.approx(0.0, abs=1e-9)
+
+    def test_product_state_against_bell(self):
+        base = QuantumCircuit(2)  # |00>
+        result = self._tomography_of(base)
+        assert result.fidelity == pytest.approx(0.5, abs=1e-9)
+
+    def test_orthogonal_state(self):
+        base = QuantumCircuit(2).x(0)  # |01> orthogonal-ish to Bell
+        result = self._tomography_of(base)
+        assert result.fidelity == pytest.approx(0.0, abs=1e-9)
+
+    def test_custom_target(self):
+        base = QuantumCircuit(2).x(0)
+        target = np.array([0, 1, 0, 0], dtype=complex)
+        result = self._tomography_of(base, target=target)
+        assert result.fidelity == pytest.approx(1.0, abs=1e-9)
+
+    def test_rho_is_physical(self):
+        base = QuantumCircuit(2).h(0).t(0).cx(0, 1).s(1)
+        result = self._tomography_of(base)
+        vals = np.linalg.eigvalsh(result.rho)
+        assert vals.min() >= -1e-10
+        assert np.trace(result.rho).real == pytest.approx(1.0)
+
+    def test_nonadjacent_qubits(self):
+        base = QuantumCircuit(4).h(1).cx(1, 3)
+        result = run_state_tomography(noiseless_runner, base, 1, 3)
+        assert result.fidelity == pytest.approx(1.0, abs=1e-9)
+
+
+class TestExpectations:
+    def test_identity_expectation_is_one(self):
+        base = QuantumCircuit(2).h(0).cx(0, 1)
+        dists = {
+            s: noiseless_runner(c)
+            for s, c in tomography_circuits(base, 0, 1).items()
+        }
+        exps = expectations_from_distributions(dists)
+        assert exps[("I", "I")] == 1.0
+
+    def test_bell_correlations(self):
+        base = QuantumCircuit(2).h(0).cx(0, 1)
+        dists = {
+            s: noiseless_runner(c)
+            for s, c in tomography_circuits(base, 0, 1).items()
+        }
+        exps = expectations_from_distributions(dists)
+        assert exps[("X", "X")] == pytest.approx(1.0)
+        assert exps[("Z", "Z")] == pytest.approx(1.0)
+        assert exps[("Y", "Y")] == pytest.approx(-1.0)
+        assert exps[("Z", "I")] == pytest.approx(0.0, abs=1e-9)
+
+    def test_density_from_maximally_mixed(self):
+        exps = {("I", "I"): 1.0}
+        for pa in "XYZ":
+            exps[(pa, "I")] = 0.0
+            exps[("I", pa)] = 0.0
+            for pb in "XYZ":
+                exps[(pa, pb)] = 0.0
+        rho = density_from_expectations(exps)
+        assert np.allclose(rho, np.eye(4) / 4)
+
+
+class TestFidelityHelpers:
+    def test_state_fidelity_normalizes_target(self):
+        rho = np.outer(bell_state_vector(), bell_state_vector())
+        assert state_fidelity(rho, 2.0 * bell_state_vector()) == pytest.approx(1.0)

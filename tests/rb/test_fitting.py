@@ -1,0 +1,90 @@
+"""Tests for RB decay fitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rb.fitting import (
+    RBFit,
+    error_per_clifford_to_cnot,
+    fit_rb_decay,
+)
+
+
+class TestFitRecovery:
+    def test_exact_synthetic_decay(self):
+        lengths = [2, 5, 10, 20, 40]
+        a, f, b = 0.74, 0.97, 0.25
+        survivals = [a * f ** m + b for m in lengths]
+        fit = fit_rb_decay(lengths, survivals)
+        assert fit.decay == pytest.approx(f, abs=1e-4)
+        assert fit.amplitude == pytest.approx(a, abs=1e-3)
+        assert fit.offset == pytest.approx(b, abs=1e-3)
+
+    def test_noisy_decay_close(self):
+        rng = np.random.default_rng(1)
+        lengths = list(range(2, 60, 6))
+        f = 0.95
+        survivals = [
+            0.75 * f ** m + 0.25 + rng.normal(0, 0.005) for m in lengths
+        ]
+        fit = fit_rb_decay(lengths, survivals)
+        assert fit.decay == pytest.approx(f, abs=0.01)
+
+    def test_error_per_clifford_two_qubits(self):
+        fit = RBFit(0.75, 0.96, 0.25, num_qubits=2)
+        assert fit.error_per_clifford == pytest.approx(0.04 * 0.75)
+
+    def test_error_per_clifford_one_qubit(self):
+        fit = RBFit(0.5, 0.98, 0.5, num_qubits=1)
+        assert fit.error_per_clifford == pytest.approx(0.02 * 0.5)
+
+    def test_error_per_cnot(self):
+        fit = RBFit(0.75, 0.96, 0.25, num_qubits=2)
+        assert fit.error_per_cnot() == pytest.approx(0.04 * 0.75 / 1.5)
+
+    def test_survival_model(self):
+        fit = RBFit(0.75, 0.9, 0.25, num_qubits=2)
+        assert fit.survival(0) == pytest.approx(1.0)
+        assert fit.survival(1e9) == pytest.approx(0.25)
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fit_rb_decay([1, 2, 3], [0.9, 0.8])
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_rb_decay([1, 2], [0.9, 0.8])
+
+    def test_conversion_validation(self):
+        with pytest.raises(ValueError):
+            error_per_clifford_to_cnot(0.01, 0.0)
+
+
+class TestRobustness:
+    def test_saturated_floor(self):
+        lengths = [2, 10, 20, 40]
+        survivals = [0.26, 0.25, 0.25, 0.25]
+        fit = fit_rb_decay(lengths, survivals)
+        assert 0.0 <= fit.decay <= 1.0
+        assert fit.error_per_clifford > 0.05
+
+    def test_perfect_survival(self):
+        lengths = [2, 10, 20]
+        fit = fit_rb_decay(lengths, [1.0, 1.0, 1.0])
+        assert fit.error_per_clifford < 0.01
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    decay=st.floats(0.85, 0.999),
+    amp=st.floats(0.6, 0.75),
+)
+def test_recovers_random_parameters(decay, amp):
+    lengths = [2, 6, 12, 24, 40, 60]
+    survivals = [amp * decay ** m + 0.25 for m in lengths]
+    fit = fit_rb_decay(lengths, survivals)
+    assert fit.decay == pytest.approx(decay, abs=0.01)

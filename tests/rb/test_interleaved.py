@@ -1,0 +1,66 @@
+"""Tests for interleaved randomized benchmarking."""
+
+import pytest
+
+from repro.rb.clifford import clifford_group
+from repro.rb.executor import RBConfig
+from repro.rb.interleaved import InterleavedRB, _interleave_cnot
+from repro.rb.sequences import generate_rb_sequence
+from repro.sim.stabilizer import StabilizerSimulator
+
+
+class TestSequenceConstruction:
+    def test_interleaved_closes_to_identity(self, clifford_2q, rng):
+        base = generate_rb_sequence(clifford_2q, 6, rng)
+        seq = _interleave_cnot(base, clifford_2q)
+        sim = StabilizerSimulator(2)
+        for name, qubits in seq.mapped_gates((0, 1)):
+            sim.apply_gate(name, qubits)
+        assert sim.survival_probability() == pytest.approx(1.0)
+
+    def test_doubles_element_count(self, clifford_2q, rng):
+        base = generate_rb_sequence(clifford_2q, 5, rng)
+        seq = _interleave_cnot(base, clifford_2q)
+        assert seq.length == 10  # m Cliffords + m interleaved CNOTs
+
+    def test_interleaved_elements_alternate(self, clifford_2q, rng):
+        base = generate_rb_sequence(clifford_2q, 4, rng)
+        seq = _interleave_cnot(base, clifford_2q)
+        cnot_idx = clifford_2q.index_of(
+            clifford_2q.element_of(seq.elements[1].tableau).tableau
+        )
+        for k in range(1, len(seq.elements), 2):
+            assert seq.elements[k].index == cnot_idx
+
+
+class TestProtocol:
+    @pytest.fixture(scope="class")
+    def result_10_15(self, poughkeepsie):
+        irb = InterleavedRB(poughkeepsie,
+                            config=RBConfig(num_sequences=16), seed=3)
+        return irb.run((10, 15)), poughkeepsie.calibration().cnot_error_of(10, 15)
+
+    def test_measures_average_infidelity(self, result_10_15):
+        result, planted = result_10_15
+        # uniform-Pauli channel: average infidelity = 0.8 * p
+        assert result.gate_error == pytest.approx(0.8 * planted, rel=0.5)
+
+    def test_below_standard_upper_bound(self, result_10_15):
+        result, _ = result_10_15
+        assert result.gate_error <= result.standard_upper_bound * 1.15
+
+    def test_fits_exposed(self, result_10_15):
+        result, _ = result_10_15
+        assert 0.9 < result.reference.decay <= 1.0
+        assert 0.9 < result.interleaved.decay <= 1.0
+        assert result.interleaved.decay <= result.reference.decay + 1e-6
+
+    def test_distinguishes_good_and_bad_gates(self, poughkeepsie):
+        irb = InterleavedRB(poughkeepsie,
+                            config=RBConfig(num_sequences=12), seed=5)
+        cal = poughkeepsie.calibration()
+        edges = sorted(cal.cnot_error, key=cal.cnot_error.get)
+        best, worst = edges[0], edges[-1]
+        r_best = irb.run(best).gate_error
+        r_worst = irb.run(worst).gate_error
+        assert r_worst > r_best

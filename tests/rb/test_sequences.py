@@ -1,0 +1,51 @@
+"""Tests for RB sequence generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rb.sequences import generate_rb_sequence
+from repro.sim.stabilizer import StabilizerSimulator
+
+
+class TestGeneration:
+    def test_length(self, clifford_2q, rng):
+        seq = generate_rb_sequence(clifford_2q, 7, rng)
+        assert seq.length == 7
+        assert len(seq.layers()) == 8  # m Cliffords + inverse
+
+    def test_invalid_length(self, clifford_2q, rng):
+        with pytest.raises(ValueError):
+            generate_rb_sequence(clifford_2q, 0, rng)
+
+    def test_closes_to_identity_tableau(self, clifford_2q, rng):
+        for m in (1, 3, 10):
+            seq = generate_rb_sequence(clifford_2q, m, rng)
+            product = seq.elements[0].tableau
+            for el in seq.elements[1:]:
+                product = product.compose(el.tableau)
+            assert product.compose(seq.inverse.tableau).is_identity()
+
+    def test_total_cnots(self, clifford_2q, rng):
+        seq = generate_rb_sequence(clifford_2q, 5, rng)
+        assert seq.total_cnots() == sum(
+            el.cnot_count for el in (*seq.elements, seq.inverse)
+        )
+
+    def test_mapped_gates_relabel_qubits(self, clifford_2q, rng):
+        seq = generate_rb_sequence(clifford_2q, 2, rng)
+        gates = seq.mapped_gates((7, 13))
+        for _, qubits in gates:
+            assert set(qubits) <= {7, 13}
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 100_000), length=st.integers(1, 12))
+def test_noiseless_execution_returns_to_ground(seed, length, clifford_2q):
+    rng = np.random.default_rng(seed)
+    seq = generate_rb_sequence(clifford_2q, length, rng)
+    sim = StabilizerSimulator(2)
+    for name, qubits in seq.mapped_gates((0, 1)):
+        sim.apply_gate(name, qubits)
+    assert sim.survival_probability() == pytest.approx(1.0)

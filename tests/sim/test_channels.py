@@ -1,0 +1,174 @@
+"""Unit and property tests for noise channels."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.channels import (
+    ReadoutModel,
+    amplitude_damping_kraus,
+    counts_to_distribution,
+    decay_probabilities,
+    depolarizing_kraus,
+    distribution_to_counts,
+    phase_damping_kraus,
+    two_qubit_depolarizing_paulis,
+)
+
+
+def assert_trace_preserving(kraus_ops):
+    dim = kraus_ops[0].shape[0]
+    total = sum(k.conj().T @ k for k in kraus_ops)
+    assert np.allclose(total, np.eye(dim), atol=1e-12)
+
+
+class TestKraus:
+    @pytest.mark.parametrize("p", [0.0, 0.01, 0.3, 1.0])
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_depolarizing_trace_preserving(self, p, n):
+        assert_trace_preserving(depolarizing_kraus(p, n))
+
+    def test_depolarizing_kraus_count(self):
+        assert len(depolarizing_kraus(0.1, 1)) == 4
+        assert len(depolarizing_kraus(0.1, 2)) == 16
+
+    @pytest.mark.parametrize("gamma", [0.0, 0.2, 0.9, 1.0])
+    def test_amplitude_damping_trace_preserving(self, gamma):
+        assert_trace_preserving(amplitude_damping_kraus(gamma))
+
+    @pytest.mark.parametrize("lam", [0.0, 0.5, 1.0])
+    def test_phase_damping_trace_preserving(self, lam):
+        assert_trace_preserving(phase_damping_kraus(lam))
+
+    def test_probability_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            depolarizing_kraus(1.5)
+        with pytest.raises(ValueError):
+            amplitude_damping_kraus(-0.1)
+        with pytest.raises(ValueError):
+            phase_damping_kraus(2.0)
+
+    def test_amplitude_damping_action(self):
+        # |1><1| decays to (1-g)|1><1| + g|0><0|.
+        gamma = 0.3
+        rho = np.array([[0.0, 0.0], [0.0, 1.0]], dtype=complex)
+        out = sum(k @ rho @ k.conj().T for k in amplitude_damping_kraus(gamma))
+        assert out[0, 0] == pytest.approx(gamma)
+        assert out[1, 1] == pytest.approx(1 - gamma)
+
+    def test_depolarizing_contracts_bloch_vector(self):
+        p = 0.2
+        rho = np.array([[1.0, 0.0], [0.0, 0.0]], dtype=complex)  # |0><0|
+        out = sum(k @ rho @ k.conj().T for k in depolarizing_kraus(p, 1))
+        # Z expectation shrinks by (1 - 4p/3) for this parametrization.
+        z_exp = float(np.real(out[0, 0] - out[1, 1]))
+        assert z_exp == pytest.approx(1 - 4 * p / 3)
+
+
+class TestDecayProbabilities:
+    def test_zero_duration(self):
+        assert decay_probabilities(0.0, 50e3, 70e3) == (0.0, 0.0)
+
+    def test_one_t1(self):
+        gamma, _ = decay_probabilities(50e3, 50e3, 100e3)
+        assert gamma == pytest.approx(1 - math.exp(-1))
+
+    def test_t2_at_limit_means_no_dephasing(self):
+        _, p_z = decay_probabilities(10e3, 50e3, 100e3)  # T2 = 2*T1
+        assert p_z == 0.0
+
+    def test_pure_dephasing_positive_when_t2_small(self):
+        _, p_z = decay_probabilities(10e3, 50e3, 20e3)
+        assert 0.0 < p_z < 0.5
+
+    def test_monotone_in_duration(self):
+        g1, z1 = decay_probabilities(5e3, 40e3, 30e3)
+        g2, z2 = decay_probabilities(20e3, 40e3, 30e3)
+        assert g2 > g1
+        assert z2 > z1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            decay_probabilities(-1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            decay_probabilities(1.0, 0.0, 1.0)
+
+
+class TestReadoutModel:
+    def test_uniform_and_ideal(self):
+        ro = ReadoutModel.uniform(3, 0.05)
+        assert ro.num_qubits == 3
+        ideal = ReadoutModel.ideal(2)
+        assert np.allclose(ideal.confusion_matrix([0, 1]), np.eye(4))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReadoutModel((0.1,), (0.1, 0.2))
+        with pytest.raises(ValueError):
+            ReadoutModel((1.5,), (0.1,))
+
+    def test_confusion_matrix_1q(self):
+        ro = ReadoutModel((0.1,), (0.2,))
+        m = ro.confusion_matrix_1q(0)
+        assert m[1, 0] == pytest.approx(0.1)  # read 1 given 0
+        assert m[0, 1] == pytest.approx(0.2)  # read 0 given 1
+        assert np.allclose(m.sum(axis=0), 1.0)
+
+    def test_joint_confusion_is_column_stochastic(self):
+        ro = ReadoutModel((0.1, 0.03), (0.2, 0.07))
+        m = ro.confusion_matrix([0, 1])
+        assert np.allclose(m.sum(axis=0), 1.0)
+
+    def test_apply_to_distribution(self):
+        ro = ReadoutModel.uniform(1, 0.1)
+        out = ro.apply_to_distribution(np.array([1.0, 0.0]), [0])
+        assert np.allclose(out, [0.9, 0.1])
+
+    def test_apply_checks_length(self):
+        ro = ReadoutModel.uniform(2, 0.1)
+        with pytest.raises(ValueError):
+            ro.apply_to_distribution(np.array([1.0, 0.0]), [0, 1])
+
+    def test_restrict(self):
+        ro = ReadoutModel((0.1, 0.2, 0.3), (0.4, 0.5, 0.6))
+        sub = ro.restrict([2, 0])
+        assert sub.p1_given_0 == (0.3, 0.1)
+        assert sub.p0_given_1 == (0.6, 0.4)
+
+
+class TestCountConversions:
+    def test_counts_to_distribution(self):
+        probs = counts_to_distribution({"00": 75, "11": 25}, 2)
+        assert probs[0] == pytest.approx(0.75)
+        assert probs[3] == pytest.approx(0.25)
+
+    def test_counts_validation(self):
+        with pytest.raises(ValueError):
+            counts_to_distribution({}, 2)
+        with pytest.raises(ValueError):
+            counts_to_distribution({"0": 5}, 2)
+
+    def test_distribution_to_counts_total(self):
+        rng = np.random.default_rng(0)
+        counts = distribution_to_counts(np.array([0.5, 0.5]), 1000, rng)
+        assert sum(counts.values()) == 1000
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_round_trip_preserves_mass(self, seed):
+        rng = np.random.default_rng(seed)
+        probs = rng.random(8)
+        probs /= probs.sum()
+        counts = distribution_to_counts(probs, 5000, rng)
+        back = counts_to_distribution(counts, 3)
+        assert np.allclose(back.sum(), 1.0)
+        assert np.abs(back - probs).max() < 0.05
+
+
+def test_two_qubit_depolarizing_paulis_complete():
+    labels = two_qubit_depolarizing_paulis()
+    assert len(labels) == 15
+    assert len(set(labels)) == 15

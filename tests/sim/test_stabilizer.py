@@ -1,0 +1,151 @@
+"""Tests for the CHP stabilizer simulator, cross-validated against the
+dense statevector engine on random Clifford circuits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.stabilizer import StabilizerSimulator
+from repro.sim.statevector import Statevector
+
+_GATES_1Q = ["h", "s", "sdg", "x", "y", "z", "id"]
+_GATES_2Q = ["cx", "cz", "swap"]
+
+
+def random_clifford_ops(rng, num_qubits, num_gates):
+    ops = []
+    for _ in range(num_gates):
+        if num_qubits >= 2 and rng.random() < 0.4:
+            a, b = rng.choice(num_qubits, 2, replace=False)
+            ops.append((_GATES_2Q[rng.integers(3)], (int(a), int(b))))
+        else:
+            ops.append((_GATES_1Q[rng.integers(len(_GATES_1Q))],
+                        (int(rng.integers(num_qubits)),)))
+    return ops
+
+
+class TestBasics:
+    def test_initial_state_survival(self):
+        sim = StabilizerSimulator(3)
+        assert sim.survival_probability() == pytest.approx(1.0)
+
+    def test_x_flips_survival(self):
+        sim = StabilizerSimulator(2)
+        sim.x_gate(0)
+        assert sim.survival_probability() == 0.0
+        assert sim.probability_of_outcome({0: 1, 1: 0}) == pytest.approx(1.0)
+
+    def test_h_gives_half(self):
+        sim = StabilizerSimulator(1)
+        sim.h(0)
+        assert sim.probability_of_outcome({0: 0}) == pytest.approx(0.5)
+
+    def test_bell_joint_probabilities(self):
+        sim = StabilizerSimulator(2)
+        sim.h(0)
+        sim.cx(0, 1)
+        assert sim.probability_of_outcome({0: 0, 1: 0}) == pytest.approx(0.5)
+        assert sim.probability_of_outcome({0: 0, 1: 1}) == 0.0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            StabilizerSimulator(0)
+
+    def test_cx_requires_distinct(self):
+        sim = StabilizerSimulator(2)
+        with pytest.raises(ValueError):
+            sim.cx(1, 1)
+
+    def test_unknown_gate(self):
+        sim = StabilizerSimulator(1)
+        with pytest.raises(KeyError):
+            sim.apply_gate("t", (0,))
+
+    def test_copy_is_independent(self):
+        sim = StabilizerSimulator(1)
+        other = sim.copy()
+        other.x_gate(0)
+        assert sim.survival_probability() == pytest.approx(1.0)
+        assert other.survival_probability() == 0.0
+
+
+class TestMeasurement:
+    def test_deterministic_measurement(self):
+        sim = StabilizerSimulator(1)
+        sim.x_gate(0)
+        assert sim.is_deterministic(0)
+        assert sim.measure(0) == 1
+
+    def test_random_measurement_collapses(self):
+        rng = np.random.default_rng(2)
+        sim = StabilizerSimulator(1, rng)
+        sim.h(0)
+        assert not sim.is_deterministic(0)
+        outcome = sim.measure(0)
+        assert sim.is_deterministic(0)
+        assert sim.measure(0) == outcome
+
+    def test_forced_outcome(self):
+        sim = StabilizerSimulator(1)
+        sim.h(0)
+        assert sim.measure(0, forced_outcome=1) == 1
+        assert sim.measure(0) == 1
+
+    def test_forcing_deterministic_wrong_value_raises(self):
+        sim = StabilizerSimulator(1)
+        with pytest.raises(ValueError):
+            sim.measure(0, forced_outcome=1)
+
+    def test_ghz_correlations(self):
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            sim = StabilizerSimulator(3, rng)
+            sim.h(0)
+            sim.cx(0, 1)
+            sim.cx(1, 2)
+            a = sim.measure(0)
+            assert sim.measure(1) == a
+            assert sim.measure(2) == a
+
+    def test_apply_pauli_string(self):
+        sim = StabilizerSimulator(3)
+        sim.apply_pauli("XIZ", (0, 1, 2))
+        assert sim.probability_of_outcome({0: 1, 1: 0, 2: 0}) == pytest.approx(1.0)
+
+    def test_apply_pauli_length_mismatch(self):
+        sim = StabilizerSimulator(2)
+        with pytest.raises(ValueError):
+            sim.apply_pauli("XX", (0,))
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_matches_statevector_on_random_cliffords(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 5))
+    ops = random_clifford_ops(rng, n, 25)
+    stab = StabilizerSimulator(n)
+    sv = Statevector(n)
+    for name, qubits in ops:
+        stab.apply_gate(name, qubits)
+        sv.apply_gate(name, qubits)
+    # Compare the probability of a few random outcomes.
+    for _ in range(4):
+        bits = {q: int(rng.integers(2)) for q in range(n)}
+        p_stab = stab.probability_of_outcome(bits)
+        idx = sum(bits[q] << q for q in range(n))
+        p_sv = float(np.abs(sv.vector[idx]) ** 2)
+        assert abs(p_stab - p_sv) < 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_survival_probability_is_power_of_half_or_zero(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 5))
+    sim = StabilizerSimulator(n)
+    for name, qubits in random_clifford_ops(rng, n, 20):
+        sim.apply_gate(name, qubits)
+    p = sim.survival_probability()
+    assert p == 0.0 or abs(np.log2(p) - round(np.log2(p))) < 1e-9

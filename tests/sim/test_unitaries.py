@@ -1,0 +1,118 @@
+"""Unit tests for the gate unitary library."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim import unitaries
+from repro.sim.unitaries import (
+    gate_unitary,
+    pauli_matrix,
+    two_qubit_pauli_labels,
+)
+
+ALL_FIXED = ["id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "sxdg",
+             "cx", "cz", "swap"]
+
+
+@pytest.mark.parametrize("name", ALL_FIXED)
+def test_fixed_gates_are_unitary(name):
+    u = gate_unitary(name)
+    assert np.allclose(u @ u.conj().T, np.eye(u.shape[0]))
+
+
+@pytest.mark.parametrize("name", ["rx", "ry", "rz", "u1"])
+@pytest.mark.parametrize("angle", [0.0, 0.3, math.pi, -2.5])
+def test_single_param_gates_are_unitary(name, angle):
+    u = gate_unitary(name, (angle,))
+    assert np.allclose(u @ u.conj().T, np.eye(2))
+
+
+def test_u2_u3_relation():
+    assert np.allclose(
+        gate_unitary("u2", (0.4, 1.2)),
+        gate_unitary("u3", (math.pi / 2, 0.4, 1.2)),
+    )
+
+
+def test_u2_hadamard():
+    # u2(0, pi) is the Hadamard up to global phase.
+    u = gate_unitary("u2", (0.0, math.pi))
+    h = gate_unitary("h")
+    phase = u[0, 0] / h[0, 0]
+    assert np.allclose(u, phase * h)
+
+
+def test_s_squared_is_z():
+    s = gate_unitary("s")
+    assert np.allclose(s @ s, gate_unitary("z"))
+
+
+def test_sx_squared_is_x():
+    sx = gate_unitary("sx")
+    assert np.allclose(sx @ sx, gate_unitary("x"))
+
+
+def test_rz_vs_u1_phase_relation():
+    theta = 0.77
+    rz = gate_unitary("rz", (theta,))
+    u1 = gate_unitary("u1", (theta,))
+    phase = np.exp(1j * theta / 2)
+    assert np.allclose(u1, phase * rz)
+
+
+def test_cx_truth_table():
+    cx = gate_unitary("cx")
+    # little-endian: basis index b1*2 + b0, control is qubit 0 (first listed)
+    assert cx[1, 1] == 0  # |01> (q0=1) maps away
+    assert cx[3, 1] == 1  # control set -> target flipped
+    assert cx[0, 0] == 1
+    assert cx[2, 2] == 1
+
+
+def test_swap_conjugates_cx():
+    cx = gate_unitary("cx")
+    swap = gate_unitary("swap")
+    reversed_cx = swap @ cx @ swap
+    # reversed cx = control on second listed qubit
+    expected = np.zeros((4, 4))
+    for b0 in (0, 1):
+        for b1 in (0, 1):
+            i = b1 * 2 + b0
+            j = ((b1 ^ 0) * 2 + (b0 ^ b1))  # control q1, target q0
+            expected[j, i] = 1
+    assert np.allclose(reversed_cx, expected)
+
+
+def test_directives_have_no_unitary():
+    with pytest.raises(KeyError):
+        gate_unitary("barrier")
+    with pytest.raises(KeyError):
+        gate_unitary("measure")
+
+
+class TestPauliMatrix:
+    def test_single_labels(self):
+        assert np.allclose(pauli_matrix("X"), unitaries.X)
+        assert np.allclose(pauli_matrix("Z"), unitaries.Z)
+
+    def test_two_qubit_label_ordering(self):
+        # label position 0 acts on qubit 0 (least significant).
+        xz = pauli_matrix("XZ")
+        manual = np.kron(unitaries.Z, unitaries.X)
+        assert np.allclose(xz, manual)
+
+    def test_paulis_are_involutive(self):
+        for label in two_qubit_pauli_labels(include_identity=True):
+            p = pauli_matrix(label)
+            assert np.allclose(p @ p, np.eye(4))
+
+    def test_pauli_labels_count(self):
+        assert len(two_qubit_pauli_labels()) == 15
+        assert len(two_qubit_pauli_labels(include_identity=True)) == 16
+        assert "II" not in two_qubit_pauli_labels()
+
+    def test_pauli_traces_vanish(self):
+        for label in two_qubit_pauli_labels():
+            assert abs(np.trace(pauli_matrix(label))) < 1e-12

@@ -1,0 +1,97 @@
+"""Tests for the Bellman-Ford difference-constraint feasibility check."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt.feasibility import difference_feasible
+from repro.smt.model import DiffConstraint
+
+
+class TestFeasible:
+    def test_empty_system(self):
+        sol = difference_feasible(3, [])
+        assert sol == [0.0, 0.0, 0.0]
+
+    def test_simple_chain(self):
+        constraints = [DiffConstraint(1, 0, 10.0), DiffConstraint(2, 1, 5.0)]
+        sol = difference_feasible(3, constraints)
+        assert sol[1] - sol[0] >= 10.0
+        assert sol[2] - sol[1] >= 5.0
+
+    def test_asap_minimality(self):
+        constraints = [DiffConstraint(1, 0, 10.0), DiffConstraint(2, 1, 5.0)]
+        sol = difference_feasible(3, constraints)
+        assert sol == [0.0, 10.0, 15.0]
+
+    def test_lower_bounds(self):
+        sol = difference_feasible(2, [DiffConstraint.at_least(1, 42.0)])
+        assert sol[1] == 42.0
+
+    def test_multiple_paths_take_max(self):
+        constraints = [
+            DiffConstraint(2, 0, 10.0),
+            DiffConstraint(1, 0, 8.0),
+            DiffConstraint(2, 1, 8.0),
+        ]
+        sol = difference_feasible(3, constraints)
+        assert sol[2] == 16.0
+
+    def test_equality_cycle_is_feasible(self):
+        constraints = list(DiffConstraint.equal(0, 1))
+        sol = difference_feasible(2, constraints)
+        assert sol[0] == sol[1]
+
+
+class TestInfeasible:
+    def test_positive_cycle(self):
+        constraints = [DiffConstraint(1, 0, 5.0), DiffConstraint(0, 1, 1.0)]
+        assert difference_feasible(2, constraints) is None
+
+    def test_longer_cycle(self):
+        constraints = [
+            DiffConstraint(1, 0, 1.0),
+            DiffConstraint(2, 1, 1.0),
+            DiffConstraint(0, 2, -1.0),
+        ]
+        assert difference_feasible(3, constraints) is None
+
+    def test_negative_cycle_ok(self):
+        # x1 >= x0 + 1 and x0 >= x1 - 2 is satisfiable
+        constraints = [DiffConstraint(1, 0, 1.0), DiffConstraint(0, 1, -2.0)]
+        assert difference_feasible(2, constraints) is not None
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_random_dag_constraints_always_feasible(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(3, 10))
+    constraints = []
+    for _ in range(n * 2):
+        j = int(rng.integers(1, n))
+        i = int(rng.integers(0, j))
+        constraints.append(DiffConstraint(j, i, float(rng.uniform(0, 100))))
+    sol = difference_feasible(n, constraints)
+    assert sol is not None
+    for c in constraints:
+        assert sol[c.var_hi] - sol[c.var_lo] >= c.offset - 1e-9
+    assert all(v >= -1e-9 for v in sol)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_solution_satisfies_all_constraints_when_feasible(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 8))
+    constraints = []
+    for _ in range(n * 3):
+        i, j = rng.choice(n, 2, replace=False)
+        constraints.append(
+            DiffConstraint(int(i), int(j), float(rng.uniform(-50, 50)))
+        )
+    sol = difference_feasible(n, constraints)
+    if sol is not None:
+        for c in constraints:
+            assert sol[c.var_hi] - sol[c.var_lo] >= c.offset - 1e-6

@@ -1,0 +1,72 @@
+"""Tests for the solver model objects."""
+
+import pytest
+
+from repro.smt.model import Decision, DiffConstraint, Option, ScheduleModel
+
+
+class TestDiffConstraint:
+    def test_after(self):
+        c = DiffConstraint.after(2, 1, 100.0)
+        assert (c.var_hi, c.var_lo, c.offset) == (2, 1, 100.0)
+
+    def test_at_least(self):
+        c = DiffConstraint.at_least(3, 50.0)
+        assert c.var_lo is None
+
+    def test_equal(self):
+        a, b = DiffConstraint.equal(0, 1)
+        assert a.offset == 0.0 and b.offset == 0.0
+        assert {a.var_hi, b.var_hi} == {0, 1}
+
+    def test_self_reference_rejected(self):
+        with pytest.raises(ValueError):
+            DiffConstraint(1, 1, 0.0)
+
+
+class TestDecision:
+    def test_needs_options(self):
+        with pytest.raises(ValueError):
+            Decision("empty", ())
+
+    def test_payload(self):
+        d = Decision("d", (Option("only"),), payload=(1, 2))
+        assert d.payload == (1, 2)
+
+
+class TestScheduleModel:
+    def test_needs_variables(self):
+        with pytest.raises(ValueError):
+            ScheduleModel(0)
+
+    def test_variable_range_checked(self):
+        model = ScheduleModel(2)
+        with pytest.raises(ValueError):
+            model.add_constraint(DiffConstraint(5, 0, 1.0))
+        with pytest.raises(ValueError):
+            model.add_objective_term(3, 1.0)
+        with pytest.raises(ValueError):
+            model.add_decision(
+                Decision("bad", (Option("o", (DiffConstraint(9, 0, 1.0),)),))
+            )
+
+    def test_objective_terms_accumulate(self):
+        model = ScheduleModel(2)
+        model.add_objective_term(0, 1.0)
+        model.add_objective_term(0, 2.0)
+        assert model.objective[0] == 3.0
+
+    def test_constraints_for_partial_assignment(self):
+        model = ScheduleModel(3)
+        model.add_constraint(DiffConstraint(1, 0, 10.0))
+        model.add_decision(Decision("d0", (
+            Option("a", (DiffConstraint(2, 1, 5.0),)),
+            Option("b", ()),
+        )))
+        model.add_decision(Decision("d1", (
+            Option("c", (DiffConstraint(2, 0, 99.0),)),
+        )))
+        assert len(model.constraints_for([])) == 1
+        assert len(model.constraints_for([0])) == 2
+        assert len(model.constraints_for([1])) == 1
+        assert len(model.constraints_for([0, 0])) == 3

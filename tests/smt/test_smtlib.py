@@ -1,0 +1,111 @@
+"""Tests for the SMT-LIB 2 export."""
+
+import re
+
+import pytest
+
+from repro.smt.model import Decision, DiffConstraint, Option, ScheduleModel
+from repro.smt.smtlib import (
+    assignment_to_smtlib_asserts,
+    model_to_smtlib,
+)
+
+
+@pytest.fixture()
+def model():
+    m = ScheduleModel(3)
+    m.add_constraint(DiffConstraint(1, 0, 10.0))
+    m.add_constraint(DiffConstraint.at_least(2, 5.0))
+    m.add_decision(Decision("pair_0_1", (
+        Option("g0_first", (DiffConstraint(1, 0, 20.0),)),
+        Option("overlap", ()),
+    )))
+    m.add_objective_term(2, 1.5)
+    m.objective_offset = 0.25
+    return m
+
+
+class TestExport:
+    def test_declares_all_variables(self, model):
+        text = model_to_smtlib(model)
+        for v in range(3):
+            assert f"(declare-const t{v} Real)" in text
+
+    def test_base_constraints_rendered(self, model):
+        text = model_to_smtlib(model)
+        assert "(assert (>= (- t1 t0) 10.0))" in text
+        assert "(assert (>= t2 5.0))" in text
+
+    def test_decision_flags_exactly_one(self, model):
+        text = model_to_smtlib(model)
+        assert "(declare-const d0_o0 Bool)" in text
+        assert "(assert (or d0_o0 d0_o1))" in text
+        assert "(assert (not (and d0_o0 d0_o1)))" in text
+
+    def test_option_implications(self, model):
+        text = model_to_smtlib(model)
+        assert "(assert (=> d0_o0 (>= (- t1 t0) 20.0)))" in text
+        assert "pair_0_1:g0_first" in text
+
+    def test_objective(self, model):
+        text = model_to_smtlib(model)
+        assert "(minimize" in text
+        assert "(* 1.5 t2)" in text
+        assert "0.25" in text
+        assert "(check-sat)" in text
+
+    def test_option_costs_in_objective(self, model):
+        text = model_to_smtlib(model, option_costs=[(0.0, 3.5)])
+        assert "(ite d0_o1 3.5 0.0)" in text
+
+    def test_option_costs_length_checked(self, model):
+        with pytest.raises(ValueError):
+            model_to_smtlib(model, option_costs=[(0.0,), (1.0,)])
+
+    def test_comment_embedded(self, model):
+        text = model_to_smtlib(model, comment="hello\nworld")
+        assert "; hello" in text
+        assert "; world" in text
+
+    def test_balanced_parentheses(self, model):
+        text = model_to_smtlib(model, option_costs=[(0.0, 3.5)])
+        code = re.sub(r";[^\n]*", "", text)
+        assert code.count("(") == code.count(")")
+
+
+class TestAssignmentAsserts:
+    def test_pins_choice(self, model):
+        text = assignment_to_smtlib_asserts(model, (1,))
+        assert "(assert d0_o1)" in text
+        assert "(assert (not d0_o0))" in text
+
+    def test_empty_assignment(self, model):
+        assert assignment_to_smtlib_asserts(model, ()) == ""
+
+
+class TestOnRealSchedulerModel:
+    def test_export_of_xtalk_model(self, poughkeepsie, pk_report):
+        """The scheduler's own model exports cleanly at realistic size."""
+        from repro.circuit.circuit import QuantumCircuit
+        from repro.core.scheduling.xtalk import XtalkScheduler
+        from repro.circuit.dag import CircuitDag
+        from repro.smt.model import ScheduleModel
+
+        circ = QuantumCircuit(20, 2)
+        circ.cx(5, 10)
+        circ.cx(11, 12)
+        circ.measure(10, 0)
+        circ.measure(11, 1)
+        xs = XtalkScheduler(poughkeepsie.calibration(), pk_report, omega=0.5)
+        dag = CircuitDag(circ)
+        var_of, num_vars, _ = xs._assign_variables(circ)
+        model = ScheduleModel(num_vars)
+        xs._add_dependency_constraints(model, circ, dag, var_of,
+                                       xs.calibration.durations)
+        pairs = xs._candidate_pairs(circ, dag)
+        xs._add_decisions(model, circ, pairs, var_of, xs.calibration.durations)
+        xs._add_decoherence_objective(model, circ, dag, var_of,
+                                      xs.calibration.durations)
+        text = model_to_smtlib(model, comment="xtalk pair circuit")
+        assert "(set-logic QF_LRA)" in text
+        assert text.count("declare-const") >= num_vars

@@ -1,0 +1,34 @@
+"""Smoke tests for the example scripts.
+
+Each example must import cleanly and expose a ``main`` callable; the
+docstring must say what it does and how long it takes.  (Full example runs
+are exercised manually / in CI-nightly — they are minutes-scale.)
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_module(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    module = load_module(path)
+    assert callable(getattr(module, "main", None)), path.name
+    assert module.__doc__ and "Run:" in module.__doc__, path.name
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "characterize_device", "schedule_qaoa",
+            "custom_device", "production_workflow"} <= names

@@ -1,0 +1,110 @@
+"""Tests for the SVG renderers."""
+
+import re
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.device.calibration import GateDurations
+from repro.transpiler.scheduling import hardware_schedule
+from repro.visualize import device_map_svg, line_chart_svg, schedule_svg
+
+DUR = GateDurations(single_qubit=50.0, cx={}, measurement=1000.0, default_cx=200.0)
+
+
+def parse_svg(text: str) -> ET.Element:
+    return ET.fromstring(text)
+
+
+class TestDeviceMap:
+    def test_well_formed_xml(self, poughkeepsie):
+        root = parse_svg(device_map_svg(poughkeepsie))
+        assert root.tag.endswith("svg")
+
+    def test_all_qubits_drawn(self, poughkeepsie):
+        text = device_map_svg(poughkeepsie)
+        assert text.count("<circle") == 20
+
+    def test_all_edges_drawn(self, poughkeepsie):
+        text = device_map_svg(poughkeepsie)
+        assert text.count("<line") == len(poughkeepsie.coupling.edges)
+
+    def test_crosstalk_arcs(self, poughkeepsie):
+        text = device_map_svg(poughkeepsie)
+        assert text.count("<path") == len(poughkeepsie.crosstalk.pairs)
+        assert "stroke-dasharray" in text
+
+    def test_custom_pairs_and_title(self, poughkeepsie, pk_report):
+        text = device_map_svg(poughkeepsie,
+                              high_pairs=pk_report.high_pairs(),
+                              title="measured <map>")
+        assert "measured &lt;map&gt;" in text
+        assert text.count("<path") == len(pk_report.high_pairs())
+
+
+class TestScheduleSvg:
+    def _schedule(self):
+        circ = QuantumCircuit(4, 2, name="demo")
+        circ.h(0)
+        circ.cx(0, 1)
+        circ.cx(2, 3)
+        circ.measure(1, 0)
+        circ.measure(3, 1)
+        return hardware_schedule(circ, DUR)
+
+    def test_well_formed(self):
+        root = parse_svg(schedule_svg(self._schedule()))
+        assert root.tag.endswith("svg")
+
+    def test_lane_labels(self):
+        text = schedule_svg(self._schedule())
+        for q in range(4):
+            assert f">q{q}<" in text
+
+    def test_rect_per_operation(self):
+        text = schedule_svg(self._schedule())
+        # 1 h + 2 cx + 2 measures = 5 rects
+        assert text.count("<rect") == 5
+
+    def test_qubit_subset(self):
+        text = schedule_svg(self._schedule(), qubits=[0, 1])
+        assert ">q0<" in text
+        assert ">q2<" not in text
+        # ops touching excluded lanes are skipped
+        assert text.count("<rect") == 3  # h, cx(0,1), measure(1)
+
+    def test_makespan_in_title(self):
+        sched = self._schedule()
+        assert f"{sched.makespan():.0f} ns" in schedule_svg(sched)
+
+
+class TestLineChart:
+    SERIES = {
+        "cond E(a|b)": [(0, 0.10), (1, 0.12), (2, 0.09)],
+        "indep E(a)": [(0, 0.012), (1, 0.011), (2, 0.013)],
+    }
+
+    def test_well_formed(self):
+        root = parse_svg(line_chart_svg(self.SERIES, title="drift"))
+        assert root.tag.endswith("svg")
+
+    def test_legend_and_title(self):
+        text = line_chart_svg(self.SERIES, title="drift <t>",
+                              x_label="day", y_label="error")
+        assert "drift &lt;t&gt;" in text
+        assert "cond E(a|b)" in text
+        assert "day" in text and "error" in text
+
+    def test_one_path_per_series(self):
+        text = line_chart_svg(self.SERIES)
+        assert text.count('stroke-width="2"') == 2
+        assert text.count("<circle") == 6
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart_svg({})
+
+    def test_flat_series_handled(self):
+        text = line_chart_svg({"flat": [(0, 1.0), (1, 1.0)]})
+        assert "<path" in text

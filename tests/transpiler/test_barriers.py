@@ -1,0 +1,85 @@
+"""Tests for barrier-based schedule realization."""
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.device.calibration import GateDurations
+from repro.transpiler.barriers import (
+    reorder_and_barrier,
+    reorder_with_barriers,
+    strip_barriers,
+)
+from repro.transpiler.scheduling import hardware_schedule
+
+DUR = GateDurations(single_qubit=50.0, cx={}, measurement=1000.0, default_cx=200.0)
+
+
+def pair_circuit():
+    circ = QuantumCircuit(4, 2)
+    circ.cx(0, 1)   # 0
+    circ.cx(2, 3)   # 1
+    circ.measure(1, 0)  # 2
+    circ.measure(3, 1)  # 3
+    return circ
+
+
+class TestReorder:
+    def test_identity_order_no_pairs(self):
+        circ = pair_circuit()
+        out, positions = reorder_with_barriers(circ, [0, 1, 2, 3], [])
+        assert strip_barriers(out) == circ
+        assert positions == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_invalid_order_rejected(self):
+        circ = pair_circuit()
+        with pytest.raises(ValueError):
+            reorder_and_barrier(circ, [0, 1, 2], [])
+        with pytest.raises(ValueError):
+            reorder_and_barrier(circ, [0, 0, 2, 3], [])
+
+    def test_serialized_pair_gets_barrier(self):
+        circ = pair_circuit()
+        out, positions = reorder_with_barriers(circ, [0, 1, 2, 3], [(0, 1)])
+        barriers = [i for i in out if i.is_barrier]
+        assert len(barriers) == 1
+        assert barriers[0].qubits == (0, 1, 2, 3)
+        # hardware schedule must now serialize the two CNOTs
+        sched = hardware_schedule(out, DUR)
+        a = sched[positions[0]]
+        b = sched[positions[1]]
+        assert not a.overlaps(b)
+
+    def test_barrier_respects_order_argument(self):
+        circ = pair_circuit()
+        # emit cx(2,3) first: barrier must land before cx(0,1)
+        out, positions = reorder_with_barriers(circ, [1, 0, 2, 3], [(0, 1)])
+        sched = hardware_schedule(out, DUR)
+        assert sched[positions[1]].end <= sched[positions[0]].start + 1e-9
+
+    def test_positions_map_accounts_for_barriers(self):
+        circ = pair_circuit()
+        out, positions = reorder_with_barriers(circ, [0, 1, 2, 3], [(0, 1)])
+        for original, new in positions.items():
+            assert out[new].name == circ[original].name
+            assert out[new].qubits == circ[original].qubits
+
+    def test_multiple_pairs_one_barrier_each(self):
+        circ = QuantumCircuit(6, 0)
+        circ.cx(0, 1)
+        circ.cx(2, 3)
+        circ.cx(4, 5)
+        out, _ = reorder_with_barriers(circ, [0, 1, 2], [(0, 1), (1, 2)])
+        assert sum(1 for i in out if i.is_barrier) == 2
+
+
+class TestStripBarriers:
+    def test_removes_all_barriers(self):
+        circ = QuantumCircuit(2).h(0).barrier().x(1).barrier(0)
+        stripped = strip_barriers(circ)
+        assert [i.name for i in stripped] == ["h", "x"]
+
+    def test_no_barriers_is_copy(self):
+        circ = QuantumCircuit(2).h(0)
+        stripped = strip_barriers(circ)
+        assert stripped == circ
+        assert stripped is not circ

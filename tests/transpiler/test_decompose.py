@@ -1,0 +1,68 @@
+"""Tests for basis decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.sim.statevector import simulate_statevector
+from repro.transpiler.decompose import count_physical_cnots, decompose_to_basis
+
+
+class TestSwapDecomposition:
+    def test_swap_becomes_three_cx(self):
+        circ = QuantumCircuit(2).swap(0, 1)
+        lowered = decompose_to_basis(circ)
+        assert [i.name for i in lowered] == ["cx", "cx", "cx"]
+        assert lowered[0].qubits == (0, 1)
+        assert lowered[1].qubits == (1, 0)
+        assert lowered[2].qubits == (0, 1)
+
+    @pytest.mark.parametrize("input_state", range(4))
+    def test_swap_equivalence(self, input_state):
+        prep = QuantumCircuit(2)
+        if input_state & 1:
+            prep.x(0)
+        if input_state & 2:
+            prep.x(1)
+        original = prep.copy().swap(0, 1)
+        lowered = decompose_to_basis(original)
+        v1 = simulate_statevector(original).vector
+        v2 = simulate_statevector(lowered).vector
+        assert np.allclose(v1, v2)
+
+    def test_swap_equivalence_on_superposition(self):
+        circ = QuantumCircuit(2).h(0).t(0).swap(0, 1)
+        v1 = simulate_statevector(circ).vector
+        v2 = simulate_statevector(decompose_to_basis(circ)).vector
+        assert np.allclose(v1, v2)
+
+
+class TestCzDecomposition:
+    def test_cz_becomes_h_cx_h(self):
+        lowered = decompose_to_basis(QuantumCircuit(2).cz(0, 1))
+        assert [i.name for i in lowered] == ["h", "cx", "h"]
+
+    def test_cz_equivalence(self):
+        circ = QuantumCircuit(2).h(0).h(1).cz(0, 1)
+        v1 = simulate_statevector(circ).vector
+        v2 = simulate_statevector(decompose_to_basis(circ)).vector
+        assert np.allclose(v1, v2)
+
+
+class TestPassthrough:
+    def test_other_gates_unchanged(self):
+        circ = QuantumCircuit(2, 1).h(0).cx(0, 1).measure(0, 0)
+        lowered = decompose_to_basis(circ)
+        assert lowered == circ
+
+    def test_labels_propagate(self):
+        circ = QuantumCircuit(2)
+        circ.add("swap", 0, 1, label="tagged")
+        lowered = decompose_to_basis(circ)
+        assert all(i.label == "tagged" for i in lowered)
+
+
+class TestCounting:
+    def test_count_physical_cnots(self):
+        circ = QuantumCircuit(3).swap(0, 1).cz(1, 2).cx(0, 1)
+        assert count_physical_cnots(circ) == 5

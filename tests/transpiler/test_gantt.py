@@ -1,0 +1,61 @@
+"""Tests for the ASCII Gantt rendering of schedules."""
+
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.device.calibration import GateDurations
+from repro.transpiler.scheduling import hardware_schedule
+
+DUR = GateDurations(single_qubit=50.0, cx={}, measurement=1000.0, default_cx=200.0)
+
+
+def build_schedule():
+    circ = QuantumCircuit(4, 2)
+    circ.h(0)
+    circ.cx(0, 1)
+    circ.cx(2, 3)
+    circ.measure(1, 0)
+    circ.measure(3, 1)
+    return hardware_schedule(circ, DUR)
+
+
+class TestGantt:
+    def test_one_row_per_active_qubit(self):
+        chart = build_schedule().gantt()
+        lines = chart.splitlines()
+        assert len(lines) == 5  # header + q0..q3
+        assert lines[1].startswith("q0")
+        assert lines[4].startswith("q3")
+
+    def test_marks_present(self):
+        chart = build_schedule().gantt()
+        assert "#" in chart   # cx spans
+        assert "=" in chart   # the h gate
+        assert "M" in chart   # measurements
+
+    def test_qubit_subset(self):
+        chart = build_schedule().gantt(qubits=[1, 3])
+        lines = chart.splitlines()
+        assert len(lines) == 3
+        assert lines[1].startswith("q1")
+
+    def test_header_shows_makespan(self):
+        sched = build_schedule()
+        chart = sched.gantt()
+        assert f"{sched.makespan():.0f} ns" in chart.splitlines()[0]
+
+    def test_idle_time_dotted(self):
+        # qubit 0 finishes early, then idles until... actually it has no
+        # measurement; use qubit 2 whose cx is right-aligned: the chart
+        # should show dots only inside lifetimes, spaces outside.
+        chart = build_schedule().gantt(width=40)
+        q2_row = [l for l in chart.splitlines() if l.startswith("q2")][0]
+        body = q2_row[5:]
+        assert body.strip()  # something drawn
+        # right-aligned: leading whitespace before the lifetime starts
+        assert body[0] == " "
+
+    def test_custom_width(self):
+        chart = build_schedule().gantt(width=30)
+        for line in chart.splitlines()[1:]:
+            assert len(line) <= 30 + 5

@@ -1,0 +1,85 @@
+"""Tests for noise-aware region selection."""
+
+import pytest
+
+from repro.device.topology import line_coupling_map
+from repro.experiments.common import ground_truth_report
+from repro.transpiler.layout import (
+    best_path_region,
+    enumerate_path_regions,
+    rank_path_regions,
+    score_region,
+)
+
+
+class TestEnumeration:
+    def test_line_paths(self):
+        line = line_coupling_map(5)
+        regions = enumerate_path_regions(line, 3)
+        assert regions == [(0, 1, 2), (1, 2, 3), (2, 3, 4)]
+
+    def test_poughkeepsie_4q_regions(self, poughkeepsie):
+        regions = enumerate_path_regions(poughkeepsie.coupling, 4)
+        assert (5, 10, 11, 12) in regions
+        for region in regions:
+            for a, b in zip(region, region[1:]):
+                assert poughkeepsie.coupling.has_edge(a, b)
+            assert region[0] < region[-1]
+
+    def test_too_long_raises_in_best(self):
+        line = line_coupling_map(3)
+        with pytest.raises(ValueError):
+            best_path_region(line, None, 5)  # no path; calibration unused
+
+
+class TestScoring:
+    def test_components_nonnegative(self, poughkeepsie, pk_report):
+        score = score_region((5, 10, 11, 12), poughkeepsie.coupling,
+                             poughkeepsie.calibration(), pk_report)
+        assert score.gate_error > 0
+        assert score.crosstalk_penalty > 0  # (5,10)|(11,12) is planted
+        assert score.coherence_penalty > 0
+        assert score.readout_error > 0
+        assert score.total == pytest.approx(
+            score.gate_error + score.crosstalk_penalty
+            + score.coherence_penalty + score.readout_error
+        )
+
+    def test_clean_region_has_no_crosstalk_penalty(self, poughkeepsie,
+                                                   pk_report):
+        score = score_region((0, 1, 2, 3), poughkeepsie.coupling,
+                             poughkeepsie.calibration(), pk_report)
+        # background-level conditionals only; penalty near zero
+        assert score.crosstalk_penalty < 0.02
+
+    def test_without_report_no_crosstalk_term(self, poughkeepsie):
+        score = score_region((5, 10, 11, 12), poughkeepsie.coupling,
+                             poughkeepsie.calibration(), report=None)
+        assert score.crosstalk_penalty == 0.0
+
+
+class TestSelection:
+    def test_best_region_avoids_crosstalk_and_slow_qubits(self, poughkeepsie,
+                                                          pk_report):
+        best = best_path_region(poughkeepsie.coupling,
+                                poughkeepsie.calibration(), 4, pk_report)
+        assert 10 not in best.region  # the <6 us qubit
+        # the crosstalk-prone middle regions lose to cleaner rows
+        assert best.region != (5, 10, 11, 12)
+
+    def test_ranking_sorted(self, poughkeepsie, pk_report):
+        ranked = rank_path_regions(poughkeepsie.coupling,
+                                   poughkeepsie.calibration(), 4, pk_report,
+                                   top=5)
+        totals = [s.total for s in ranked]
+        assert totals == sorted(totals)
+        assert len(ranked) == 5
+
+    def test_crosstalk_report_changes_choice(self, poughkeepsie, pk_report):
+        """With the report, crosstalk-prone regions rank strictly worse."""
+        cal = poughkeepsie.calibration()
+        with_report = score_region((5, 10, 11, 12), poughkeepsie.coupling,
+                                   cal, pk_report)
+        without = score_region((5, 10, 11, 12), poughkeepsie.coupling, cal,
+                               None)
+        assert with_report.total > without.total

@@ -1,0 +1,153 @@
+"""Tests for SWAP routing: plans, Bell-state preparation, general routing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.device.topology import grid_coupling_map, line_coupling_map
+from repro.sim.statevector import simulate_statevector
+from repro.transpiler.decompose import decompose_to_basis
+from repro.transpiler.routing import (
+    meet_in_middle_plan,
+    route_circuit,
+    swap_path_circuit,
+)
+
+
+class TestMeetInMiddlePlan:
+    def test_adjacent_qubits_need_no_swaps(self):
+        line = line_coupling_map(4)
+        plan = meet_in_middle_plan(line, 1, 2)
+        assert plan.left_swaps == ()
+        assert plan.right_swaps == ()
+        assert plan.cnot == (1, 2)
+
+    def test_distance_two(self):
+        line = line_coupling_map(4)
+        plan = meet_in_middle_plan(line, 0, 2)
+        assert plan.left_swaps == ()
+        assert plan.right_swaps == ((2, 1),)
+        assert plan.cnot == (0, 1)
+
+    def test_paper_example_0_13(self, poughkeepsie):
+        # The paper's Figure 6 route, pinned explicitly (the device has a
+        # second shortest path through (7,12)).
+        plan = meet_in_middle_plan(
+            poughkeepsie.coupling, 0, 13, path=(0, 5, 10, 11, 12, 13)
+        )
+        assert plan.left_swaps == ((0, 5), (5, 10))
+        assert plan.right_swaps == ((13, 12), (12, 11))
+        assert plan.cnot == (10, 11)
+
+    def test_explicit_path_validated(self, poughkeepsie):
+        with pytest.raises(ValueError, match="source to dest"):
+            meet_in_middle_plan(poughkeepsie.coupling, 0, 13, path=(0, 5, 10))
+        with pytest.raises(ValueError, match="coupling edge"):
+            meet_in_middle_plan(poughkeepsie.coupling, 0, 13,
+                                path=(0, 5, 12, 13))
+
+    def test_default_path_is_deterministic(self, poughkeepsie):
+        p1 = meet_in_middle_plan(poughkeepsie.coupling, 0, 13)
+        p2 = meet_in_middle_plan(poughkeepsie.coupling, 0, 13)
+        assert p1.path == p2.path
+        assert len(p1.path) == 6
+
+    def test_same_qubit_rejected(self):
+        line = line_coupling_map(4)
+        with pytest.raises(ValueError):
+            meet_in_middle_plan(line, 2, 2)
+
+    def test_swap_counts_balanced(self):
+        line = line_coupling_map(10)
+        plan = meet_in_middle_plan(line, 0, 9)
+        assert abs(len(plan.left_swaps) - len(plan.right_swaps)) <= 1
+        assert len(plan.left_swaps) + len(plan.right_swaps) == 8
+
+
+class TestSwapPathCircuit:
+    @pytest.mark.parametrize("dist", [1, 2, 3, 4, 5])
+    def test_prepares_bell_state_on_meeting_pair(self, dist):
+        line = line_coupling_map(6)
+        circ = swap_path_circuit(line, 0, dist)
+        plan = meet_in_middle_plan(line, 0, dist)
+        state = simulate_statevector(decompose_to_basis(circ))
+        qa, qb = plan.cnot
+        probs = state.probabilities([qa, qb])
+        assert probs[0] == pytest.approx(0.5, abs=1e-9)
+        assert probs[3] == pytest.approx(0.5, abs=1e-9)
+
+    def test_swap_count_matches_distance(self):
+        line = line_coupling_map(8)
+        circ = swap_path_circuit(line, 0, 7)
+        assert circ.count_ops()["swap"] == 6
+        assert circ.count_ops()["cx"] == 1
+
+
+class TestRouteCircuit:
+    def test_adjacent_gates_untouched(self):
+        line = line_coupling_map(3)
+        circ = QuantumCircuit(3).cx(0, 1).cx(1, 2)
+        routed, layout = route_circuit(circ, line)
+        assert routed.count_ops().get("swap", 0) == 0
+        assert layout == [0, 1, 2]
+
+    def test_distant_gate_gets_swaps(self):
+        line = line_coupling_map(4)
+        circ = QuantumCircuit(4).cx(0, 3)
+        routed, layout = route_circuit(circ, line)
+        assert routed.count_ops()["swap"] == 2
+        # every 2q gate lands on an edge
+        for instr in routed:
+            if instr.is_two_qubit:
+                assert line.has_edge(*instr.qubits)
+
+    def test_layout_tracks_permutation(self):
+        line = line_coupling_map(4)
+        circ = QuantumCircuit(4).cx(0, 3)
+        routed, layout = route_circuit(circ, line)
+        assert sorted(layout) == [0, 1, 2, 3]
+
+    def test_initial_layout_length_checked(self):
+        line = line_coupling_map(3)
+        with pytest.raises(ValueError):
+            route_circuit(QuantumCircuit(2).cx(0, 1), line, initial_layout=[0])
+
+    def test_semantics_preserved_on_line(self):
+        """Routed circuit acts like the original up to the final layout."""
+        line = line_coupling_map(4)
+        logical = QuantumCircuit(4).h(0).cx(0, 3).cx(1, 2)
+        routed, layout = route_circuit(logical, line)
+        state_logical = simulate_statevector(logical)
+        state_routed = simulate_statevector(decompose_to_basis(routed))
+        # compare probability of logical qubit q being 1 with the physical
+        # qubit layout[q]
+        for q in range(4):
+            assert state_logical.probability_of_one(q) == pytest.approx(
+                state_routed.probability_of_one(layout[q]), abs=1e-9
+            )
+
+    def test_barrier_and_measure_remapped(self):
+        line = line_coupling_map(3)
+        circ = QuantumCircuit(3, 1).h(0).barrier(0, 1).measure(0, 0)
+        routed, _ = route_circuit(circ, line, initial_layout=[2, 1, 0])
+        assert routed[0].qubits == (2,)
+        assert routed[1].qubits == (2, 1)
+        assert routed[2].qubits == (2,)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_routing_random_circuits_on_grid(seed):
+    rng = np.random.default_rng(seed)
+    grid = grid_coupling_map(2, 3)
+    circ = QuantumCircuit(6)
+    for _ in range(12):
+        a, b = rng.choice(6, 2, replace=False)
+        circ.cx(int(a), int(b))
+    routed, layout = route_circuit(circ, grid)
+    assert sorted(layout) == list(range(6))
+    for instr in routed:
+        if instr.is_two_qubit and instr.name == "cx":
+            assert grid.has_edge(*instr.qubits)

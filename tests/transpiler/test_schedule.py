@@ -1,0 +1,118 @@
+"""Tests for the timed-schedule data structure."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.dag import CircuitDag
+from repro.device.calibration import GateDurations
+from repro.transpiler.schedule import Schedule, TimedInstruction
+
+DUR = GateDurations(single_qubit=50.0, cx={}, measurement=1000.0, default_cx=200.0)
+
+
+def timed(name, qubits, start, duration, index=0, clbit=None):
+    from repro.circuit.gates import Instruction
+
+    return TimedInstruction(index, Instruction(name, qubits, clbit=clbit),
+                            start, duration)
+
+
+class TestTimedInstruction:
+    def test_end(self):
+        t = timed("h", (0,), 10.0, 50.0)
+        assert t.end == 60.0
+
+    def test_overlap_detection(self):
+        a = timed("cx", (0, 1), 0.0, 200.0)
+        b = timed("cx", (2, 3), 100.0, 200.0, index=1)
+        c = timed("cx", (2, 3), 200.0, 200.0, index=2)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+        assert not a.overlaps(c)  # touching boundaries do not overlap
+
+    def test_format(self):
+        assert "cx q0, q1" in timed("cx", (0, 1), 0.0, 200.0).format()
+
+
+class TestSchedule:
+    def build(self):
+        circ = QuantumCircuit(4, 2)
+        circ.h(0)              # 0: 50ns
+        circ.cx(0, 1)          # 1: 200ns
+        circ.cx(2, 3)          # 2: 200ns
+        circ.measure(1, 0)     # 3
+        circ.measure(3, 1)     # 4
+        starts = [0.0, 50.0, 0.0, 250.0, 250.0]
+        return circ, Schedule(circ, DUR, starts)
+
+    def test_length_checked(self):
+        circ = QuantumCircuit(2).h(0)
+        with pytest.raises(ValueError):
+            Schedule(circ, DUR, [0.0, 1.0])
+
+    def test_negative_start_rejected(self):
+        circ = QuantumCircuit(2).h(0)
+        with pytest.raises(ValueError):
+            Schedule(circ, DUR, [-5.0])
+
+    def test_makespan(self):
+        _, sched = self.build()
+        assert sched.makespan() == 1250.0
+
+    def test_qubit_timeline_sorted(self):
+        _, sched = self.build()
+        names = [t.instruction.name for t in sched.qubit_timeline(1)]
+        assert names == ["cx", "measure"]
+
+    def test_qubit_lifetime(self):
+        _, sched = self.build()
+        # qubit 0: h at 0 to cx end at 250
+        assert sched.qubit_lifetime(0) == 250.0
+        # qubit 3: cx 0-200, measure 250-1250
+        assert sched.qubit_lifetime(3) == 1250.0
+        assert sched.qubit_lifetime(2) == 200.0
+
+    def test_lifetime_empty_qubit(self):
+        circ = QuantumCircuit(3).h(0)
+        sched = Schedule(circ, DUR, [0.0])
+        assert sched.qubit_lifetime(2) == 0.0
+
+    def test_idle_windows(self):
+        _, sched = self.build()
+        assert sched.idle_windows(3) == ((200.0, 250.0),)
+        assert sched.idle_windows(0) == ()
+
+    def test_overlapping_two_qubit_pairs(self):
+        _, sched = self.build()
+        assert sched.overlapping_two_qubit_pairs() == ((1, 2),)
+
+    def test_simultaneous_partners(self):
+        _, sched = self.build()
+        partners = sched.simultaneous_partners(1)
+        assert [p.index for p in partners] == [2]
+        with pytest.raises(ValueError):
+            sched.simultaneous_partners(0)  # h is not a 2q gate
+
+    def test_validate_dependencies(self):
+        circ, sched = self.build()
+        dag = CircuitDag(circ)
+        assert sched.validate_dependencies(dag)
+        bad = Schedule(circ, DUR, [0.0, 0.0, 0.0, 250.0, 250.0])
+        assert not bad.validate_dependencies(dag)
+
+    def test_shifted(self):
+        _, sched = self.build()
+        moved = sched.shifted(100.0)
+        assert moved.makespan() == sched.makespan() + 100.0
+
+    def test_format_lists_qubits(self):
+        _, sched = self.build()
+        text = sched.format()
+        assert "makespan" in text
+        assert "q0" in text
+
+    def test_barriers_excluded_from_timeline(self):
+        circ = QuantumCircuit(2).h(0).barrier().h(0)
+        sched = Schedule(circ, DUR, [0.0, 50.0, 50.0])
+        assert len(sched.qubit_timeline(0)) == 2

@@ -1,0 +1,83 @@
+"""Tests for the Hidden Shift workload."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.statevector import ideal_distribution
+from repro.workloads.hidden_shift import (
+    expected_output,
+    hidden_shift_circuit,
+    hidden_shift_on_region,
+)
+
+
+class TestLogicalCircuit:
+    @pytest.mark.parametrize("shift", ["0000", "1010", "0110", "1111"])
+    def test_recovers_shift_noiselessly(self, shift):
+        circ = hidden_shift_circuit(shift)
+        circ.measure_all()
+        dist = ideal_distribution(circ)
+        assert dist == {expected_output(shift): pytest.approx(1.0)}
+
+    def test_invalid_shift_rejected(self):
+        with pytest.raises(ValueError):
+            hidden_shift_circuit("101")
+        with pytest.raises(ValueError):
+            hidden_shift_circuit("10a0")
+
+    def test_two_layers_of_two_cnots(self):
+        circ = hidden_shift_circuit("1010")
+        assert circ.count_ops()["cx"] == 4
+
+    def test_redundant_variant_triples_cnots(self):
+        circ = hidden_shift_circuit("1010", redundant=True)
+        assert circ.count_ops()["cx"] == 12
+        labels = [i.label for i in circ if i.name == "cx"]
+        assert labels.count("redundant") == 8
+
+    def test_redundant_variant_same_output(self):
+        for shift in ("1010", "0101"):
+            plain = hidden_shift_circuit(shift)
+            plain.measure_all()
+            redundant = hidden_shift_circuit(shift, redundant=True)
+            redundant.measure_all()
+            assert ideal_distribution(plain) == pytest.approx(
+                ideal_distribution(redundant)
+            )
+
+
+class TestRegionPlacement:
+    def test_region_circuit_recovers_shift(self, poughkeepsie):
+        circ = hidden_shift_on_region(
+            poughkeepsie.coupling, (5, 10, 11, 12), shift="1010"
+        )
+        dist = ideal_distribution(circ)
+        assert dist == {expected_output("1010"): pytest.approx(1.0)}
+
+    def test_region_length_checked(self, poughkeepsie):
+        with pytest.raises(ValueError, match="4-qubit"):
+            hidden_shift_on_region(poughkeepsie.coupling, (5, 10, 11))
+
+    def test_non_path_rejected(self, poughkeepsie):
+        with pytest.raises(ValueError, match="not a path"):
+            hidden_shift_on_region(poughkeepsie.coupling, (0, 2, 3, 4))
+
+    def test_oracle_lands_on_outer_edges(self, poughkeepsie):
+        circ = hidden_shift_on_region(
+            poughkeepsie.coupling, (5, 10, 11, 12), shift="0000"
+        )
+        edges = {tuple(sorted(i.qubits)) for i in circ if i.name == "cx"}
+        assert edges == {(5, 10), (11, 12)}
+
+
+@settings(max_examples=16, deadline=None)
+@given(bits=st.integers(0, 15))
+def test_all_shifts_recovered(bits):
+    shift = format(bits, "04b")
+    circ = hidden_shift_circuit(shift)
+    circ.measure_all()
+    dist = ideal_distribution(circ)
+    assert dist == {expected_output(shift): pytest.approx(1.0)}

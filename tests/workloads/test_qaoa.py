@@ -1,0 +1,63 @@
+"""Tests for the QAOA workload."""
+
+import numpy as np
+import pytest
+
+from repro.sim.statevector import ideal_distribution
+from repro.workloads.qaoa import QAOA_REGIONS, qaoa_ansatz, qaoa_on_region
+
+
+class TestAnsatz:
+    def test_paper_gate_counts(self):
+        circ = qaoa_ansatz()
+        assert len(circ) == 43
+        assert circ.two_qubit_gate_count() == 9
+
+    def test_deterministic_by_seed(self):
+        assert qaoa_ansatz(seed=5) == qaoa_ansatz(seed=5)
+        assert qaoa_ansatz(seed=5) != qaoa_ansatz(seed=6)
+
+    def test_entanglers_on_line(self):
+        circ = qaoa_ansatz()
+        for instr in circ:
+            if instr.is_two_qubit:
+                a, b = sorted(instr.qubits)
+                assert b - a == 1  # line connectivity
+
+    def test_layers_parameter(self):
+        shallow = qaoa_ansatz(layers=1)
+        assert shallow.two_qubit_gate_count() == 3
+
+
+class TestRegionPlacement:
+    def test_valid_region(self, poughkeepsie):
+        circ = qaoa_on_region(poughkeepsie.coupling, (5, 10, 11, 12))
+        assert circ.num_qubits == 20
+        for instr in circ:
+            if instr.is_two_qubit:
+                assert poughkeepsie.coupling.has_edge(*instr.qubits)
+        assert sum(1 for i in circ if i.is_measure) == 4
+
+    def test_all_paper_regions_valid(self, poughkeepsie):
+        for region in QAOA_REGIONS:
+            qaoa_on_region(poughkeepsie.coupling, region)
+
+    def test_invalid_region_rejected(self, poughkeepsie):
+        with pytest.raises(ValueError, match="not a path"):
+            qaoa_on_region(poughkeepsie.coupling, (0, 1, 3, 4))
+
+    def test_ideal_distribution_normalized(self, poughkeepsie):
+        circ = qaoa_on_region(poughkeepsie.coupling, (5, 10, 11, 12), seed=11)
+        dist = ideal_distribution(circ)
+        assert sum(dist.values()) == pytest.approx(1.0)
+        assert all(len(k) == 4 for k in dist)
+
+    def test_placement_preserves_distribution(self, poughkeepsie):
+        logical = qaoa_ansatz(seed=11)
+        logical_measured = logical.copy()
+        logical_measured.measure_all()
+        placed = qaoa_on_region(poughkeepsie.coupling, (5, 10, 11, 12), seed=11)
+        d_logical = ideal_distribution(logical_measured)
+        d_placed = ideal_distribution(placed)
+        for bits, p in d_logical.items():
+            assert d_placed.get(bits, 0.0) == pytest.approx(p, abs=1e-9)

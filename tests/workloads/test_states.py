@@ -1,0 +1,87 @@
+"""Tests for the GHZ and Bernstein-Vazirani workloads."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.statevector import ideal_distribution
+from repro.workloads.states import (
+    bernstein_vazirani_circuit,
+    bv_expected_output,
+    bv_on_region,
+    ghz_chain_circuit,
+    ghz_on_region,
+)
+
+
+class TestGhz:
+    def test_distribution(self):
+        circ = ghz_chain_circuit(4)
+        circ.measure_all()
+        dist = ideal_distribution(circ)
+        assert dist == {
+            "0000": pytest.approx(0.5),
+            "1111": pytest.approx(0.5),
+        }
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            ghz_chain_circuit(1)
+
+    def test_on_region(self, poughkeepsie):
+        circ = ghz_on_region(poughkeepsie.coupling, (5, 10, 11, 12))
+        dist = ideal_distribution(circ)
+        assert set(dist) == {"0000", "1111"}
+        for instr in circ:
+            if instr.is_two_qubit:
+                assert poughkeepsie.coupling.has_edge(*instr.qubits)
+
+    def test_bad_region(self, poughkeepsie):
+        with pytest.raises(ValueError, match="not a path"):
+            ghz_on_region(poughkeepsie.coupling, (0, 2, 3))
+
+
+class TestBernsteinVazirani:
+    @pytest.mark.parametrize("secret", ["101", "0000", "111", "10"])
+    def test_recovers_secret(self, secret):
+        circ = bernstein_vazirani_circuit(secret)
+        n = len(secret)
+        circ.num_clbits = n
+        for q in range(n):
+            circ.measure(q, q)
+        dist = ideal_distribution(circ)
+        assert dist == {bv_expected_output(secret): pytest.approx(1.0)}
+
+    def test_secret_validation(self):
+        with pytest.raises(ValueError):
+            bernstein_vazirani_circuit("")
+        with pytest.raises(ValueError):
+            bernstein_vazirani_circuit("10x")
+
+    def test_cnot_count_matches_ones(self):
+        circ = bernstein_vazirani_circuit("1011")
+        assert circ.count_ops()["cx"] == 3
+
+    def test_on_region_routed(self, poughkeepsie):
+        circ = bv_on_region(poughkeepsie.coupling, (5, 10, 11, 12), "101")
+        dist = ideal_distribution(circ)
+        assert dist == {bv_expected_output("101"): pytest.approx(1.0)}
+        for instr in circ:
+            if instr.name == "cx":
+                assert poughkeepsie.coupling.has_edge(*instr.qubits)
+
+    def test_region_size_checked(self, poughkeepsie):
+        with pytest.raises(ValueError, match="len"):
+            bv_on_region(poughkeepsie.coupling, (5, 10, 11), "101")
+
+
+@settings(max_examples=10, deadline=None)
+@given(bits=st.integers(1, 15))
+def test_bv_random_secrets(bits):
+    secret = format(bits, "04b")
+    circ = bernstein_vazirani_circuit(secret)
+    circ.num_clbits = 4
+    for q in range(4):
+        circ.measure(q, q)
+    dist = ideal_distribution(circ)
+    assert dist == {bv_expected_output(secret): pytest.approx(1.0)}

@@ -1,0 +1,46 @@
+"""Tests for the supremacy-style random circuit generator."""
+
+import pytest
+
+from repro.workloads.supremacy import supremacy_circuit
+
+
+class TestSupremacy:
+    def test_gate_count_reached(self, poughkeepsie):
+        circ = supremacy_circuit(poughkeepsie.coupling, range(8), 200, seed=1)
+        non_measure = [i for i in circ if not i.is_measure]
+        assert len(non_measure) == 200
+
+    def test_two_qubit_gates_on_edges(self, poughkeepsie):
+        circ = supremacy_circuit(poughkeepsie.coupling, range(12), 300, seed=2)
+        for instr in circ:
+            if instr.is_two_qubit:
+                assert poughkeepsie.coupling.has_edge(*instr.qubits)
+
+    def test_gates_stay_in_subset(self, poughkeepsie):
+        qubits = list(range(6))
+        circ = supremacy_circuit(poughkeepsie.coupling, qubits, 100, seed=3)
+        for instr in circ:
+            assert set(instr.qubits) <= set(qubits)
+
+    def test_all_subset_qubits_measured(self, poughkeepsie):
+        qubits = list(range(6))
+        circ = supremacy_circuit(poughkeepsie.coupling, qubits, 100, seed=4)
+        measured = {i.qubits[0] for i in circ if i.is_measure}
+        assert measured == set(qubits)
+
+    def test_deterministic_by_seed(self, poughkeepsie):
+        a = supremacy_circuit(poughkeepsie.coupling, range(6), 120, seed=9)
+        b = supremacy_circuit(poughkeepsie.coupling, range(6), 120, seed=9)
+        assert a == b
+
+    def test_has_parallelism(self, poughkeepsie):
+        circ = supremacy_circuit(poughkeepsie.coupling, range(12), 400, seed=5)
+        non_measure = sum(1 for i in circ if not i.is_measure)
+        assert circ.depth() < non_measure  # genuinely parallel structure
+
+    def test_validation(self, poughkeepsie):
+        with pytest.raises(ValueError):
+            supremacy_circuit(poughkeepsie.coupling, [0], 10)
+        with pytest.raises(ValueError):
+            supremacy_circuit(poughkeepsie.coupling, [0, 2], 10)  # no edge

@@ -1,0 +1,78 @@
+"""Tests for the SWAP-circuit workload."""
+
+import numpy as np
+import pytest
+
+from repro.sim.statevector import simulate_statevector
+from repro.workloads.swap import (
+    crosstalk_affected_endpoints,
+    crosstalk_free_endpoints,
+    crosstalk_route,
+    plan_has_crosstalk,
+    path_touches_crosstalk,
+    swap_benchmark,
+)
+from repro.transpiler.routing import meet_in_middle_plan
+
+
+class TestSwapBenchmark:
+    def test_structure(self, poughkeepsie):
+        bench = swap_benchmark(poughkeepsie.coupling, 0, 13,
+                               path=(0, 5, 10, 11, 12, 13))
+        assert bench.meeting_pair == (10, 11)
+        assert bench.path_length == 5
+        ops = bench.circuit.count_ops()
+        assert ops["cx"] == 4 * 3 + 1  # 4 swaps lowered + entangler
+        assert ops["measure"] == 2
+        assert bench.label == "0,13"
+
+    def test_prepares_bell_state_noiselessly(self, poughkeepsie):
+        bench = swap_benchmark(poughkeepsie.coupling, 5, 12)
+        state = simulate_statevector(bench.circuit)
+        qa, qb = bench.meeting_pair
+        probs = state.probabilities([qa, qb])
+        assert probs[0] == pytest.approx(0.5, abs=1e-9)
+        assert probs[3] == pytest.approx(0.5, abs=1e-9)
+
+
+class TestEndpointSelection:
+    def test_affected_endpoints_nonempty(self, poughkeepsie, pk_report):
+        endpoints = crosstalk_affected_endpoints(
+            poughkeepsie.coupling, pk_report.high_pairs()
+        )
+        assert len(endpoints) >= 10
+
+    def test_affected_plans_really_cross_high_pairs(self, poughkeepsie,
+                                                    pk_report):
+        highs = pk_report.high_pairs()
+        for s, d in crosstalk_affected_endpoints(poughkeepsie.coupling, highs):
+            route = crosstalk_route(poughkeepsie.coupling, s, d, highs)
+            assert route is not None
+            plan = meet_in_middle_plan(poughkeepsie.coupling, s, d, path=route)
+            assert plan_has_crosstalk(plan, highs)
+
+    def test_paper_case_study_included(self, poughkeepsie, pk_report):
+        highs = pk_report.high_pairs()
+        endpoints = crosstalk_affected_endpoints(poughkeepsie.coupling, highs)
+        assert (0, 13) in endpoints
+        route = crosstalk_route(poughkeepsie.coupling, 0, 13, highs)
+        assert route == (0, 5, 10, 11, 12, 13)
+
+    def test_free_endpoints_avoid_high_pairs(self, poughkeepsie, pk_report):
+        highs = pk_report.high_pairs()
+        for length in (3, 4):
+            for s, d in crosstalk_free_endpoints(poughkeepsie.coupling,
+                                                 highs, length):
+                plan = meet_in_middle_plan(poughkeepsie.coupling, s, d)
+                assert not path_touches_crosstalk(plan, highs)
+                assert poughkeepsie.coupling.qubit_distance(s, d) == length
+
+    def test_short_paths_excluded(self, poughkeepsie, pk_report):
+        endpoints = crosstalk_affected_endpoints(
+            poughkeepsie.coupling, pk_report.high_pairs()
+        )
+        for s, d in endpoints:
+            assert poughkeepsie.coupling.qubit_distance(s, d) >= 3
+
+    def test_no_high_pairs_no_affected_endpoints(self, poughkeepsie):
+        assert crosstalk_affected_endpoints(poughkeepsie.coupling, []) == []
