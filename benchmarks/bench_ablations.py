@@ -38,7 +38,7 @@ from repro.workloads.swap import (
 from repro.workloads.hidden_shift import hidden_shift_on_region
 
 
-def test_ablation_scheduling_policies(benchmark, poughkeepsie, record_table):
+def test_ablation_scheduling_policies(benchmark, poughkeepsie, record_table, record_trace):
     """XtalkSched vs the blanket hardware-disable policy."""
     report = ground_truth_report(poughkeepsie)
     backend = NoisyBackend(poughkeepsie)
@@ -67,7 +67,8 @@ def test_ablation_scheduling_policies(benchmark, poughkeepsie, record_table):
             rows.append(entry)
         return rows
 
-    rows = run_once(benchmark, run)
+    with record_trace("ablation_scheduling_policies"):
+        rows = run_once(benchmark, run)
     lines = [
         "Ablation 1: scheduling policies (error / duration)",
         f"{'pair':>10s} {'ParSched':>18s} {'DisableSched':>18s} "
@@ -99,7 +100,7 @@ def test_ablation_scheduling_policies(benchmark, poughkeepsie, record_table):
     assert mean("XtalkSched") < mean("DisableSched") - 0.02
 
 
-def test_ablation_barrier_realization(benchmark, poughkeepsie, record_table):
+def test_ablation_barrier_realization(benchmark, poughkeepsie, record_table, record_trace):
     """Iterative minimal barriers vs naive one-per-pair barriers."""
     report = ground_truth_report(poughkeepsie)
     backend = NoisyBackend(poughkeepsie)
@@ -129,7 +130,8 @@ def test_ablation_barrier_realization(benchmark, poughkeepsie, record_table):
             rows.append(entry)
         return rows
 
-    rows = run_once(benchmark, run)
+    with record_trace("ablation_barrier_realization"):
+        rows = run_once(benchmark, run)
     lines = [
         "Ablation 2: barrier realization (barriers / duration)",
         f"{'circuit':>14s} {'naive':>16s} {'minimal':>16s}",
@@ -148,7 +150,7 @@ def test_ablation_barrier_realization(benchmark, poughkeepsie, record_table):
 
 
 def test_ablation_solver_exact_vs_greedy(benchmark, poughkeepsie,
-                                         record_table):
+                                         record_table, record_trace):
     """Greedy dive objective gap vs the exact branch-and-bound."""
     report = ground_truth_report(poughkeepsie)
     cal = poughkeepsie.calibration()
@@ -180,7 +182,8 @@ def test_ablation_solver_exact_vs_greedy(benchmark, poughkeepsie,
             })
         return rows
 
-    rows = run_once(benchmark, run)
+    with record_trace("ablation_solver_exact_vs_greedy"):
+        rows = run_once(benchmark, run)
     lines = [
         "Ablation 3: exact B&B vs greedy dive",
         f"{'pair':>10s} {'decisions':>9s} {'exact obj':>11s} "
@@ -201,7 +204,7 @@ def test_ablation_solver_exact_vs_greedy(benchmark, poughkeepsie,
         assert gap <= abs(r["exact_obj"]) * 0.15 + 0.5
 
 
-def test_ablation_pulse_vs_barrier_isa(benchmark, poughkeepsie, record_table):
+def test_ablation_pulse_vs_barrier_isa(benchmark, poughkeepsie, record_table, record_trace):
     """Circuit-level (barrier) vs pulse-level (verbatim times) realization.
 
     The paper's footnote 2 notes OpenPulse offers finer control than
@@ -236,7 +239,8 @@ def test_ablation_pulse_vs_barrier_isa(benchmark, poughkeepsie, record_table):
             rows.append(entry)
         return rows
 
-    rows = run_once(benchmark, run)
+    with record_trace("ablation_pulse_vs_barrier_isa"):
+        rows = run_once(benchmark, run)
     lines = [
         "Ablation 5: barrier vs pulse ISA (XtalkSched)",
         f"{'pair':>10s} {'barrier err/dur':>18s} {'pulse dur':>10s}",
@@ -256,7 +260,7 @@ def test_ablation_pulse_vs_barrier_isa(benchmark, poughkeepsie, record_table):
 
 
 def test_ablation_route_around_vs_schedule_around(benchmark, poughkeepsie,
-                                                  record_table):
+                                                  record_table, record_trace):
     """Routing-level mitigation vs scheduling-level mitigation.
 
     For endpoint pairs where an equally short crosstalk-free route exists,
@@ -304,7 +308,8 @@ def test_ablation_route_around_vs_schedule_around(benchmark, poughkeepsie,
                          "route_around": rerouted})
         return rows
 
-    rows = run_once(benchmark, run)
+    with record_trace("ablation_route_around_vs_schedule_around"):
+        rows = run_once(benchmark, run)
     lines = [
         "Ablation 6: route-around vs schedule-around",
         f"{'pair':>10s} {'naive Par':>10s} {'XtalkSched':>11s} "
@@ -322,7 +327,7 @@ def test_ablation_route_around_vs_schedule_around(benchmark, poughkeepsie,
     assert mean("route_around") < mean("naive")
 
 
-def test_ablation_rb_estimators(benchmark, poughkeepsie, record_table):
+def test_ablation_rb_estimators(benchmark, poughkeepsie, record_table, record_trace):
     """Exact Walsh-characteristic estimator vs Monte-Carlo sampling."""
     truth_ind = poughkeepsie.calibration().cnot_error_of(10, 15)
     truth_cond = poughkeepsie.crosstalk.conditional_error(
@@ -347,7 +352,8 @@ def test_ablation_rb_estimators(benchmark, poughkeepsie, record_table):
             }
         return out
 
-    result = run_once(benchmark, run)
+    with record_trace("ablation_rb_estimators"):
+        result = run_once(benchmark, run)
     lines = [
         "Ablation 4: RB survival estimators",
         f"{'estimator':>10s} {'E(10,15)':>10s} {'E(10,15|11,12)':>15s} "

@@ -10,11 +10,12 @@ from benchmarks.conftest import run_once
 from repro.experiments import fig10_characterization_cost as fig10
 
 
-def test_fig10_characterization_cost(benchmark, devices, record_table):
+def test_fig10_characterization_cost(benchmark, devices, record_table, record_trace):
     def run():
         return fig10.run_fig10(devices=devices)
 
-    rows = run_once(benchmark, run)
+    with record_trace("fig10_characterization_cost"):
+        rows = run_once(benchmark, run)
     record_table("fig10_characterization_cost", fig10.format_table(rows))
 
     for summary in fig10.summarize(rows):

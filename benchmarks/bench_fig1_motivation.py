@@ -10,13 +10,14 @@ from repro.experiments import fig1_motivation as fig1
 from repro.experiments.common import ExperimentConfig
 
 
-def test_fig1_tradeoff(benchmark, record_table):
+def test_fig1_tradeoff(benchmark, record_table, record_trace):
     config = ExperimentConfig(trajectories=300, seed=3)
 
     def run():
         return fig1.run_fig1(config=config)
 
-    result = run_once(benchmark, run)
+    with record_trace("fig1_tradeoff"):
+        result = run_once(benchmark, run)
     record_table("fig1_motivation", fig1.format_report(result))
 
     parallel = result.errors["(c) parallel"]

@@ -11,13 +11,14 @@ from repro.experiments import fig3_characterization as fig3
 from repro.rb.executor import RBConfig
 
 
-def test_fig3_characterization_maps(benchmark, devices, record_table):
+def test_fig3_characterization_maps(benchmark, devices, record_table, record_trace):
     rb_config = RBConfig(shots=1024)  # exact estimator + paper shot noise
 
     def run():
         return fig3.run_fig3(devices=devices, rb_config=rb_config, seed=3)
 
-    rows = run_once(benchmark, run)
+    with record_trace("fig3_characterization_maps"):
+        rows = run_once(benchmark, run)
     record_table("fig3_characterization", fig3.format_table(rows))
 
     # Also render the maps as SVG (Figure 3 as an actual figure).

@@ -11,14 +11,15 @@ from repro.experiments import fig4_daily_drift as fig4
 from repro.rb.executor import RBConfig
 
 
-def test_fig4_daily_drift(benchmark, poughkeepsie, record_table):
+def test_fig4_daily_drift(benchmark, poughkeepsie, record_table, record_trace):
     rb_config = RBConfig(shots=1024)  # exact estimator + paper shot noise
 
     def run():
         return fig4.run_fig4(device=poughkeepsie, days=6,
                              rb_config=rb_config, seed=5)
 
-    rows = run_once(benchmark, run)
+    with record_trace("fig4_daily_drift"):
+        rows = run_once(benchmark, run)
     record_table("fig4_daily_drift", fig4.format_table(rows))
 
     # Figure 4 as an actual figure.

@@ -15,7 +15,7 @@ from repro.experiments.common import ExperimentConfig
 FULL = os.environ.get("REPRO_FULL", "0") == "1"
 
 
-def test_fig5_swap_errors_and_durations(benchmark, devices, record_table):
+def test_fig5_swap_errors_and_durations(benchmark, devices, record_table, record_trace):
     config = ExperimentConfig(trajectories=120, seed=7)
     max_pairs = None if FULL else 6
 
@@ -23,7 +23,8 @@ def test_fig5_swap_errors_and_durations(benchmark, devices, record_table):
         return fig5.run_fig5(devices=devices, config=config,
                              max_pairs_per_device=max_pairs)
 
-    rows = run_once(benchmark, run)
+    with record_trace("fig5_swap_errors_and_durations"):
+        rows = run_once(benchmark, run)
     record_table("fig5_swap_errors", fig5.format_table(rows))
 
     summary = fig5.summarize(rows)

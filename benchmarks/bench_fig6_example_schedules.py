@@ -11,13 +11,14 @@ from repro.experiments import fig6_example_schedules as fig6
 from repro.experiments.common import ExperimentConfig
 
 
-def test_fig6_case_study(benchmark, poughkeepsie, record_table):
+def test_fig6_case_study(benchmark, poughkeepsie, record_table, record_trace):
     config = ExperimentConfig(trajectories=250, seed=9)
 
     def run():
         return fig6.run_fig6(device=poughkeepsie, config=config)
 
-    result = run_once(benchmark, run)
+    with record_trace("fig6_case_study"):
+        result = run_once(benchmark, run)
     record_table("fig6_example_schedules", fig6.format_report(result))
 
     # Render each schedule as an SVG Gantt chart (Figure 6 as a figure).

@@ -14,7 +14,7 @@ from repro.experiments.common import ExperimentConfig
 FULL = os.environ.get("REPRO_FULL", "0") == "1"
 
 
-def test_fig7_near_optimality(benchmark, poughkeepsie, record_table):
+def test_fig7_near_optimality(benchmark, poughkeepsie, record_table, record_trace):
     config = ExperimentConfig(trajectories=120, seed=11)
     max_pairs = None if FULL else 6
 
@@ -23,7 +23,8 @@ def test_fig7_near_optimality(benchmark, poughkeepsie, record_table):
                              max_pairs=max_pairs,
                              max_ideal_paths_per_length=3)
 
-    rows = run_once(benchmark, run)
+    with record_trace("fig7_near_optimality"):
+        rows = run_once(benchmark, run)
     record_table("fig7_optimality", fig7.format_table(rows))
 
     in_band = sum(1 for r in rows if r.within_band)

@@ -10,13 +10,14 @@ from repro.experiments import fig8_qaoa as fig8
 from repro.experiments.common import ExperimentConfig
 
 
-def test_fig8_qaoa_cross_entropy(benchmark, poughkeepsie, record_table):
+def test_fig8_qaoa_cross_entropy(benchmark, poughkeepsie, record_table, record_trace):
     config = ExperimentConfig(trajectories=150, seed=13)
 
     def run():
         return fig8.run_fig8(device=poughkeepsie, config=config)
 
-    result = run_once(benchmark, run)
+    with record_trace("fig8_qaoa_cross_entropy"):
+        result = run_once(benchmark, run)
     record_table("fig8_qaoa", fig8.format_table(result))
 
     # Figure 8 as an actual figure.

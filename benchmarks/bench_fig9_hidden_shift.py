@@ -10,13 +10,14 @@ from repro.experiments.common import ExperimentConfig
 
 
 def test_fig9_hidden_shift_omega_sensitivity(benchmark, poughkeepsie,
-                                             record_table):
+                                             record_table, record_trace):
     config = ExperimentConfig(trajectories=150, seed=15)
 
     def run():
         return fig9.run_fig9(device=poughkeepsie, config=config)
 
-    rows = run_once(benchmark, run)
+    with record_trace("fig9_hidden_shift_omega_sensitivity"):
+        rows = run_once(benchmark, run)
     record_table("fig9_hidden_shift", fig9.format_table(rows))
 
     summary = fig9.summarize(rows)

@@ -17,12 +17,13 @@ INSTANCES = scalability.DEFAULT_INSTANCES if FULL else (
 )
 
 
-def test_scheduler_compile_time_scaling(benchmark, poughkeepsie, record_table):
+def test_scheduler_compile_time_scaling(benchmark, poughkeepsie, record_table, record_trace):
     def run():
         return scalability.run_scalability(device=poughkeepsie,
                                            instances=INSTANCES)
 
-    rows = run_once(benchmark, run)
+    with record_trace("scheduler_compile_time_scaling"):
+        rows = run_once(benchmark, run)
     record_table("scalability", scalability.format_table(rows))
 
     for row in rows:

@@ -12,13 +12,14 @@ from repro.experiments import sensitivity
 from repro.experiments.common import ExperimentConfig
 
 
-def test_sensitivity_to_crosstalk_strength(benchmark, record_table):
+def test_sensitivity_to_crosstalk_strength(benchmark, record_table, record_trace):
     config = ExperimentConfig(trajectories=150, seed=23)
 
     def run():
         return sensitivity.run_sensitivity(config=config)
 
-    rows = run_once(benchmark, run)
+    with record_trace("sensitivity_to_crosstalk_strength"):
+        rows = run_once(benchmark, run)
     record_table("sensitivity", sensitivity.format_table(rows))
 
     by_factor = {r.factor: r for r in rows}

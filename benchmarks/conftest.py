@@ -7,6 +7,7 @@ the reproduced table, and archive it under ``benchmarks/results/`` so the
 numbers survive pytest's output capture.
 """
 
+import contextlib
 import pathlib
 
 import pytest
@@ -26,6 +27,28 @@ def record_table(results_dir):
         path = results_dir / f"{name}.txt"
         path.write_text(table + "\n")
         print(f"\n{table}\n[written to {path}]")
+
+    return _record
+
+
+@pytest.fixture
+def record_trace(results_dir):
+    """Collect every pipeline/campaign trace emitted inside the block and
+    archive the aggregated JSON document next to the driver's table::
+
+        with record_trace("fig5"):
+            rows = run()
+    """
+
+    @contextlib.contextmanager
+    def _record(name: str):
+        from repro.pipeline.trace import TraceCollector
+
+        with TraceCollector() as collector:
+            yield collector
+        path = results_dir / f"{name}_trace.json"
+        path.write_text(collector.to_json(indent=2) + "\n")
+        print(f"\n[{len(collector)} pipeline traces written to {path}]")
 
     return _record
 

@@ -9,7 +9,8 @@ would:
    drift monitoring decides whether the cheap policy is still safe;
 3. compile an application with `compile_circuit` using ω chosen by the
    compile-time success predictor (no hardware execution needed);
-4. execute and compare against the ParSched baseline.
+4. execute and compare against the ParSched baseline, printing the
+   per-pass timing/counter trace of every campaign and compile.
 
 Run:  python examples/production_workflow.py      (~1 minute)
 """
@@ -49,6 +50,7 @@ def main():
     store.write_text(day0.report.to_json())
     print(f"  {len(day0.report.high_pairs())} high pairs found; report "
           f"saved to {store}")
+    print("\n" + day0.trace.format())
 
     # ------------------------------------------------------------------
     # Day 1: cheap refresh + drift check.
@@ -90,6 +92,7 @@ def main():
         results[scheduler] = (1 - success, compiled.duration)
         print(f"\n{scheduler}: error {1 - success:.3f}, "
               f"duration {compiled.duration:.0f} ns")
+        print(compiled.trace.format())
 
     assert results["xtalk"][0] <= results["par"][0] + 0.02
     print("\ntuned XtalkSched matches or beats ParSched, as predicted "

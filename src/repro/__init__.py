@@ -35,8 +35,17 @@ from repro.core import (
 from repro.rb import RBExecutor
 from repro.rb.executor import RBConfig
 from repro.compiler import CompilationResult, compile_circuit
+from repro.pipeline import (
+    Pass,
+    PassContext,
+    Pipeline,
+    PipelineTrace,
+    ResultCache,
+    TraceCollector,
+    build_compile_pipeline,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "QuantumCircuit",
@@ -59,5 +68,12 @@ __all__ = [
     "RBConfig",
     "CompilationResult",
     "compile_circuit",
+    "Pass",
+    "PassContext",
+    "Pipeline",
+    "PipelineTrace",
+    "ResultCache",
+    "TraceCollector",
+    "build_compile_pipeline",
     "__version__",
 ]

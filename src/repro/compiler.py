@@ -1,10 +1,11 @@
-"""One-call compilation pipeline: logical circuit -> submittable circuit.
+"""One-call compilation: a thin compat wrapper over :mod:`repro.pipeline`.
 
-Chains the stages the paper's toolflow runs (Figure 2): layout (optional
-region selection for line workloads), routing to the coupling map, basis
-decomposition, and crosstalk-adaptive scheduling.  This is the entry point
-a downstream user would call; every stage remains individually accessible
-for custom flows.
+Historically this module chained the Figure 2 stages by hand; the stages now
+live in :mod:`repro.pipeline.passes` and are run by the instrumented
+:class:`~repro.pipeline.runner.Pipeline`.  :func:`compile_circuit` keeps its
+exact signature and output — instruction-for-instruction the same scheduled
+circuit and makespan as the historical implementation — while additionally
+exposing the per-pass trace on :attr:`CompilationResult.trace`.
 """
 
 from __future__ import annotations
@@ -14,12 +15,11 @@ from typing import Optional, Sequence, Tuple
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.core.characterization.report import CrosstalkReport
-from repro.core.scheduling.baselines import disable_sched, par_sched, serial_sched
-from repro.core.scheduling.xtalk import ScheduledCircuit, XtalkScheduler
+from repro.core.scheduling.xtalk import ScheduledCircuit
 from repro.device.device import Device
-from repro.transpiler.decompose import decompose_to_basis
-from repro.transpiler.routing import route_circuit
-from repro.transpiler.scheduling import hardware_schedule
+from repro.pipeline.context import PassContext
+from repro.pipeline.runner import Pipeline, build_compile_pipeline
+from repro.pipeline.trace import PipelineTrace
 
 SCHEDULER_CHOICES = ("xtalk", "par", "serial", "disable")
 
@@ -33,12 +33,19 @@ class CompilationResult:
     scheduler: str
     duration: float                    #: hardware-schedule makespan (ns)
     scheduled: Optional[ScheduledCircuit] = None  #: XtalkSched artifacts
+    trace: Optional[PipelineTrace] = None  #: per-pass timing and counters
 
     @property
     def serialized_pairs(self) -> Tuple[Tuple[int, int], ...]:
         if self.scheduled is None:
             return ()
         return self.scheduled.serialized_pairs
+
+
+def compile_pipeline(scheduler: str = "xtalk",
+                     select_region: bool = False) -> Pipeline:
+    """The full compile pipeline for one policy (``repro.pipeline`` alias)."""
+    return build_compile_pipeline(scheduler, select_region=select_region)
 
 
 def compile_circuit(circuit: QuantumCircuit, device: Device,
@@ -61,7 +68,8 @@ def compile_circuit(circuit: QuantumCircuit, device: Device,
         initial_layout: logical->device placement; defaults to identity.
 
     Returns:
-        A :class:`CompilationResult` whose ``circuit`` is hardware-ready.
+        A :class:`CompilationResult` whose ``circuit`` is hardware-ready and
+        whose ``trace`` carries the per-pass wall times and counters.
     """
     if scheduler not in SCHEDULER_CHOICES:
         raise ValueError(
@@ -70,29 +78,20 @@ def compile_circuit(circuit: QuantumCircuit, device: Device,
     if scheduler == "xtalk" and report is None:
         raise ValueError("the xtalk scheduler needs a characterization report")
 
-    routed, layout = route_circuit(circuit, device.coupling,
-                                   initial_layout=initial_layout)
-    lowered = decompose_to_basis(routed)
-    lowered.name = circuit.name
-
-    calibration = device.calibration(day)
-    scheduled: Optional[ScheduledCircuit] = None
-    if scheduler == "xtalk":
-        xs = XtalkScheduler(calibration, report, omega=omega)
-        scheduled = xs.schedule(lowered)
-        final = scheduled.circuit
-    elif scheduler == "par":
-        final = par_sched(lowered)
-    elif scheduler == "serial":
-        final = serial_sched(lowered)
-    else:
-        final = disable_sched(lowered, device.coupling)
-
-    duration = hardware_schedule(final, calibration.durations).makespan()
+    context = PassContext(
+        device=device,
+        day=day,
+        report=report,
+        omega=omega,
+        initial_layout=initial_layout,
+        circuit=circuit,
+    )
+    build_compile_pipeline(scheduler).run(context)
     return CompilationResult(
-        circuit=final,
-        layout=tuple(layout),
+        circuit=context.circuit,
+        layout=tuple(context.layout),
         scheduler=scheduler,
-        duration=duration,
-        scheduled=scheduled,
+        duration=context.duration,
+        scheduled=context.scheduled,
+        trace=context.trace,
     )

@@ -27,6 +27,7 @@ from repro.core.characterization.cost import CostModel, PAPER_COST_MODEL
 from repro.core.characterization.report import CrosstalkReport
 from repro.device.device import Device
 from repro.device.topology import CouplingMap, Edge
+from repro.pipeline.trace import PipelineTrace, SpanRecorder
 from repro.rb.executor import RBConfig, RBExecutor
 
 
@@ -60,11 +61,18 @@ class CharacterizationPlan:
 
 @dataclass
 class CampaignOutcome:
-    """A finished campaign: the report plus its cost accounting."""
+    """A finished campaign: the report plus its cost accounting.
+
+    ``trace`` reports per-stage wall time and counters (planning,
+    independent RB, pair SRB) in the same
+    :class:`~repro.pipeline.trace.PipelineTrace` format the compile
+    pipeline emits, so campaign cost and compile cost read identically.
+    """
 
     plan: CharacterizationPlan
     report: CrosstalkReport
     cost_model: CostModel = field(default_factory=lambda: PAPER_COST_MODEL)
+    trace: Optional[PipelineTrace] = None
 
     @property
     def num_experiments(self) -> int:
@@ -137,29 +145,49 @@ class CharacterizationCampaign:
     def run(self, policy: CharacterizationPolicy, day: int = 0,
             prior: Optional[CrosstalkReport] = None,
             cost_model: Optional[CostModel] = None) -> CampaignOutcome:
-        plan = self.plan(policy, prior)
+        recorder = SpanRecorder(f"characterize[{policy.value}]")
+
+        with recorder.span("plan") as span:
+            plan = self.plan(policy, prior)
+            span.counters["campaign.experiments_planned"] = float(
+                plan.num_experiments
+            )
+            span.counters["campaign.pairs_measured"] = float(
+                plan.units_measured()
+            )
         executor = RBExecutor(self.device, day=day, config=self.rb_config,
                               seed=self.seed * 65537 + day)
         report = CrosstalkReport(day=day)
 
-        for experiment in plan.independent_experiments:
-            result = executor.run_units(experiment)
-            for unit in experiment:
-                (edge,) = unit
-                report.record_independent(edge, result.error_rate(edge))
+        with recorder.span("independent_rb") as span:
+            for experiment in plan.independent_experiments:
+                result = executor.run_units(experiment)
+                for unit in experiment:
+                    (edge,) = unit
+                    report.record_independent(edge, result.error_rate(edge))
+            span.counters.update(executor.counters)
 
-        for experiment in plan.pair_experiments:
-            result = executor.run_units(experiment)
-            for unit in experiment:
-                a, b = unit
-                report.record_conditional(a, b, result.error_rate(a))
-                report.record_conditional(b, a, result.error_rate(b))
+        baseline = dict(executor.counters)
+        with recorder.span("pair_srb") as span:
+            for experiment in plan.pair_experiments:
+                result = executor.run_units(experiment)
+                for unit in experiment:
+                    a, b = unit
+                    report.record_conditional(a, b, result.error_rate(a))
+                    report.record_conditional(b, a, result.error_rate(b))
+            span.counters.update({
+                name: value - baseline.get(name, 0.0)
+                for name, value in executor.counters.items()
+            })
 
-        if policy is CharacterizationPolicy.HIGH_ONLY and prior is not None:
-            report = prior.merged_with(report)
+        with recorder.span("merge") as span:
+            if policy is CharacterizationPolicy.HIGH_ONLY and prior is not None:
+                report = prior.merged_with(report)
+                span.counters["campaign.merged_with_prior"] = 1.0
 
         return CampaignOutcome(
             plan=plan,
             report=report,
             cost_model=cost_model or PAPER_COST_MODEL,
+            trace=recorder.finish(),
         )

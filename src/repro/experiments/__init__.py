@@ -9,6 +9,7 @@ EXPERIMENTS.md).
 
 from repro.experiments.common import (
     ExperimentConfig,
+    campaign_cache,
     ground_truth_report,
     characterized_report,
     prepare_circuit,
@@ -18,6 +19,7 @@ from repro.experiments.common import (
 
 __all__ = [
     "ExperimentConfig",
+    "campaign_cache",
     "ground_truth_report",
     "characterized_report",
     "prepare_circuit",

@@ -20,12 +20,14 @@ from repro.core.characterization.campaign import (
     CharacterizationPolicy,
 )
 from repro.core.characterization.report import CrosstalkReport
-from repro.core.scheduling.baselines import par_sched, serial_sched
-from repro.core.scheduling.xtalk import XtalkScheduler
 from repro.device.backend import NoisyBackend
 from repro.device.device import Device
 from repro.metrics.readout import mitigate_distribution
 from repro.metrics.tomography import bell_state_vector
+from repro.pipeline.cache import ResultCache, campaign_cache_key
+from repro.pipeline.context import PassContext
+from repro.pipeline.passes import scheduling_pass
+from repro.pipeline.runner import Pipeline
 from repro.rb.executor import RBConfig
 from repro.workloads.swap import SwapBenchmark
 
@@ -81,21 +83,29 @@ def ground_truth_report(device: Device, day: int = 0) -> CrosstalkReport:
     return report
 
 
-_report_cache: Dict[Tuple[str, int, int], CampaignOutcome] = {}
+#: Campaign outcomes are expensive (minutes of SRB simulation), so the
+#: drivers share a content-keyed LRU.  The key covers the device
+#: fingerprint, day, seed, *and the full RB config* — the historical
+#: ``(device.name, day, seed)`` dict silently served one RB config's
+#: outcome for another.
+campaign_cache = ResultCache(max_entries=32)
 
 
 def characterized_report(device: Device, day: int = 0,
                          rb_config: Optional[RBConfig] = None,
                          seed: int = 3, use_cache: bool = True) -> CampaignOutcome:
     """Run (and cache) a 1-hop bin-packed SRB campaign on the device."""
-    key = (device.name, day, seed)
-    if use_cache and key in _report_cache:
-        return _report_cache[key]
-    campaign = CharacterizationCampaign(device, rb_config=rb_config, seed=seed)
-    outcome = campaign.run(CharacterizationPolicy.ONE_HOP_PACKED, day=day)
-    if use_cache:
-        _report_cache[key] = outcome
-    return outcome
+    config = rb_config if rb_config is not None else RBConfig()
+
+    def run_campaign() -> CampaignOutcome:
+        campaign = CharacterizationCampaign(device, rb_config=config, seed=seed)
+        return campaign.run(CharacterizationPolicy.ONE_HOP_PACKED, day=day)
+
+    if not use_cache:
+        return run_campaign()
+    key = campaign_cache_key(device, day=day, seed=seed, rb_config=config,
+                             policy=CharacterizationPolicy.ONE_HOP_PACKED)
+    return campaign_cache.get_or_compute(key, run_campaign)
 
 
 # ----------------------------------------------------------------------
@@ -104,15 +114,21 @@ def characterized_report(device: Device, day: int = 0,
 def prepare_circuit(scheduler: str, circuit: QuantumCircuit, device: Device,
                     report: CrosstalkReport, omega: float = 0.5,
                     day: int = 0) -> QuantumCircuit:
-    """Apply one of the Table 1 scheduling policies."""
-    if scheduler == "ParSched":
-        return par_sched(circuit)
-    if scheduler == "SerialSched":
-        return serial_sched(circuit)
-    if scheduler == "XtalkSched":
-        xs = XtalkScheduler(device.calibration(day), report, omega=omega)
-        return xs.schedule(circuit).circuit
-    raise ValueError(f"unknown scheduler {scheduler!r}; pick from {SCHEDULERS}")
+    """Apply one of the Table 1 scheduling policies.
+
+    Runs a one-pass :class:`~repro.pipeline.runner.Pipeline` so every
+    figure driver gets per-pass instrumentation for free (traces flow to
+    any active :class:`~repro.pipeline.trace.TraceCollector`).
+    """
+    if scheduler not in SCHEDULERS:
+        raise ValueError(
+            f"unknown scheduler {scheduler!r}; pick from {SCHEDULERS}"
+        )
+    context = PassContext(device=device, day=day, report=report,
+                          omega=omega, circuit=circuit)
+    Pipeline([scheduling_pass(scheduler)],
+             name=f"schedule[{scheduler}]").run(context)
+    return context.circuit
 
 
 # ----------------------------------------------------------------------

@@ -114,10 +114,11 @@ def run_fig1(config: Optional[ExperimentConfig] = None) -> Fig1Result:
 
     # (e) the desired schedule: XtalkSched picks the serialization order
     # that minimizes the low-coherence qubit's lifetime.
-    from repro.core.scheduling.xtalk import XtalkScheduler
+    from repro.experiments.common import prepare_circuit
 
-    xs = XtalkScheduler(device.calibration(), report, omega=0.5)
-    schedules["(e) XtalkSched"] = xs.schedule(program).circuit
+    schedules["(e) XtalkSched"] = prepare_circuit(
+        "XtalkSched", program, device, report, omega=0.5
+    )
 
     errors: Dict[str, float] = {}
     durations: Dict[str, float] = {}

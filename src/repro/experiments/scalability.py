@@ -8,14 +8,15 @@ the qubit count, because the constraints live on the gate schedule.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.core.scheduling.xtalk import XtalkScheduler
 from repro.device.device import Device
 from repro.device.presets import ibmq_poughkeepsie
 from repro.experiments.common import ground_truth_report
+from repro.pipeline.context import PassContext
+from repro.pipeline.passes import XtalkSchedulePass
+from repro.pipeline.runner import Pipeline
 from repro.workloads.supremacy import supremacy_circuit
 
 #: (num_qubits, num_gates) instances; the paper's sweep shape.
@@ -50,22 +51,22 @@ def run_scalability(device: Optional[Device] = None,
                     omega: float = 0.5, seed: int = 1) -> List[ScalabilityRow]:
     device = device or ibmq_poughkeepsie()
     report = ground_truth_report(device)
-    calibration = device.calibration()
+    pipeline = Pipeline([XtalkSchedulePass()], name="schedule[XtalkSched]")
     rows: List[ScalabilityRow] = []
     for num_qubits, num_gates in instances:
         qubits = sorted(_QUBIT_PRIORITY[:num_qubits])
         circuit = supremacy_circuit(device.coupling, qubits, num_gates, seed=seed)
-        scheduler = XtalkScheduler(calibration, report, omega=omega)
-        t0 = time.perf_counter()
-        result = scheduler.schedule(circuit)
-        elapsed = time.perf_counter() - t0
+        context = PassContext(device=device, report=report, omega=omega,
+                              circuit=circuit)
+        pipeline.run(context)
+        trace = context.trace
         rows.append(
             ScalabilityRow(
                 num_qubits=num_qubits,
                 num_gates=len(circuit),
-                num_decisions=len(result.candidate_pairs),
-                compile_seconds=elapsed,
-                exact=result.solution.exact,
+                num_decisions=int(trace.counter("schedule.candidate_pairs")),
+                compile_seconds=trace.counter("smt.solve_seconds"),
+                exact=bool(trace.counter("smt.exact")),
             )
         )
     return rows

@@ -1,0 +1,148 @@
+"""A content-keyed, size-bounded result cache.
+
+Replaces the ad-hoc ``_report_cache`` dict the experiment drivers used to
+share: keys are built from *content* (a device fingerprint over topology and
+base calibration, the calibration day, the campaign seed, and the full RB
+protocol sizing), so two campaigns that would measure different things can
+never collide — the historical ``(device.name, day, seed)`` key silently
+returned one RB config's outcome for another.
+
+The cache is a plain LRU bounded by ``max_entries`` with hit/miss/eviction
+accounting, usable for any expensive derived result (campaign outcomes,
+compiled circuits, ...).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Optional, Tuple
+
+from repro.device.device import Device
+
+
+# ----------------------------------------------------------------------
+# content keys
+# ----------------------------------------------------------------------
+def device_fingerprint(device: Device) -> str:
+    """A stable digest of a device's compiler-visible identity.
+
+    Covers the name, the device seed (which drives daily drift), the
+    coupling map, and the base calibration (error rates, coherence times,
+    durations).  Two devices with equal fingerprints produce identical
+    campaign plans and — given equal seeds — identical measured outcomes.
+    """
+    cal = device.base_calibration
+    durations = cal.durations
+    payload = {
+        "name": device.name,
+        "seed": device.seed,
+        "num_qubits": device.num_qubits,
+        "edges": sorted(list(edge) for edge in device.coupling.edges),
+        "cnot_error": sorted(
+            [list(edge), err] for edge, err in cal.cnot_error.items()
+        ),
+        "single_qubit_error": sorted(cal.single_qubit_error.items()),
+        "readout_error": sorted(cal.readout_error.items()),
+        "t1": sorted(cal.t1.items()),
+        "t2": sorted(cal.t2.items()),
+        "durations": {
+            "single_qubit": durations.single_qubit,
+            "measurement": durations.measurement,
+            "default_cx": durations.default_cx,
+            "cx": sorted([list(edge), d] for edge, d in durations.cx.items()),
+        },
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def campaign_cache_key(device: Device, day: int, seed: int,
+                       rb_config: Any, policy: Any = None) -> Tuple:
+    """The content key for one characterization campaign outcome.
+
+    ``rb_config`` is an :class:`~repro.rb.executor.RBConfig` (a frozen
+    dataclass — every sizing field participates, fixing the historical bug
+    where two different RB configs shared a cache slot).
+    """
+    from dataclasses import astuple, is_dataclass
+
+    config_key: Hashable
+    if is_dataclass(rb_config):
+        config_key = (type(rb_config).__name__, astuple(rb_config))
+    else:
+        config_key = repr(rb_config)
+    policy_key = getattr(policy, "value", policy)
+    return (device_fingerprint(device), int(day), int(seed),
+            config_key, policy_key)
+
+
+# ----------------------------------------------------------------------
+# the cache
+# ----------------------------------------------------------------------
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+
+class ResultCache:
+    """A size-bounded LRU mapping content keys to computed results."""
+
+    def __init__(self, max_entries: int = 64):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return self._entries[key]
+        self.stats.misses += 1
+        return default
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def get_or_compute(self, key: Hashable,
+                       compute: Callable[[], Any]) -> Any:
+        """Return the cached value, computing and inserting it on a miss."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return self._entries[key]
+        self.stats.misses += 1
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def keys(self):
+        return list(self._entries)

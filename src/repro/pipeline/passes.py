@@ -1,0 +1,284 @@
+"""The compiler stages of Figure 2, expressed as pipeline passes.
+
+Each pass wraps one of the existing :mod:`repro.transpiler` /
+:mod:`repro.core.scheduling` functions — the passes add structure and
+instrumentation, never new semantics, so a pipeline of
+``[LayoutPass, RoutingPass, DecomposePass, <scheduling pass>,
+HardwareSchedulePass]`` is instruction-for-instruction equivalent to the
+historical monolithic ``compile_circuit``.
+
+Counters reported per pass (the ISSUE's observability surface):
+
+* ``routing.swaps_inserted`` — SWAPs the router added;
+* ``decompose.cnots_out`` / ``decompose.gates_out`` — lowering volume;
+* ``schedule.candidate_pairs`` / ``schedule.serialized_pairs`` — the
+  solver's decision surface and how much it serialized;
+* ``smt.nodes_explored`` / ``smt.solve_seconds`` / ``smt.exact`` — solver
+  effort and whether the branch-and-bound finished exactly;
+* ``hardware.makespan_ns`` — the final right-aligned schedule's makespan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.core.scheduling.baselines import disable_sched, par_sched, serial_sched
+from repro.core.scheduling.xtalk import XtalkScheduler
+from repro.pipeline.context import PassContext
+from repro.transpiler.decompose import decompose_to_basis
+from repro.transpiler.routing import route_circuit
+from repro.transpiler.scheduling import hardware_schedule
+
+Counters = Mapping[str, float]
+
+
+class Pass:
+    """One pipeline stage.
+
+    Subclasses set :attr:`name` and implement :meth:`run`, which mutates the
+    context and optionally returns counters for the pass's trace span.
+    """
+
+    name: str = "pass"
+
+    def run(self, context: PassContext) -> Optional[Counters]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+# ----------------------------------------------------------------------
+# layout
+# ----------------------------------------------------------------------
+class LayoutPass(Pass):
+    """Resolve the initial logical->physical placement.
+
+    With no request the identity placement is used (the historical
+    ``compile_circuit`` behaviour).  With ``select_region=True`` and a
+    line-shaped circuit, the noise- and crosstalk-aware region scorer of
+    :mod:`repro.transpiler.layout` picks the best path region instead.
+    """
+
+    name = "layout"
+
+    def __init__(self, select_region: bool = False):
+        self.select_region = select_region
+
+    def run(self, context: PassContext) -> Optional[Counters]:
+        circuit = context.require_circuit()
+        if context.initial_layout is not None:
+            if len(context.initial_layout) != circuit.num_qubits:
+                raise ValueError("layout must place every logical qubit")
+            context.initial_layout = list(context.initial_layout)
+            return {"layout.requested": 1.0}
+        if self.select_region:
+            from repro.transpiler.layout import best_path_region
+
+            score = best_path_region(
+                context.device.coupling, context.calibration,
+                circuit.num_qubits, context.report,
+            )
+            context.initial_layout = list(score.region)
+            context.artifacts[self.name] = score
+            return {"layout.regions_scored": 1.0,
+                    "layout.predicted_error": score.total}
+        context.initial_layout = list(range(circuit.num_qubits))
+        return {"layout.identity": 1.0}
+
+
+# ----------------------------------------------------------------------
+# routing
+# ----------------------------------------------------------------------
+class RoutingPass(Pass):
+    """Greedy SWAP insertion onto the device coupling map."""
+
+    name = "routing"
+
+    def run(self, context: PassContext) -> Optional[Counters]:
+        circuit = context.require_circuit()
+        swaps_before = sum(1 for i in circuit if i.name == "swap")
+        routed, layout = route_circuit(
+            circuit, context.device.coupling,
+            initial_layout=context.initial_layout,
+        )
+        context.circuit = routed
+        context.layout = list(layout)
+        swaps_after = sum(1 for i in routed if i.name == "swap")
+        return {
+            "routing.swaps_inserted": float(swaps_after - swaps_before),
+            "routing.gates_out": float(len(routed)),
+        }
+
+
+# ----------------------------------------------------------------------
+# basis decomposition
+# ----------------------------------------------------------------------
+class DecomposePass(Pass):
+    """Lower SWAP/CZ macros onto the CNOT + u1/u2/u3 hardware basis."""
+
+    name = "decompose"
+
+    def run(self, context: PassContext) -> Optional[Counters]:
+        circuit = context.require_circuit()
+        gates_in = len(circuit)
+        lowered = decompose_to_basis(circuit)
+        # The historical pipeline renames the lowered circuit back to the
+        # source circuit's name so scheduler suffixes compose cleanly.
+        if context.source_circuit is not None:
+            lowered.name = context.source_circuit.name
+        context.circuit = lowered
+        cnots = sum(1 for i in lowered if i.is_two_qubit)
+        return {
+            "decompose.gates_in": float(gates_in),
+            "decompose.gates_out": float(len(lowered)),
+            "decompose.cnots_out": float(cnots),
+        }
+
+
+# ----------------------------------------------------------------------
+# scheduling policies (Table 1 + the hardware-disable baseline)
+# ----------------------------------------------------------------------
+class SchedulingPass(Pass):
+    """Base class for the four scheduling policies."""
+
+    #: canonical policy name ("xtalk", "par", "serial", "disable")
+    policy: str = ""
+
+
+class ParSchedulePass(SchedulingPass):
+    """``ParSched``: submit unchanged; the hardware parallelizes maximally."""
+
+    name = "schedule[par]"
+    policy = "par"
+
+    def run(self, context: PassContext) -> Optional[Counters]:
+        context.circuit = par_sched(context.require_circuit())
+        return {"schedule.serialized_pairs": 0.0}
+
+
+class SerialSchedulePass(SchedulingPass):
+    """``SerialSched``: a barrier after every gate."""
+
+    name = "schedule[serial]"
+    policy = "serial"
+
+    def run(self, context: PassContext) -> Optional[Counters]:
+        circuit = context.require_circuit()
+        context.circuit = serial_sched(circuit)
+        barriers = sum(1 for i in context.circuit if i.is_barrier)
+        return {"schedule.barriers_inserted": float(barriers)}
+
+
+class DisableSchedulePass(SchedulingPass):
+    """The blanket nearby-gate-disable policy (Rigetti / Bristlecone)."""
+
+    name = "schedule[disable]"
+    policy = "disable"
+
+    def __init__(self, min_hops: int = 2):
+        self.min_hops = min_hops
+
+    def run(self, context: PassContext) -> Optional[Counters]:
+        circuit = context.require_circuit()
+        context.circuit = disable_sched(
+            circuit, context.device.coupling, min_hops=self.min_hops
+        )
+        barriers = sum(1 for i in context.circuit if i.is_barrier)
+        return {"schedule.barriers_inserted": float(barriers)}
+
+
+class XtalkSchedulePass(SchedulingPass):
+    """``XtalkSched``: the Section 7 SMT-style optimization."""
+
+    name = "schedule[xtalk]"
+    policy = "xtalk"
+
+    def __init__(self, **scheduler_kwargs):
+        #: forwarded verbatim to :class:`XtalkScheduler` (omega comes from
+        #: the context unless explicitly pinned here).
+        self.scheduler_kwargs = dict(scheduler_kwargs)
+
+    def run(self, context: PassContext) -> Optional[Counters]:
+        if context.report is None:
+            raise ValueError(
+                "the xtalk scheduler needs a characterization report"
+            )
+        kwargs = dict(self.scheduler_kwargs)
+        kwargs.setdefault("omega", context.omega)
+        xs = XtalkScheduler(context.calibration, context.report, **kwargs)
+        scheduled = xs.schedule(context.require_circuit())
+        context.scheduled = scheduled
+        context.circuit = scheduled.circuit
+        solution = scheduled.solution
+        return {
+            "schedule.candidate_pairs": float(len(scheduled.candidate_pairs)),
+            "schedule.serialized_pairs": float(len(scheduled.serialized_pairs)),
+            "smt.nodes_explored": float(solution.nodes_explored),
+            "smt.solve_seconds": scheduled.compile_seconds,
+            "smt.exact": 1.0 if solution.exact else 0.0,
+        }
+
+
+# ----------------------------------------------------------------------
+# hardware timing
+# ----------------------------------------------------------------------
+class HardwareSchedulePass(Pass):
+    """Re-time the circuit as the IBMQ control electronics would."""
+
+    name = "hardware_schedule"
+
+    def run(self, context: PassContext) -> Optional[Counters]:
+        circuit = context.require_circuit()
+        schedule = hardware_schedule(circuit, context.calibration.durations)
+        context.artifacts[self.name] = schedule
+        context.duration = schedule.makespan()
+        return {"hardware.makespan_ns": context.duration}
+
+
+# ----------------------------------------------------------------------
+# factories
+# ----------------------------------------------------------------------
+#: canonical policy name -> pass class
+SCHEDULING_PASSES: Dict[str, type] = {
+    "xtalk": XtalkSchedulePass,
+    "par": ParSchedulePass,
+    "serial": SerialSchedulePass,
+    "disable": DisableSchedulePass,
+}
+
+#: experiment-style aliases (Table 1 names) -> canonical policy names
+POLICY_ALIASES: Dict[str, str] = {
+    "XtalkSched": "xtalk",
+    "ParSched": "par",
+    "SerialSched": "serial",
+    "DisableSched": "disable",
+}
+
+
+def canonical_policy(scheduler: str) -> str:
+    """Map either naming convention onto a canonical policy name."""
+    name = POLICY_ALIASES.get(scheduler, scheduler)
+    if name not in SCHEDULING_PASSES:
+        choices = tuple(SCHEDULING_PASSES)
+        raise ValueError(
+            f"unknown scheduler {scheduler!r}; pick from {choices}"
+        )
+    return name
+
+
+def scheduling_pass(scheduler: str, **kwargs) -> SchedulingPass:
+    """Instantiate the scheduling pass for a policy (either naming style)."""
+    return SCHEDULING_PASSES[canonical_policy(scheduler)](**kwargs)
+
+
+def compile_passes(scheduler: str = "xtalk",
+                   select_region: bool = False) -> Tuple[Pass, ...]:
+    """The full Figure 2 stage list for one scheduling policy."""
+    return (
+        LayoutPass(select_region=select_region),
+        RoutingPass(),
+        DecomposePass(),
+        scheduling_pass(scheduler),
+        HardwareSchedulePass(),
+    )

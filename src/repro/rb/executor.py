@@ -26,6 +26,7 @@ averaged; optional binomial shot noise reproduces finite-trial scatter.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -180,6 +181,16 @@ class RBExecutor:
             seed if seed is not None else device.seed * 104729 + day
         )
         self._group = clifford_group(2)
+        #: Cumulative per-executor cost counters, in the same namespace the
+        #: pipeline passes use; the characterization campaign snapshots
+        #: these around each stage to report per-stage cost.
+        self.counters: Dict[str, float] = {
+            "rb.experiments": 0.0,
+            "rb.units": 0.0,
+            "rb.targets": 0.0,
+            "rb.sequences": 0.0,
+            "rb.seconds": 0.0,
+        }
 
     # ------------------------------------------------------------------
     def run_units(self, units: Sequence[Sequence[Sequence[int]]]) -> SRBResult:
@@ -191,6 +202,7 @@ class RBExecutor:
         the original simultaneous-RB "addressability" protocol [16]);
         targets across all units must be disjoint in qubits.
         """
+        started = time.perf_counter()
         targets: List[Target] = []
         for unit in units:
             for gate in unit:
@@ -229,6 +241,13 @@ class RBExecutor:
             for t in targets
         }
         context = {t: tuple(o for o in targets if o != t) for t in targets}
+        self.counters["rb.experiments"] += 1.0
+        self.counters["rb.units"] += float(len(units))
+        self.counters["rb.targets"] += float(len(targets))
+        self.counters["rb.sequences"] += float(
+            len(targets) * len(cfg.lengths) * cfg.num_sequences
+        )
+        self.counters["rb.seconds"] += time.perf_counter() - started
         return SRBResult(cfg.lengths, mean_survivals, fits, context)
 
     def run_independent(self, gate: Sequence[int]) -> SRBResult:

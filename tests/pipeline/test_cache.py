@@ -1,0 +1,99 @@
+"""Content-keyed result cache: hits, misses, eviction, and key content."""
+
+import dataclasses
+
+import pytest
+
+from repro.device.presets import ibmq_poughkeepsie
+from repro.experiments.common import campaign_cache, characterized_report
+from repro.pipeline.cache import (
+    ResultCache,
+    campaign_cache_key,
+    device_fingerprint,
+)
+from repro.rb.executor import RBConfig
+
+
+class TestResultCache:
+    def test_hit_miss_accounting(self):
+        cache = ResultCache(max_entries=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_get_or_compute(self):
+        cache = ResultCache(max_entries=4)
+        calls = []
+        value = cache.get_or_compute("k", lambda: calls.append(1) or "v")
+        again = cache.get_or_compute("k", lambda: calls.append(1) or "v2")
+        assert value == again == "v"
+        assert calls == [1]
+
+    def test_lru_eviction(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh "a": now "b" is least recent
+        cache.put("c", 3)
+        assert cache.keys() == ["a", "c"]
+        assert cache.stats.evictions == 1
+        assert "b" not in cache
+
+    def test_max_entries_positive(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+
+
+class TestContentKeys:
+    def test_fingerprint_is_stable(self, poughkeepsie):
+        assert device_fingerprint(poughkeepsie) == \
+            device_fingerprint(ibmq_poughkeepsie())
+
+    def test_fingerprint_sees_content(self, poughkeepsie):
+        renamed = ibmq_poughkeepsie()
+        renamed.name = "poughkeepsie-prime"
+        assert device_fingerprint(renamed) != device_fingerprint(poughkeepsie)
+
+    def test_key_includes_rb_config(self, poughkeepsie):
+        """The historical bug: (name, day, seed) ignored the RB sizing."""
+        small = RBConfig(num_sequences=3)
+        large = dataclasses.replace(small, num_sequences=30)
+        k1 = campaign_cache_key(poughkeepsie, day=0, seed=7, rb_config=small)
+        k2 = campaign_cache_key(poughkeepsie, day=0, seed=7, rb_config=large)
+        assert k1 != k2
+        assert k1 == campaign_cache_key(poughkeepsie, day=0, seed=7,
+                                        rb_config=RBConfig(num_sequences=3))
+
+    def test_key_includes_day_seed_policy(self, poughkeepsie):
+        config = RBConfig(num_sequences=3)
+        base = campaign_cache_key(poughkeepsie, day=0, seed=7, rb_config=config)
+        assert base != campaign_cache_key(poughkeepsie, day=1, seed=7,
+                                          rb_config=config)
+        assert base != campaign_cache_key(poughkeepsie, day=0, seed=8,
+                                          rb_config=config)
+        assert base != campaign_cache_key(poughkeepsie, day=0, seed=7,
+                                          rb_config=config, policy="one_hop")
+
+
+class TestCharacterizedReportMemo:
+    def test_same_inputs_hit_cache(self, poughkeepsie, fast_rb_config):
+        campaign_cache.clear()
+        r1 = characterized_report(poughkeepsie, rb_config=fast_rb_config, seed=5)
+        r2 = characterized_report(poughkeepsie, rb_config=fast_rb_config, seed=5)
+        assert r1 is r2
+        # The cached outcome carries the campaign's per-stage trace.
+        assert r1.trace.pass_names == [
+            "plan", "independent_rb", "pair_srb", "merge",
+        ]
+        assert r1.trace.counter("rb.experiments") > 0
+
+    def test_different_rb_config_recomputes(self, poughkeepsie,
+                                            fast_rb_config):
+        campaign_cache.clear()
+        r1 = characterized_report(poughkeepsie, rb_config=fast_rb_config, seed=5)
+        other = dataclasses.replace(fast_rb_config, num_sequences=4)
+        r2 = characterized_report(poughkeepsie, rb_config=other, seed=5)
+        assert r1 is not r2

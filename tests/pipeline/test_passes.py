@@ -1,0 +1,98 @@
+"""Pass ordering, context threading, and policy resolution."""
+
+import pytest
+
+from repro.pipeline.context import PassContext
+from repro.pipeline.passes import (
+    DecomposePass,
+    HardwareSchedulePass,
+    LayoutPass,
+    Pass,
+    RoutingPass,
+    XtalkSchedulePass,
+    canonical_policy,
+    compile_passes,
+    scheduling_pass,
+)
+from repro.pipeline.runner import Pipeline, build_compile_pipeline
+from repro.workloads.swap import swap_benchmark
+
+
+@pytest.fixture()
+def swap_circuit(poughkeepsie):
+    return swap_benchmark(poughkeepsie.coupling, 0, 13,
+                          path=(0, 5, 10, 11, 12, 13)).circuit
+
+
+class TestPipelineOrdering:
+    def test_passes_run_in_order(self, poughkeepsie):
+        order = []
+
+        class Probe(Pass):
+            def __init__(self, tag):
+                self.name = f"probe[{tag}]"
+                self.tag = tag
+
+            def run(self, context):
+                order.append(self.tag)
+                return {f"probe.{self.tag}": 1.0}
+
+        pipeline = Pipeline([Probe("a"), Probe("b"), Probe("c")], name="probes")
+        context = PassContext(device=poughkeepsie)
+        pipeline.run(context)
+        assert order == ["a", "b", "c"]
+        assert context.trace.pass_names == ["probe[a]", "probe[b]", "probe[c]"]
+        assert pipeline.last_trace is context.trace
+
+    def test_context_threads_between_passes(self, poughkeepsie, pk_report,
+                                            swap_circuit):
+        context = PassContext(device=poughkeepsie, report=pk_report,
+                              circuit=swap_circuit)
+        build_compile_pipeline("xtalk").run(context)
+        # Every stage left its mark on the one shared context.
+        assert context.source_circuit is swap_circuit
+        assert context.circuit is not swap_circuit
+        assert context.layout is not None and len(context.layout) == 20
+        assert context.scheduled is not None
+        assert context.duration is not None and context.duration > 0
+        assert "hardware_schedule" in context.artifacts
+        # The evolved circuit kept the source name (+ scheduler suffix).
+        assert context.circuit.name.startswith(swap_circuit.name)
+
+    def test_compile_passes_shape(self):
+        passes = compile_passes("xtalk")
+        assert [type(p) for p in passes] == [
+            LayoutPass, RoutingPass, DecomposePass, XtalkSchedulePass,
+            HardwareSchedulePass,
+        ]
+
+    def test_layout_defaults_to_identity(self, poughkeepsie, swap_circuit):
+        context = PassContext(device=poughkeepsie, circuit=swap_circuit)
+        LayoutPass().run(context)
+        assert context.initial_layout == list(range(swap_circuit.num_qubits))
+
+    def test_layout_validates_length(self, poughkeepsie, swap_circuit):
+        context = PassContext(device=poughkeepsie, circuit=swap_circuit,
+                              initial_layout=[0, 1])
+        with pytest.raises(ValueError, match="every logical qubit"):
+            LayoutPass().run(context)
+
+    def test_xtalk_pass_requires_report(self, poughkeepsie, swap_circuit):
+        context = PassContext(device=poughkeepsie, circuit=swap_circuit)
+        with pytest.raises(ValueError, match="report"):
+            XtalkSchedulePass().run(context)
+
+
+class TestPolicyResolution:
+    @pytest.mark.parametrize("alias,canonical", [
+        ("XtalkSched", "xtalk"), ("ParSched", "par"),
+        ("SerialSched", "serial"), ("DisableSched", "disable"),
+        ("xtalk", "xtalk"), ("par", "par"),
+    ])
+    def test_canonical_policy(self, alias, canonical):
+        assert canonical_policy(alias) == canonical
+        assert scheduling_pass(alias).policy == canonical
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            canonical_policy("magic")
