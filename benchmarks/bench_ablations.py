@@ -338,6 +338,8 @@ def test_ablation_rb_estimators(benchmark, poughkeepsie, record_table, record_tr
         out = {}
         for mode, cfg in [
             ("exact", RBConfig(num_sequences=20, estimate="exact")),
+            ("exact-scalar", RBConfig(num_sequences=20,
+                                      estimate="exact-scalar")),
             ("sampled", RBConfig(num_sequences=20, samples_per_sequence=24,
                                  estimate="sampled")),
         ]:

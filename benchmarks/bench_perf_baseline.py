@@ -1,0 +1,207 @@
+"""Machine-readable perf baseline: serial vs parallel on the hot loops.
+
+Writes ``BENCH_perf.json`` (repo root by default) with one entry per
+workload::
+
+    {"schema": "repro.bench-perf/v1", "cpu_count": ..., "workloads": {
+        "campaign_one_hop_packed": {"serial_seconds": ..., "parallel_seconds":
+            ..., "workers": 4, "speedup": ...}, ...}}
+
+The headline workload is the ONE_HOP_PACKED characterization campaign.  Its
+*serial* leg is the pre-optimization configuration — the scalar exact
+estimator (``estimate="exact-scalar"``) with one worker; the *parallel* leg
+is the shipped configuration — the vectorized estimator fanned over the
+process pool.  The speedup therefore reports what this change delivers
+end-to-end: vectorization plus fan-out.  On single-core containers the pool
+contributes nothing (there is nothing to fan out over), and the vectorized
+estimator carries the speedup; ``cpu_count`` is recorded so readers can
+tell which regime produced the numbers.
+
+Run directly (not through pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_baseline.py --fast
+    PYTHONPATH=src python benchmarks/bench_perf_baseline.py --check 1.2
+
+``--check X`` exits nonzero if the campaign workload's parallel leg is
+slower than ``X`` times its serial leg — the CI perf-smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.circuit.circuit import QuantumCircuit  # noqa: E402
+from repro.core.characterization.campaign import (  # noqa: E402
+    CharacterizationCampaign,
+    CharacterizationPolicy,
+)
+from repro.device import ibmq_poughkeepsie  # noqa: E402
+from repro.device.backend import NoisyBackend  # noqa: E402
+from repro.experiments.common import (  # noqa: E402
+    ExperimentConfig,
+    ground_truth_report,
+    prepare_circuit,
+    tomography_error,
+)
+from repro.rb.clifford import clifford_group  # noqa: E402
+from repro.rb.executor import RBConfig  # noqa: E402
+from repro.workloads.swap import swap_benchmark  # noqa: E402
+
+SCHEMA = "repro.bench-perf/v1"
+DEFAULT_OUT = REPO_ROOT / "BENCH_perf.json"
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - started
+
+
+def bench_campaign(workers: int, fast: bool) -> dict:
+    """ONE_HOP_PACKED campaign: scalar serial vs vectorized parallel."""
+    device = ibmq_poughkeepsie()
+    rb = RBConfig.fast() if fast else RBConfig()
+    clifford_group(2)  # build once, outside both timed legs
+
+    serial_cfg = dataclasses.replace(rb, estimate="exact-scalar")
+    serial_campaign = CharacterizationCampaign(device, rb_config=serial_cfg,
+                                               seed=3)
+    _, serial_seconds = _timed(lambda: serial_campaign.run(
+        CharacterizationPolicy.ONE_HOP_PACKED, workers=1))
+
+    campaign = CharacterizationCampaign(device, rb_config=rb, seed=3)
+    pooled, parallel_seconds = _timed(lambda: campaign.run(
+        CharacterizationPolicy.ONE_HOP_PACKED, workers=workers))
+
+    # Determinism spot-check: the parallel report must equal the serial
+    # run of the *same* (vectorized) configuration.
+    single = campaign.run(CharacterizationPolicy.ONE_HOP_PACKED, workers=1)
+    deterministic = (
+        single.report.independent == pooled.report.independent
+        and single.report.conditional == pooled.report.conditional
+    )
+    return {
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "workers": workers,
+        "speedup": serial_seconds / parallel_seconds,
+        "experiments": pooled.plan.num_experiments,
+        "deterministic_across_worker_counts": deterministic,
+        "notes": "serial = exact-scalar estimator @ 1 worker (pre-change); "
+                 "parallel = vectorized estimator @ N workers (shipped)",
+    }
+
+
+def bench_trajectories(workers: int, fast: bool) -> dict:
+    """Trajectory simulation of a scheduled SWAP circuit."""
+    device = ibmq_poughkeepsie()
+    report = ground_truth_report(device)
+    bench = swap_benchmark(device.coupling, 0, 8)
+    prepared = prepare_circuit("ParSched", bench.circuit, device, report)
+    backend = NoisyBackend(device, day=0, seed=11)
+    trajectories = 96 if fast else 480
+
+    serial, serial_seconds = _timed(lambda: backend.run(
+        prepared, shots=1024, trajectories=trajectories, workers=1))
+    pooled, parallel_seconds = _timed(lambda: backend.run(
+        prepared, shots=1024, trajectories=trajectories, workers=workers))
+    return {
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "workers": workers,
+        "speedup": serial_seconds / parallel_seconds,
+        "trajectories": trajectories,
+        "deterministic_across_worker_counts": bool(
+            (serial.probabilities == pooled.probabilities).all()
+        ),
+    }
+
+
+def bench_tomography(workers: int, fast: bool) -> dict:
+    """Two-qubit state tomography: 9 basis settings."""
+    device = ibmq_poughkeepsie()
+    report = ground_truth_report(device)
+    bench = swap_benchmark(device.coupling, 0, 8)
+    prepared = prepare_circuit("XtalkSched", bench.circuit, device, report)
+    backend = NoisyBackend(device, day=0)
+    config = ExperimentConfig(shots=1024, trajectories=32 if fast else 160)
+
+    serial, serial_seconds = _timed(lambda: tomography_error(
+        backend, prepared, bench.meeting_pair, config, workers=1))
+    pooled, parallel_seconds = _timed(lambda: tomography_error(
+        backend, prepared, bench.meeting_pair, config, workers=workers))
+    return {
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "workers": workers,
+        "speedup": serial_seconds / parallel_seconds,
+        "deterministic_across_worker_counts": serial == pooled,
+    }
+
+
+WORKLOADS = {
+    "campaign_one_hop_packed": bench_campaign,
+    "trajectory_backend": bench_trajectories,
+    "tomography": bench_tomography,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true",
+                        help="small protocol sizing (CI smoke mode)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="pool size for the parallel legs (default 4)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output path (default {DEFAULT_OUT})")
+    parser.add_argument("--check", type=float, default=None, metavar="X",
+                        help="exit nonzero if the campaign workload's "
+                             "parallel leg is slower than X times serial")
+    args = parser.parse_args(argv)
+
+    document = {
+        "schema": SCHEMA,
+        "fast": args.fast,
+        "cpu_count": os.cpu_count(),
+        "workloads": {},
+    }
+    for name, fn in WORKLOADS.items():
+        print(f"[bench_perf] running {name} ...", flush=True)
+        entry = fn(args.workers, args.fast)
+        document["workloads"][name] = entry
+        print(f"[bench_perf]   serial {entry['serial_seconds']:.2f}s  "
+              f"parallel {entry['parallel_seconds']:.2f}s  "
+              f"speedup {entry['speedup']:.2f}x", flush=True)
+
+    args.out.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"[bench_perf] wrote {args.out}")
+
+    failures = []
+    for name, entry in document["workloads"].items():
+        if not entry.get("deterministic_across_worker_counts", True):
+            failures.append(f"{name}: results differ across worker counts")
+    if args.check is not None:
+        campaign = document["workloads"]["campaign_one_hop_packed"]
+        limit = args.check * campaign["serial_seconds"]
+        if campaign["parallel_seconds"] > limit:
+            failures.append(
+                "campaign_one_hop_packed: parallel leg "
+                f"{campaign['parallel_seconds']:.2f}s exceeds "
+                f"{args.check:.2f}x serial ({campaign['serial_seconds']:.2f}s)"
+            )
+    for failure in failures:
+        print(f"[bench_perf] FAIL {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

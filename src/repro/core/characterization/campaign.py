@@ -27,8 +27,9 @@ from repro.core.characterization.cost import CostModel, PAPER_COST_MODEL
 from repro.core.characterization.report import CrosstalkReport
 from repro.device.device import Device
 from repro.device.topology import CouplingMap, Edge
+from repro.parallel import ParallelEngine
 from repro.pipeline.trace import PipelineTrace, SpanRecorder
-from repro.rb.executor import RBConfig, RBExecutor
+from repro.rb.executor import RBConfig, RBExecutor, normalize_target
 
 
 class CharacterizationPolicy(enum.Enum):
@@ -91,14 +92,43 @@ class CampaignOutcome:
         return self.cost_model.executions(self.num_experiments)
 
 
+def _campaign_experiment_task(context, experiment: List[Unit]):
+    """Run one characterization experiment in a (possibly worker) process.
+
+    ``context`` ships the campaign's execution parameters once per worker:
+    ``(device, day, rb_config, executor_seed)``.  A fresh
+    :class:`~repro.rb.executor.RBExecutor` is built per task; because the
+    executor derives every experiment's RNG from a stable key rather than a
+    shared stream, the measured rates are identical no matter which process
+    (or in which order) the experiment runs.  Returns the per-target error
+    rates plus the executor's ``rb.*`` cost counters.
+    """
+    device, day, config, seed = context
+    executor = RBExecutor(device, day=day, config=config, seed=seed)
+    result = executor.run_units(experiment)
+    rates = {}
+    for unit in experiment:
+        for gate in unit:
+            target = normalize_target(gate)
+            rates[target] = result.error_rate(target)
+    return rates, executor.counters
+
+
 class CharacterizationCampaign:
-    """Plans and runs crosstalk characterization on one device."""
+    """Plans and runs crosstalk characterization on one device.
+
+    ``workers`` fans the independent experiments of each stage over a
+    process pool (see :mod:`repro.parallel`); the default of ``None`` defers
+    to the ``REPRO_WORKERS`` environment variable, falling back to serial.
+    Reports are identical for every worker count.
+    """
 
     def __init__(self, device: Device, rb_config: Optional[RBConfig] = None,
-                 seed: int = 0):
+                 seed: int = 0, workers: Optional[int] = None):
         self.device = device
         self.rb_config = rb_config or RBConfig()
         self.seed = seed
+        self.workers = workers
 
     # ------------------------------------------------------------------
     # planning
@@ -144,7 +174,8 @@ class CharacterizationCampaign:
     # ------------------------------------------------------------------
     def run(self, policy: CharacterizationPolicy, day: int = 0,
             prior: Optional[CrosstalkReport] = None,
-            cost_model: Optional[CostModel] = None) -> CampaignOutcome:
+            cost_model: Optional[CostModel] = None,
+            workers: Optional[int] = None) -> CampaignOutcome:
         recorder = SpanRecorder(f"characterize[{policy.value}]")
 
         with recorder.span("plan") as span:
@@ -155,30 +186,44 @@ class CharacterizationCampaign:
             span.counters["campaign.pairs_measured"] = float(
                 plan.units_measured()
             )
-        executor = RBExecutor(self.device, day=day, config=self.rb_config,
-                              seed=self.seed * 65537 + day)
+        engine = ParallelEngine(
+            workers if workers is not None else self.workers,
+            name=f"characterize[{policy.value}]",
+        )
+        context = (self.device, day, self.rb_config, self.seed * 65537 + day)
         report = CrosstalkReport(day=day)
 
-        with recorder.span("independent_rb") as span:
-            for experiment in plan.independent_experiments:
-                result = executor.run_units(experiment)
-                for unit in experiment:
-                    (edge,) = unit
-                    report.record_independent(edge, result.error_rate(edge))
-            span.counters.update(executor.counters)
+        with engine:
+            with recorder.span("independent_rb") as span:
+                baseline = dict(engine.counters)
+                results = engine.map(_campaign_experiment_task,
+                                     plan.independent_experiments, context)
+                for experiment, (rates, counters) in zip(
+                        plan.independent_experiments, results):
+                    for unit in experiment:
+                        (edge,) = unit
+                        report.record_independent(
+                            edge, rates[normalize_target(edge)]
+                        )
+                    span.add_counters(counters)
+                span.counters.update(engine.counters_since(baseline))
 
-        baseline = dict(executor.counters)
-        with recorder.span("pair_srb") as span:
-            for experiment in plan.pair_experiments:
-                result = executor.run_units(experiment)
-                for unit in experiment:
-                    a, b = unit
-                    report.record_conditional(a, b, result.error_rate(a))
-                    report.record_conditional(b, a, result.error_rate(b))
-            span.counters.update({
-                name: value - baseline.get(name, 0.0)
-                for name, value in executor.counters.items()
-            })
+            with recorder.span("pair_srb") as span:
+                baseline = dict(engine.counters)
+                results = engine.map(_campaign_experiment_task,
+                                     plan.pair_experiments, context)
+                for experiment, (rates, counters) in zip(
+                        plan.pair_experiments, results):
+                    for unit in experiment:
+                        a, b = unit
+                        report.record_conditional(
+                            a, b, rates[normalize_target(a)]
+                        )
+                        report.record_conditional(
+                            b, a, rates[normalize_target(b)]
+                        )
+                    span.add_counters(counters)
+                span.counters.update(engine.counters_since(baseline))
 
         with recorder.span("merge") as span:
             if policy is CharacterizationPolicy.HIGH_ONLY and prior is not None:

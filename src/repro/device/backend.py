@@ -29,10 +29,26 @@ import numpy as np
 from repro.circuit.circuit import QuantumCircuit
 from repro.device.device import Device
 from repro.device.topology import normalize_edge
+from repro.parallel import ParallelEngine, stable_seed_sequence
 from repro.sim.channels import ReadoutModel, decay_probabilities
 from repro.sim.trajectory import NoisyOp, TrajectorySimulator
 from repro.transpiler.schedule import Schedule
 from repro.transpiler.scheduling import hardware_schedule
+
+#: Trajectories per parallel chunk.  Fixed (never derived from the worker
+#: count) so the chunk boundaries — and therefore each chunk's spawned seed
+#: and the order-preserving merge — are identical whether the chunks run
+#: serially or across a pool, making the output distribution bitwise
+#: reproducible for every worker count.
+_TRAJECTORY_CHUNK = 16
+
+
+def _trajectory_chunk_task(context, item):
+    """Accumulate one chunk of trajectories (module-level for pickling)."""
+    events, measured_sim_qubits, num_qubits = context
+    count, seed_seq = item
+    sim = TrajectorySimulator(num_qubits, seed=seed_seq)
+    return sim.accumulate(events, measured_sim_qubits, count)
 
 
 @dataclass
@@ -57,10 +73,15 @@ class ExecutionResult:
 class NoisyBackend:
     """Executes circuits against a :class:`~repro.device.device.Device`."""
 
-    def __init__(self, device: Device, day: int = 0, seed: Optional[int] = None):
+    def __init__(self, device: Device, day: int = 0, seed: Optional[int] = None,
+                 workers: Optional[int] = None):
         self.device = device
         self.day = day
         self._seed = seed if seed is not None else device.seed * 7919 + day
+        self.workers = workers
+        #: ``parallel.*`` counters accumulated across every run (workers is
+        #: a level, not an accumulator).
+        self.counters: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # timing and error-rate assignment (shared with the RB executor)
@@ -150,22 +171,26 @@ class NoisyBackend:
     # ------------------------------------------------------------------
     def run(self, circuit: QuantumCircuit, shots: int = 1024,
             trajectories: int = 64, readout_error: bool = True,
-            seed: Optional[int] = None) -> ExecutionResult:
+            seed: Optional[int] = None,
+            workers: Optional[int] = None) -> ExecutionResult:
         """Execute a circuit and return sampled counts (clbit 0 rightmost).
 
         The circuit is timed by the hardware scheduler (right-aligned,
-        barrier-respecting) — the circuit-level ISA path.
+        barrier-respecting) — the circuit-level ISA path.  ``workers`` fans
+        the trajectory budget over a process pool; the distribution is
+        bitwise identical for every worker count.
         """
         if not any(instr.is_measure for instr in circuit):
             raise ValueError("circuit has no measurements")
         return self.run_schedule(
             self.schedule_of(circuit), shots=shots, trajectories=trajectories,
-            readout_error=readout_error, seed=seed,
+            readout_error=readout_error, seed=seed, workers=workers,
         )
 
     def run_schedule(self, schedule: Schedule, shots: int = 1024,
                      trajectories: int = 64, readout_error: bool = True,
-                     seed: Optional[int] = None) -> ExecutionResult:
+                     seed: Optional[int] = None,
+                     workers: Optional[int] = None) -> ExecutionResult:
         """Execute an explicitly timed schedule (the pulse-level ISA path).
 
         Recent IBMQ systems expose OpenPulse-style control (the paper's
@@ -173,22 +198,55 @@ class NoisyBackend:
         are executed verbatim, with no right-alignment or barrier
         re-scheduling.  Error rates still derive from the schedule's actual
         overlaps.
+
+        Trajectories are split into fixed chunks of ``_TRAJECTORY_CHUNK``,
+        each chunk simulated with its own RNG spawned from a stable root
+        seed, and the partial accumulators merged in chunk order — so the
+        probabilities do not depend on ``workers``.
         """
         if not any(t.instruction.is_measure for t in schedule):
             raise ValueError("schedule has no measurements")
+        if trajectories <= 0:
+            raise ValueError("need at least one trajectory")
         events, qubit_map, measures = self.lower(schedule)
         measured_device_qubits = tuple(q for _, q in measures)
         measured_sim_qubits = [qubit_map[q] for q in measured_device_qubits]
 
-        sim = TrajectorySimulator(len(qubit_map), seed=seed if seed is not None else self._seed)
+        seed_val = seed if seed is not None else self._seed
+        chunk_counts = [_TRAJECTORY_CHUNK] * (trajectories // _TRAJECTORY_CHUNK)
+        if trajectories % _TRAJECTORY_CHUNK:
+            chunk_counts.append(trajectories % _TRAJECTORY_CHUNK)
+        root = stable_seed_sequence("backend.trajectories", seed_val)
+        children = root.spawn(len(chunk_counts))
+
+        context = (events, measured_sim_qubits, len(qubit_map))
+        with ParallelEngine(
+            workers if workers is not None else self.workers,
+            name="backend.trajectories",
+        ) as engine:
+            partials = engine.map(
+                _trajectory_chunk_task, list(zip(chunk_counts, children)),
+                context,
+            )
+        total = np.zeros(2 ** len(measured_sim_qubits))
+        for partial in partials:
+            total += partial
+        probs = total / trajectories
+        for name, value in engine.counters.items():
+            if name == "parallel.workers":
+                self.counters[name] = value
+            else:
+                self.counters[name] = self.counters.get(name, 0.0) + value
+
         readout = None
         if readout_error:
             cal = self.device.calibration(self.day)
             errs = tuple(cal.readout_error[q] for q in qubit_map)
             readout = ReadoutModel(errs, errs)
-        probs = sim.output_distribution(
-            events, measured_sim_qubits, trajectories=trajectories, readout=readout
-        )
+        if readout is not None:
+            probs = readout.restrict(measured_sim_qubits).apply_to_distribution(
+                probs, range(len(measured_sim_qubits))
+            )
         from repro.sim.channels import distribution_to_counts
 
         counts = distribution_to_counts(probs, shots, np.random.default_rng(self._seed))

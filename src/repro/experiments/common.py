@@ -24,8 +24,10 @@ from repro.device.backend import NoisyBackend
 from repro.device.device import Device
 from repro.metrics.readout import mitigate_distribution
 from repro.metrics.tomography import bell_state_vector
+from repro.parallel import ParallelEngine
 from repro.pipeline.cache import ResultCache, campaign_cache_key
 from repro.pipeline.context import PassContext
+from repro.pipeline.trace import SpanRecorder
 from repro.pipeline.passes import scheduling_pass
 from repro.pipeline.runner import Pipeline
 from repro.rb.executor import RBConfig
@@ -51,6 +53,10 @@ class ExperimentConfig:
     #: distributions so scheduler differences are not buried in shot noise.
     use_sampled_counts: bool = False
     seed: int = 7
+    #: Worker processes for trajectory / tomography fan-out (``None`` defers
+    #: to ``REPRO_WORKERS``, falling back to serial).  Results are identical
+    #: for every worker count.
+    workers: Optional[int] = None
 
     @classmethod
     def fast(cls) -> "ExperimentConfig":
@@ -93,12 +99,18 @@ campaign_cache = ResultCache(max_entries=32)
 
 def characterized_report(device: Device, day: int = 0,
                          rb_config: Optional[RBConfig] = None,
-                         seed: int = 3, use_cache: bool = True) -> CampaignOutcome:
-    """Run (and cache) a 1-hop bin-packed SRB campaign on the device."""
+                         seed: int = 3, use_cache: bool = True,
+                         workers: Optional[int] = None) -> CampaignOutcome:
+    """Run (and cache) a 1-hop bin-packed SRB campaign on the device.
+
+    ``workers`` only affects wall time, never the outcome, so it is
+    deliberately not part of the cache key.
+    """
     config = rb_config if rb_config is not None else RBConfig()
 
     def run_campaign() -> CampaignOutcome:
-        campaign = CharacterizationCampaign(device, rb_config=config, seed=seed)
+        campaign = CharacterizationCampaign(device, rb_config=config, seed=seed,
+                                            workers=workers)
         return campaign.run(CharacterizationPolicy.ONE_HOP_PACKED, day=day)
 
     if not use_cache:
@@ -139,7 +151,7 @@ def run_distribution(backend: NoisyBackend, circuit: QuantumCircuit,
     """Execute and return the (optionally mitigated) clbit distribution."""
     result = backend.run(
         circuit, shots=config.shots, trajectories=config.trajectories,
-        readout_error=True, seed=config.seed,
+        readout_error=True, seed=config.seed, workers=config.workers,
     )
     if config.use_sampled_counts:
         total = sum(result.counts.values())
@@ -184,32 +196,57 @@ def _insert_rotations_before_measures(circuit: QuantumCircuit,
     return out
 
 
+def _tomography_setting_task(context, setting):
+    """Execute one tomography basis setting (module-level for pickling).
+
+    Each setting's backend run is seeded from ``config.seed`` alone, so the
+    measured distribution does not depend on which process (or in which
+    order) the setting runs.
+    """
+    from repro.metrics.tomography import _basis_rotation
+
+    backend, prepared, qubit_pair, config = context
+    qa, qb = qubit_pair
+    rot = QuantumCircuit(backend.device.num_qubits)
+    _basis_rotation(rot, qa, setting[0])
+    _basis_rotation(rot, qb, setting[1])
+    variant = _insert_rotations_before_measures(prepared, rot.instructions)
+    return run_distribution(backend, variant, config)
+
+
 def tomography_error(backend: NoisyBackend, prepared: QuantumCircuit,
                      qubit_pair: Tuple[int, int], config: ExperimentConfig,
-                     target: Optional[np.ndarray] = None) -> float:
+                     target: Optional[np.ndarray] = None,
+                     workers: Optional[int] = None) -> float:
     """Tomography error of an already-scheduled circuit.
 
     Builds the 9 tomography variants by inserting basis rotations ahead of
     the measurements (the two-qubit structure — and hence any scheduling
-    decisions — are identical across settings), executes each, and
-    reconstructs the two-qubit state.
+    decisions — are identical across settings), executes each —
+    concurrently when ``workers`` (or ``config.workers``) asks for a pool —
+    and reconstructs the two-qubit state.
     """
     from repro.metrics.tomography import (
-        _basis_rotation,
         density_from_expectations,
         expectations_from_distributions,
         state_fidelity,
         tomography_settings,
     )
 
-    qa, qb = qubit_pair
-    dists = {}
-    for setting in tomography_settings():
-        rot = QuantumCircuit(backend.device.num_qubits)
-        _basis_rotation(rot, qa, setting[0])
-        _basis_rotation(rot, qb, setting[1])
-        variant = _insert_rotations_before_measures(prepared, rot.instructions)
-        dists[setting] = run_distribution(backend, variant, config)
+    settings = list(tomography_settings())
+    recorder = SpanRecorder("tomography")
+    with ParallelEngine(
+        workers if workers is not None else config.workers,
+        name="tomography",
+    ) as engine:
+        with recorder.span("settings") as span:
+            results = engine.map(
+                _tomography_setting_task, settings,
+                context=(backend, prepared, qubit_pair, config),
+            )
+            span.counters.update(engine.counters)
+    recorder.finish()
+    dists = dict(zip(settings, results))
 
     rho = density_from_expectations(expectations_from_distributions(dists))
     target = target if target is not None else bell_state_vector()

@@ -1,0 +1,186 @@
+"""Process-pool fan-out for embarrassingly parallel work units.
+
+The repository's three hot loops — SRB characterization experiments,
+trajectory batches, and tomography settings — are all lists of independent
+tasks.  :class:`ParallelEngine` runs such a list either serially (the
+``workers=1`` fallback) or over a :class:`~concurrent.futures.ProcessPoolExecutor`,
+and reports cost through the same counter namespace the pipeline passes
+use:
+
+* ``parallel.workers`` — worker processes used for the fan-out;
+* ``parallel.tasks`` — tasks executed;
+* ``parallel.serial_seconds_estimate`` — summed in-task wall time, i.e.
+  what a serial run of the same tasks would have cost;
+* ``parallel.wall_seconds`` — actual wall time of the fan-out.
+
+Worker count resolution order: explicit ``workers=`` keyword, then the
+``REPRO_WORKERS`` environment variable, then serial.  Inside a pool worker
+the engine always resolves to serial so nested fan-outs (a tomography
+setting running trajectory batches) never oversubscribe.
+
+Task functions must be module-level (picklable) and are called as
+``fn(context, item)``; the ``context`` object is shipped to each worker
+once via the pool initializer rather than once per task.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+#: Environment variable overriding the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Worker-process state, installed by the pool initializer.
+_WORKER_CONTEXT: Any = None
+_IN_WORKER = False
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve the effective worker count.
+
+    Precedence: the ``workers`` keyword if given, else the
+    ``REPRO_WORKERS`` environment variable, else 1 (serial).  Inside a pool
+    worker this always returns 1 so nested parallelism stays serial.
+    """
+    if _IN_WORKER:
+        return 1
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if not env:
+            return 1
+        try:
+            workers = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV}={env!r} is not an integer worker count"
+            ) from None
+    return max(1, int(workers))
+
+
+def _init_worker(context: Any) -> None:
+    global _WORKER_CONTEXT, _IN_WORKER
+    _WORKER_CONTEXT = context
+    _IN_WORKER = True
+
+
+def _run_task(fn: Callable[[Any, Any], Any], index: int, item: Any):
+    started = time.perf_counter()
+    value = fn(_WORKER_CONTEXT, item)
+    return index, value, time.perf_counter() - started
+
+
+class ParallelEngine:
+    """Maps a task function over independent items, serially or in a pool.
+
+    One engine accumulates ``parallel.*`` counters across every
+    :meth:`map` call so a caller can snapshot them into a
+    :class:`~repro.pipeline.trace.PassSpan` (``span.counters.update(
+    engine.counters)``).
+    """
+
+    def __init__(self, workers: Optional[int] = None, name: str = "parallel"):
+        self.workers = resolve_workers(workers)
+        self.name = name
+        self.counters: Dict[str, float] = {
+            "parallel.workers": float(self.workers),
+            "parallel.tasks": 0.0,
+            "parallel.serial_seconds_estimate": 0.0,
+            "parallel.wall_seconds": 0.0,
+        }
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_context: Any = None
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self, context: Any) -> ProcessPoolExecutor:
+        """The engine's pool, created lazily and reused across map calls.
+
+        Workers receive ``context`` through the pool initializer, so a map
+        with a different context object tears the pool down and forks a
+        fresh one; repeated maps with one context (the campaign's two
+        stages) pay the startup cost once.
+        """
+        if self._pool is not None and self._pool_context is not context:
+            self.close()
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(context,),
+            )
+            self._pool_context = context
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; serial engines no-op)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._pool_context = None
+
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[Any, Any], Any], items: Iterable[Any],
+            context: Any = None) -> List[Any]:
+        """Run ``fn(context, item)`` for every item, preserving item order.
+
+        ``fn`` must be a module-level function and, when more than one
+        worker is in play, ``context``, every item, and every result must
+        be picklable.  Task exceptions propagate to the caller.
+        """
+        work: Sequence[Any] = list(items)
+        started = time.perf_counter()
+        if self.workers == 1 or len(work) <= 1:
+            results = []
+            for item in work:
+                t0 = time.perf_counter()
+                results.append(fn(context, item))
+                self.counters["parallel.serial_seconds_estimate"] += (
+                    time.perf_counter() - t0
+                )
+        else:
+            results = [None] * len(work)
+            pool = self._ensure_pool(context)
+            futures = [
+                pool.submit(_run_task, fn, i, item)
+                for i, item in enumerate(work)
+            ]
+            try:
+                for future in futures:
+                    index, value, seconds = future.result()
+                    results[index] = value
+                    self.counters["parallel.serial_seconds_estimate"] += seconds
+            except BaseException:
+                self.close()
+                raise
+        self.counters["parallel.tasks"] += float(len(work))
+        self.counters["parallel.wall_seconds"] += time.perf_counter() - started
+        return results
+
+    # ------------------------------------------------------------------
+    def counters_since(self, baseline: Dict[str, float]) -> Dict[str, float]:
+        """Counter deltas against a ``dict(engine.counters)`` snapshot.
+
+        ``parallel.workers`` is a level, not an accumulator, so it is
+        reported as-is rather than differenced.
+        """
+        out = {}
+        for key, value in self.counters.items():
+            if key == "parallel.workers":
+                out[key] = value
+            else:
+                out[key] = value - baseline.get(key, 0.0)
+        return out

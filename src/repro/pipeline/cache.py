@@ -16,9 +16,10 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Hashable, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
 from repro.device.device import Device
 
@@ -97,31 +98,56 @@ class CacheStats:
         return self.hits / self.requests if self.requests else 0.0
 
 
+class _InFlight:
+    """One in-progress computation: followers block on ``event``."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+
+
 class ResultCache:
-    """A size-bounded LRU mapping content keys to computed results."""
+    """A size-bounded LRU mapping content keys to computed results.
+
+    Thread-safe: all map operations hold an internal lock, and
+    :meth:`get_or_compute` is *single-flight* — when several threads miss on
+    the same key concurrently, exactly one (the leader) runs ``compute()``
+    while the rest wait for its result (counting as hits).  ``compute`` is
+    never invoked twice for one key unless an earlier computation failed or
+    the entry was evicted.  The lock is **not** held during ``compute()``,
+    so computations for different keys proceed concurrently.
+    """
 
     def __init__(self, max_entries: int = 64):
         if max_entries < 1:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._in_flight: Dict[Hashable, _InFlight] = {}
         self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: Hashable, default: Any = None) -> Any:
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return self._entries[key]
-        self.stats.misses += 1
-        return default
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            self.stats.misses += 1
+            return default
 
-    def put(self, key: Hashable, value: Any) -> None:
+    def _put_locked(self, key: Hashable, value: Any) -> None:
         if key in self._entries:
             self._entries.move_to_end(key)
         self._entries[key] = value
@@ -129,20 +155,60 @@ class ResultCache:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
 
+    def put(self, key: Hashable, value: Any) -> None:
+        with self._lock:
+            self._put_locked(key, value)
+
     def get_or_compute(self, key: Hashable,
                        compute: Callable[[], Any]) -> Any:
-        """Return the cached value, computing and inserting it on a miss."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return self._entries[key]
-        self.stats.misses += 1
-        value = compute()
-        self.put(key, value)
-        return value
+        """Return the cached value, computing and inserting it on a miss.
+
+        Single-flight: concurrent callers missing on the same key share one
+        computation — the leader runs ``compute()``, followers block until
+        it finishes and receive the same value (or re-raise the leader's
+        exception).
+        """
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            flight = self._in_flight.get(key)
+            if flight is None:
+                flight = _InFlight()
+                self._in_flight[key] = flight
+                leader = True
+                self.stats.misses += 1
+            else:
+                leader = False
+
+        if not leader:
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            with self._lock:
+                self.stats.hits += 1
+            return flight.value
+
+        try:
+            value = compute()
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        else:
+            flight.value = value
+            with self._lock:
+                self._put_locked(key, value)
+            return value
+        finally:
+            with self._lock:
+                self._in_flight.pop(key, None)
+            flight.event.set()
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def keys(self):
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)

@@ -44,6 +44,16 @@ class PassSpan:
     def add(self, counter: str, value: float = 1.0) -> None:
         self.counters[counter] = self.counters.get(counter, 0.0) + value
 
+    def add_counters(self, counters: Dict[str, float]) -> None:
+        """Accumulate a whole counter dict into this span.
+
+        Used when a span fans work out to parallel tasks that each return
+        their own counter dict (e.g. per-experiment ``rb.*`` counters): the
+        span sums the contributions rather than overwriting them.
+        """
+        for name, value in counters.items():
+            self.add(name, value)
+
     def to_dict(self) -> dict:
         return {
             "name": self.name,

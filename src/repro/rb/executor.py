@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.device.device import Device
 from repro.device.topology import Edge
+from repro.parallel.seeding import stable_rng
 from repro.rb.clifford import clifford_group
 from repro.rb.fitting import RBFit, fit_rb_decay
 from repro.rb.sequences import RBSequence, generate_rb_sequence
@@ -69,6 +70,43 @@ _PAULI_2Q_BITS = tuple(_label_bits(label) for label in _PAULI_2Q)
 #: The 3 non-identity single-qubit Paulis as 1-bit (x, z) tuples.
 _PAULI_1Q_BITS = (((1,), (0,)), ((1,), (1,)), ((0,), (1,)))
 
+#: The two-qubit Pauli support as one (15, 4) bit matrix, rows = (x|z).
+_SUPPORT_2Q = np.array([[*x, *z] for x, z in _PAULI_2Q_BITS], dtype=np.uint8)
+
+
+_SUPPORT_1Q_CACHE: Dict[Tuple[int, int], np.ndarray] = {}
+
+
+def _support_1q(n: int, local: int) -> np.ndarray:
+    """The X/Y/Z support on one local qubit as a (3, 2n) bit matrix."""
+    key = (n, local)
+    if key not in _SUPPORT_1Q_CACHE:
+        rows = [
+            [*x, *z]
+            for x, z in (_pauli_bits_n(ch, local, n) for ch in _PAULI_1Q)
+        ]
+        _SUPPORT_1Q_CACHE[key] = np.array(rows, dtype=np.uint8)
+    return _SUPPORT_1Q_CACHE[key]
+
+
+def _walsh_factors(support: np.ndarray, x_maps: np.ndarray,
+                   probs: np.ndarray, signs: np.ndarray) -> np.ndarray:
+    """Per-site survival factors for one class of error sites, batched.
+
+    ``support`` is the (s, 2n) bit matrix of the Paulis a site draws from
+    uniformly, ``x_maps`` the (g, 2n, n) suffix maps taking injected (x|z)
+    bits to final x bits, ``probs`` the (g,) per-site firing probabilities.
+    Returns the (g, 2**n) factors multiplying the Walsh characteristic
+    function ``chi``.
+    """
+    out_x = (support @ x_maps) % 2  # (g, s, n)
+    idx = out_x[..., 0].astype(np.intp)
+    if x_maps.shape[2] == 2:
+        idx = idx + 2 * out_x[..., 1]
+    dim = signs.shape[0]
+    q_dist = (idx[..., None] == np.arange(dim)).mean(axis=1)  # (g, dim)
+    return (1.0 - probs)[:, None] + probs[:, None] * (q_dist @ signs)
+
 #: Walsh character tables over Z_2^n for n = 1, 2: sign[y][x] = (-1)^(y.x)
 _WALSH = {
     1: np.array([[1, 1], [1, -1]], dtype=float),
@@ -81,7 +119,7 @@ _WALSH = {
 Target = Tuple[int, ...]  # one benchmarked gate: (q,) or a coupling edge
 
 
-def _normalize_target(gate: Sequence[int]) -> Target:
+def normalize_target(gate: Sequence[int]) -> Target:
     """Canonical form of a benchmark target: a qubit or a coupling edge."""
     target = tuple(sorted(int(q) for q in gate))
     if len(target) not in (1, 2):
@@ -89,6 +127,10 @@ def _normalize_target(gate: Sequence[int]) -> Target:
     if len(target) == 2 and target[0] == target[1]:
         raise ValueError(f"degenerate edge {gate}")
     return target
+
+
+#: Backwards-compatible alias (pre-parallel name).
+_normalize_target = normalize_target
 
 
 @dataclass(frozen=True)
@@ -108,6 +150,13 @@ class RBConfig:
       x-part distribution is an XOR-convolution over Z_2^2 evaluated with
       a 4-point Walsh-Hadamard characteristic function.  Zero Monte-Carlo
       variance; only sequence sampling (and optional shot) noise remains.
+      Error sites are batched per class (CNOT, single-qubit, idle) and
+      evaluated as one numpy Walsh-character product per class.
+    * ``"exact-scalar"`` — the pre-vectorization reference implementation
+      of the exact estimator: identical mathematics, one Python loop
+      iteration per gate and error site.  Kept as the parity baseline the
+      regression tests (and the perf benchmark's serial leg) compare
+      against.
     * ``"sampled"`` — reference implementation: Monte-Carlo error
       realizations simulated gate by gate on the stabilizer simulator
       (``samples_per_sequence`` realizations per sequence).
@@ -170,17 +219,28 @@ class SRBResult:
 
 
 class RBExecutor:
-    """Runs RB/SRB experiments against a device's hidden noise model."""
+    """Runs RB/SRB experiments against a device's hidden noise model.
+
+    Seeding is *stable*: every experiment derives its RNG from a
+    :class:`~numpy.random.SeedSequence` keyed on the device fingerprint,
+    the day, the executor seed, and the experiment's target tuple — never
+    from a shared stream.  Two executors with the same construction
+    arguments therefore measure identical values for an experiment no
+    matter in which order (or in which worker process) experiments run.
+    """
 
     def __init__(self, device: Device, day: int = 0,
                  config: Optional[RBConfig] = None, seed: Optional[int] = None):
         self.device = device
         self.day = day
         self.config = config or RBConfig()
-        self._rng = np.random.default_rng(
-            seed if seed is not None else device.seed * 104729 + day
-        )
-        self._group = clifford_group(2)
+        self.base_seed = seed if seed is not None else device.seed * 104729 + day
+        # Fallback stream for direct private-API callers (interleaved RB);
+        # run_units never consumes it.
+        self._rng = np.random.default_rng(self.base_seed)
+        from repro.pipeline.cache import device_fingerprint
+
+        self._fingerprint = device_fingerprint(device)
         #: Cumulative per-executor cost counters, in the same namespace the
         #: pipeline passes use; the characterization campaign snapshots
         #: these around each stage to report per-stage cost.
@@ -191,6 +251,11 @@ class RBExecutor:
             "rb.sequences": 0.0,
             "rb.seconds": 0.0,
         }
+
+    def _experiment_rng(self, targets: Sequence[Target]) -> np.random.Generator:
+        """The stable per-experiment stream (see class docstring)."""
+        return stable_rng("rb.experiment", self._fingerprint, self.day,
+                          self.base_seed, sorted(targets))
 
     # ------------------------------------------------------------------
     def run_units(self, units: Sequence[Sequence[Sequence[int]]]) -> SRBResult:
@@ -214,6 +279,7 @@ class RBExecutor:
             raise ValueError("experiment units overlap in qubits")
 
         cfg = self.config
+        rng = self._experiment_rng(targets)
         survivals: Dict[Target, List[List[float]]] = {
             t: [[] for _ in cfg.lengths] for t in targets
         }
@@ -221,15 +287,15 @@ class RBExecutor:
             for _ in range(cfg.num_sequences):
                 seqs = {
                     t: generate_rb_sequence(
-                        clifford_group(len(t)), length, self._rng
+                        clifford_group(len(t)), length, rng
                     )
                     for t in targets
                 }
-                means = self._run_sequences(targets, seqs)
+                means = self._run_sequences(targets, seqs, rng)
                 for t in targets:
                     value = means[t]
                     if cfg.shots is not None:
-                        value = self._rng.binomial(cfg.shots, value) / cfg.shots
+                        value = rng.binomial(cfg.shots, value) / cfg.shots
                     survivals[t][li].append(value)
 
         mean_survivals = {
@@ -260,12 +326,18 @@ class RBExecutor:
 
     # ------------------------------------------------------------------
     def _run_sequences(self, edges: List[Edge],
-                       seqs: Dict[Edge, RBSequence]) -> Dict[Edge, float]:
+                       seqs: Dict[Edge, RBSequence],
+                       rng: Optional[np.random.Generator] = None
+                       ) -> Dict[Edge, float]:
         """Mean survival per edge over the error randomness."""
         if self.config.estimate == "exact":
             return self._run_sequences_exact(edges, seqs)
+        if self.config.estimate == "exact-scalar":
+            return self._run_sequences_exact_scalar(edges, seqs)
         if self.config.estimate == "sampled":
-            return self._run_sequences_sampled(edges, seqs)
+            return self._run_sequences_sampled(edges, seqs,
+                                               rng if rng is not None
+                                               else self._rng)
         raise ValueError(f"unknown estimate mode {self.config.estimate!r}")
 
     def _sequence_context(self, targets: List[Target],
@@ -286,39 +358,53 @@ class RBExecutor:
         layers = {t: seqs[t].layers() for t in targets}
         depth = max(len(l) for l in layers.values())
         two_qubit_targets = [t for t in targets if len(t) == 2]
-        driving = []
+
+        # drives[i, k]: does two-qubit target i fire a CNOT in layer k?
+        drives = np.zeros((len(two_qubit_targets), depth), dtype=bool)
+        for i, t in enumerate(two_qubit_targets):
+            target_layers = layers[t]
+            drives[i, :len(target_layers)] = [
+                any(name == "cx" for name, _ in layer)
+                for layer in target_layers
+            ]
+        # The conditional rate of target i depends only on *which* other
+        # targets drive alongside it, so layers sharing a driving pattern
+        # share one crosstalk-model lookup.
+        pattern_rate: Dict[Tuple[int, bytes], float] = {}
+        cx_error: List[Dict[Target, float]] = []
         for k in range(depth):
-            driving.append(tuple(
-                t for t in two_qubit_targets
-                if k < len(layers[t]) and any(g[0] == "cx" for g in layers[t][k])
-            ))
-        cx_error = []
-        for k in range(depth):
+            pattern = drives[:, k].tobytes()
+            drivers = np.flatnonzero(drives[:, k])
             rates = {}
-            for t in two_qubit_targets:
-                partners = [o for o in driving[k] if o != t]
-                rates[t] = crosstalk.worst_conditional_error(
-                    t, partners, cal, self.day
-                )
+            for i, t in enumerate(two_qubit_targets):
+                key = (i, pattern)
+                if key not in pattern_rate:
+                    partners = [two_qubit_targets[j] for j in drivers if j != i]
+                    pattern_rate[key] = crosstalk.worst_conditional_error(
+                        t, partners, cal, self.day
+                    )
+                rates[t] = pattern_rate[key]
             cx_error.append(rates)
 
         unit_duration: Dict[Target, List[float]] = {t: [] for t in targets}
         layer_duration: List[float] = []
         if cfg.include_decoherence:
-            for k in range(depth):
-                longest = 0.0
-                for t in targets:
-                    if k >= len(layers[t]):
-                        unit_duration[t].append(0.0)
-                        continue
-                    d = sum(
-                        cal.durations.cx_duration(*t) if name == "cx"
-                        else cal.durations.single_qubit
-                        for name, _ in layers[t][k]
+            durations = np.zeros((len(targets), depth))
+            single = cal.durations.single_qubit
+            for i, t in enumerate(targets):
+                cx_duration = (
+                    cal.durations.cx_duration(*t) if len(t) == 2 else 0.0
+                )
+                for k, layer in enumerate(layers[t]):
+                    cx_count = sum(1 for name, _ in layer if name == "cx")
+                    durations[i, k] = (
+                        cx_count * cx_duration
+                        + (len(layer) - cx_count) * single
                     )
-                    unit_duration[t].append(d)
-                    longest = max(longest, d)
-                layer_duration.append(longest)
+            layer_duration = durations.max(axis=0).tolist()
+            unit_duration = {
+                t: durations[i].tolist() for i, t in enumerate(targets)
+            }
         return layers, depth, cx_error, unit_duration, layer_duration
 
     # ------------------------------------------------------------------
@@ -338,6 +424,12 @@ class RBExecutor:
         error site is a random element of Z_2^n, so the XOR-sum's point
         probability at 0 is the average of the product of per-site
         characteristic values over the 2^n Walsh characters.
+
+        Error sites sharing a Pauli support (all CNOTs; all 1q gates on one
+        local qubit; all idle X/Y/Z kicks on one local qubit) are evaluated
+        as a single batched Walsh-character product — see
+        :func:`_walsh_factors`.  The scalar reference lives in
+        :meth:`_run_sequences_exact_scalar`.
         """
         from repro.rb.clifford import _gate_tableau
 
@@ -362,6 +454,103 @@ class RBExecutor:
             # bits over GF(2): out_bits = in_bits @ M where M is the
             # tableau's symplectic matrix.  Phases never matter here, so
             # suffixes reduce to 2n x 2n GF(2) matrices composed by matmul.
+            suffix_mats = [None] * (len(gates) + 1)
+            suffix_mats[len(gates)] = np.eye(2 * n, dtype=np.uint8)
+            for t in range(len(gates) - 1, -1, -1):
+                name, qs, _ = gates[t]
+                if name == "__idle__":
+                    suffix_mats[t] = suffix_mats[t + 1]
+                else:
+                    gate_mat = _gate_tableau(n, name, qs).mat
+                    suffix_mats[t] = (gate_mat @ suffix_mats[t + 1]) % 2
+
+            # Partition error sites into support classes; each class
+            # becomes one batched characteristic-function product.
+            cx_positions: List[int] = []
+            one_q_positions: Dict[int, List[int]] = {}
+            idle_sites: Dict[int, List[Tuple[int, float]]] = {}
+            for t, (name, qs, k) in enumerate(gates):
+                if name == "cx":
+                    cx_positions.append(t)
+                elif name == "__idle__":
+                    idle = layer_duration[k] - unit_duration[e][k]
+                    if idle > 1e-9:
+                        for local in range(n):
+                            idle_sites.setdefault(local, []).append((t, idle))
+                elif cfg.include_single_qubit_errors:
+                    one_q_positions.setdefault(qs[0], []).append(t)
+
+            chi = np.ones(2 ** n)
+            if cx_positions:
+                probs = np.array(
+                    [cx_error[gates[t][2]][e] for t in cx_positions]
+                )
+                keep = probs > 0.0
+                if keep.any():
+                    x_maps = np.stack(
+                        [suffix_mats[t + 1][:, :n] for t, ok
+                         in zip(cx_positions, keep) if ok]
+                    )
+                    factors = _walsh_factors(_SUPPORT_2Q, x_maps,
+                                             probs[keep], signs)
+                    chi *= factors.prod(axis=0)
+            for local, positions in one_q_positions.items():
+                prob = cal.single_qubit_error[e[local]]
+                if prob <= 0.0:
+                    continue
+                x_maps = np.stack([suffix_mats[t + 1][:, :n]
+                                   for t in positions])
+                factors = _walsh_factors(
+                    _support_1q(n, local), x_maps,
+                    np.full(len(positions), prob), signs,
+                )
+                chi *= factors.prod(axis=0)
+            for local, sites in idle_sites.items():
+                q_device = e[local]
+                gammas = np.array([
+                    decay_probabilities(idle, cal.t1[q_device],
+                                        cal.t2[q_device])
+                    for _, idle in sites
+                ])
+                p_x = gammas[:, 0] / 4.0
+                p_z = gammas[:, 0] / 4.0 + gammas[:, 1]
+                x_maps = np.stack([suffix_mats[t + 1][:, :n]
+                                   for t, _ in sites])
+                support = _support_1q(n, local)
+                for letter, probs in (("X", p_x), ("Y", p_x), ("Z", p_z)):
+                    row = support[_PAULI_1Q.index(letter):][:1]
+                    factors = _walsh_factors(row, x_maps, probs, signs)
+                    chi *= factors.prod(axis=0)
+            out[e] = float(np.clip(chi.mean(), 0.0, 1.0))
+        return out
+
+    def _run_sequences_exact_scalar(
+            self, targets: List[Target],
+            seqs: Dict[Target, RBSequence]) -> Dict[Target, float]:
+        """Scalar reference for :meth:`_run_sequences_exact`.
+
+        The pre-vectorization implementation, retained verbatim: one loop
+        iteration per gate and per error site.  The parity regression test
+        pins the vectorized path to this one at 1e-12.
+        """
+        from repro.rb.clifford import _gate_tableau
+
+        cfg = self.config
+        cal = self.device.calibration(self.day)
+        layers, depth, cx_error, unit_duration, layer_duration = \
+            self._sequence_context(targets, seqs)
+
+        out: Dict[Target, float] = {}
+        for e in targets:
+            n = len(e)
+            signs = _WALSH[n]
+            idle_span = tuple(range(n))
+            gates: List[Tuple[str, Tuple[int, ...], int]] = []
+            for k in range(len(layers[e])):
+                for name, qs in layers[e][k]:
+                    gates.append((name, qs, k))
+                if cfg.include_decoherence:
+                    gates.append(("__idle__", idle_span, k))
             suffix_mats = [None] * (len(gates) + 1)
             suffix_mats[len(gates)] = np.eye(2 * n, dtype=np.uint8)
             for t in range(len(gates) - 1, -1, -1):
@@ -435,7 +624,8 @@ class RBExecutor:
     # sampled (reference) estimator
     # ------------------------------------------------------------------
     def _run_sequences_sampled(self, edges: List[Edge],
-                               seqs: Dict[Edge, RBSequence]) -> Dict[Edge, float]:
+                               seqs: Dict[Edge, RBSequence],
+                               rng: np.random.Generator) -> Dict[Edge, float]:
         """Monte-Carlo mean survival per edge over error realizations."""
         cfg = self.config
         cal = self.device.calibration(self.day)
@@ -451,7 +641,7 @@ class RBExecutor:
 
         totals = {e: 0.0 for e in edges}
         for _ in range(cfg.samples_per_sequence):
-            sim = StabilizerSimulator(num_sim_qubits, rng=self._rng)
+            sim = StabilizerSimulator(num_sim_qubits, rng=rng)
             for k in range(depth):
                 for e in edges:
                     if k >= len(layers[e]):
@@ -462,13 +652,13 @@ class RBExecutor:
                         sim.apply_gate(name, mapped)
                         if name == "cx":
                             p = cx_error[k][e]
-                            if p > 0.0 and self._rng.random() < p:
-                                label = _PAULI_2Q[self._rng.integers(len(_PAULI_2Q))]
+                            if p > 0.0 and rng.random() < p:
+                                label = _PAULI_2Q[rng.integers(len(_PAULI_2Q))]
                                 sim.apply_pauli(label, mapped)
                         elif cfg.include_single_qubit_errors:
                             p = cal.single_qubit_error[e[qs[0]]]
-                            if p > 0.0 and self._rng.random() < p:
-                                label = _PAULI_1Q[self._rng.integers(3)]
+                            if p > 0.0 and rng.random() < p:
+                                label = _PAULI_1Q[rng.integers(3)]
                                 sim.apply_pauli(label, (mapped[0],))
                 if cfg.include_decoherence:
                     for e in edges:
@@ -477,22 +667,22 @@ class RBExecutor:
                         idle = layer_duration[k] - unit_duration[e][k]
                         if idle > 1e-9:
                             for q in e:
-                                self._inject_decay(sim, qubit_map[q], idle,
-                                                   cal.t1[q], cal.t2[q])
+                                self._inject_decay(sim, rng, qubit_map[q],
+                                                   idle, cal.t1[q], cal.t2[q])
             for e in edges:
                 outcome = {qubit_map[q]: 0 for q in e}
                 totals[e] += sim.probability_of_outcome(outcome)
         return {e: totals[e] / cfg.samples_per_sequence for e in edges}
 
     # ------------------------------------------------------------------
-    def _inject_decay(self, sim: StabilizerSimulator, qubit: int,
-                      duration: float, t1: float, t2: float) -> None:
+    def _inject_decay(self, sim: StabilizerSimulator, rng: np.random.Generator,
+                      qubit: int, duration: float, t1: float, t2: float) -> None:
         gamma, p_z_pure = decay_probabilities(duration, t1, t2)
         # Pauli twirl of amplitude damping: X, Y with gamma/4; the phase
         # component contributes gamma/4 plus the pure-dephasing Z rate.
         p_x = p_y = gamma / 4.0
         p_z = gamma / 4.0 + p_z_pure
-        r = self._rng.random()
+        r = rng.random()
         if r < p_x:
             sim.apply_pauli("X", (qubit,))
         elif r < p_x + p_y:

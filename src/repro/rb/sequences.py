@@ -56,7 +56,8 @@ def generate_rb_sequence(group: CliffordGroup, length: int,
     """Sample a length-``m`` sequence and close it with the exact inverse."""
     if length < 1:
         raise ValueError("RB length must be at least 1")
-    elements = tuple(group.sample(rng) for _ in range(length))
+    indices = rng.integers(len(group), size=length)
+    elements = tuple(group.elements[int(i)] for i in indices)
     product = elements[0].tableau
     for el in elements[1:]:
         product = product.compose(el.tableau)

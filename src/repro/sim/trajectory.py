@@ -74,7 +74,10 @@ class NoisyOp:
 class TrajectorySimulator:
     """Runs :class:`NoisyOp` streams via Monte-Carlo wavefunction sampling."""
 
-    def __init__(self, num_qubits: int, seed: Optional[int] = None):
+    def __init__(self, num_qubits: int, seed=None):
+        # ``seed`` is anything ``np.random.default_rng`` accepts — an int,
+        # a ``SeedSequence`` (how the backend seeds per-chunk simulators),
+        # or ``None`` for OS entropy.
         self.num_qubits = num_qubits
         self._rng = np.random.default_rng(seed)
 
@@ -115,6 +118,25 @@ class TrajectorySimulator:
             state.apply_matrix(pauli_matrix("Z"), (qubit,))
 
     # ------------------------------------------------------------------
+    def accumulate(self, ops: Sequence[NoisyOp],
+                   measured_qubits: Sequence[int],
+                   trajectories: int) -> np.ndarray:
+        """Unnormalized sum of ``trajectories`` output distributions.
+
+        The building block for parallel trajectory execution: the backend
+        splits the trajectory budget into fixed-size chunks, runs each
+        chunk on its own independently seeded simulator, and sums the
+        partial accumulators in chunk order — so the merged distribution is
+        bitwise identical for every worker count.
+        """
+        if trajectories <= 0:
+            raise ValueError("need at least one trajectory")
+        total = np.zeros(2 ** len(measured_qubits))
+        for _ in range(trajectories):
+            state = self._run_single_trajectory(ops)
+            total += state.probabilities(measured_qubits)
+        return total
+
     def output_distribution(self, ops: Sequence[NoisyOp],
                             measured_qubits: Sequence[int],
                             trajectories: int = 64,
@@ -124,13 +146,7 @@ class TrajectorySimulator:
         The result indexes bitstrings little-endian over ``measured_qubits``
         (bit ``k`` of the index = outcome of ``measured_qubits[k]``).
         """
-        if trajectories <= 0:
-            raise ValueError("need at least one trajectory")
-        total = np.zeros(2 ** len(measured_qubits))
-        for _ in range(trajectories):
-            state = self._run_single_trajectory(ops)
-            total += state.probabilities(measured_qubits)
-        probs = total / trajectories
+        probs = self.accumulate(ops, measured_qubits, trajectories) / trajectories
         if readout is not None:
             probs = readout.restrict(measured_qubits).apply_to_distribution(
                 probs, range(len(measured_qubits))

@@ -1,0 +1,125 @@
+"""Parallel engine: worker resolution, stable seeding, fan-out semantics."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    ParallelEngine,
+    WORKERS_ENV,
+    resolve_workers,
+    stable_entropy,
+    stable_rng,
+    stable_seed_sequence,
+)
+from repro.parallel import engine as engine_mod
+
+
+# Task functions must be module-level so the process pool can pickle them.
+def _square(context, item):
+    return item * item
+
+
+def _offset(context, item):
+    return context + item
+
+
+def _boom(context, item):
+    if item == 2:
+        raise ValueError("task 2 failed")
+    return item
+
+
+def _nested_workers(context, item):
+    # Inside a pool worker the engine must refuse to nest another pool.
+    return resolve_workers(8)
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers() == 1
+
+    def test_keyword_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        assert resolve_workers(2) == 2
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "5")
+        assert resolve_workers() == 5
+
+    def test_env_must_be_integer(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "many")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers()
+
+    def test_floor_is_one(self):
+        assert resolve_workers(0) == 1
+        assert resolve_workers(-3) == 1
+
+    def test_in_worker_forces_serial(self, monkeypatch):
+        monkeypatch.setattr(engine_mod, "_IN_WORKER", True)
+        assert resolve_workers(8) == 1
+
+
+class TestStableSeeding:
+    def test_entropy_deterministic(self):
+        assert stable_entropy("a", 1, (2, 3)) == stable_entropy("a", 1, (2, 3))
+
+    def test_entropy_distinguishes_parts(self):
+        assert stable_entropy("a", 1) != stable_entropy("a", 2)
+        assert stable_entropy("a") != stable_entropy("b")
+
+    def test_tuples_and_lists_are_equivalent(self):
+        assert stable_entropy((1, 2)) == stable_entropy([1, 2])
+
+    def test_numpy_scalars_match_python_scalars(self):
+        assert stable_entropy(np.int64(5)) == stable_entropy(5)
+
+    def test_rng_reproducible(self):
+        a = stable_rng("key", 1).random(4)
+        b = stable_rng("key", 1).random(4)
+        assert np.array_equal(a, b)
+
+    def test_seed_sequence_spawns_independent_children(self):
+        kids = stable_seed_sequence("root").spawn(3)
+        draws = [np.random.default_rng(k).random() for k in kids]
+        assert len(set(draws)) == 3
+
+
+class TestEngineMap:
+    def test_serial_map_preserves_order(self):
+        engine = ParallelEngine(1)
+        assert engine.map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert engine.counters["parallel.tasks"] == 3.0
+        assert engine.counters["parallel.workers"] == 1.0
+
+    def test_parallel_matches_serial(self):
+        items = list(range(6))
+        serial = ParallelEngine(1).map(_offset, items, context=10)
+        pooled = ParallelEngine(3).map(_offset, items, context=10)
+        assert serial == pooled == [10 + i for i in items]
+
+    def test_single_item_stays_serial(self):
+        engine = ParallelEngine(4)
+        assert engine.map(_square, [5]) == [25]
+
+    def test_exception_propagates_from_pool(self):
+        with pytest.raises(ValueError, match="task 2"):
+            ParallelEngine(2).map(_boom, [1, 2, 3])
+
+    def test_exception_propagates_serially(self):
+        with pytest.raises(ValueError, match="task 2"):
+            ParallelEngine(1).map(_boom, [1, 2, 3])
+
+    def test_nested_fanout_serializes(self):
+        assert ParallelEngine(2).map(_nested_workers, [0, 1]) == [1, 1]
+
+    def test_counters_since(self):
+        engine = ParallelEngine(1)
+        baseline = dict(engine.counters)
+        engine.map(_square, [1, 2])
+        delta = engine.counters_since(baseline)
+        assert delta["parallel.tasks"] == 2.0
+        # workers is a level, not an accumulator
+        assert delta["parallel.workers"] == 1.0
+        assert delta["parallel.serial_seconds_estimate"] >= 0.0

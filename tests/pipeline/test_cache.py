@@ -97,3 +97,104 @@ class TestCharacterizedReportMemo:
         other = dataclasses.replace(fast_rb_config, num_sequences=4)
         r2 = characterized_report(poughkeepsie, rb_config=other, seed=5)
         assert r1 is not r2
+
+
+class TestSingleFlight:
+    """Concurrency safety of get_or_compute (lock + single-flight)."""
+
+    def test_concurrent_misses_compute_once(self):
+        import threading
+
+        cache = ResultCache(max_entries=4)
+        calls = []
+        gate = threading.Event()
+
+        def compute():
+            calls.append(threading.get_ident())
+            gate.wait(timeout=5.0)
+            return "value"
+
+        results = [None] * 8
+
+        def worker(i):
+            results[i] = cache.get_or_compute("k", compute)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        # Let followers pile up on the in-flight entry, then release the
+        # leader's computation.
+        import time
+        time.sleep(0.05)
+        gate.set()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert results == ["value"] * 8
+        assert len(calls) == 1          # single-flight: one compute
+        assert cache.stats.misses == 1  # only the leader missed
+        assert cache.stats.hits >= 7    # followers count as hits
+
+    def test_leader_exception_propagates_to_followers(self):
+        import threading
+
+        cache = ResultCache(max_entries=4)
+        gate = threading.Event()
+
+        def compute():
+            gate.wait(timeout=5.0)
+            raise RuntimeError("leader failed")
+
+        errors = []
+
+        def worker():
+            try:
+                cache.get_or_compute("k", compute)
+            except RuntimeError as exc:
+                errors.append(str(exc))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        import time
+        time.sleep(0.05)
+        gate.set()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert errors == ["leader failed"] * 4
+        # A failed computation caches nothing; the next call recomputes.
+        assert cache.get_or_compute("k", lambda: "recovered") == "recovered"
+
+    def test_distinct_keys_compute_concurrently(self):
+        import threading
+
+        cache = ResultCache(max_entries=4)
+        started = threading.Barrier(2, timeout=5.0)
+
+        def make(value):
+            def compute():
+                # Both computations must be in flight at once: if the lock
+                # were held during compute(), this barrier would deadlock.
+                started.wait()
+                return value
+            return compute
+
+        results = {}
+
+        def worker(key):
+            results[key] = cache.get_or_compute(key, make(key))
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in ("a", "b")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert results == {"a": "a", "b": "b"}
+
+    def test_plain_operations_remain_correct(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", 1)
+        assert "a" in cache
+        assert len(cache) == 1
+        assert cache.keys() == ["a"]
+        cache.clear()
+        assert len(cache) == 0

@@ -1,0 +1,80 @@
+"""The vectorized exact estimator must match the scalar reference (satellite).
+
+``estimate="exact"`` batches error sites per class (CNOT, single-qubit,
+idle) into numpy Walsh-character products; ``estimate="exact-scalar"`` is
+the pre-vectorization site-by-site loop.  Identical mathematics — so fitted
+error rates must agree to 1e-12 across every noise-model configuration.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.rb.executor import RBConfig, RBExecutor
+
+_BASE = RBConfig(lengths=(2, 6, 14), num_sequences=3)
+
+_NOISE_CASES = [
+    dict(include_decoherence=False, include_single_qubit_errors=True),
+    dict(include_decoherence=True, include_single_qubit_errors=True),
+    dict(include_decoherence=False, include_single_qubit_errors=False),
+    dict(include_decoherence=True, include_single_qubit_errors=False),
+]
+
+
+def _run(device, config, units):
+    executor = RBExecutor(device, day=0, config=config, seed=5)
+    return executor.run_units(units)
+
+
+def _assert_parity(fast, ref, units):
+    # The estimator outputs (per-length mean survivals) must agree to
+    # 1e-12.  The *fitted* rates go through scipy's curve_fit, whose
+    # ftol/xtol (~1e-8) amplify sub-ulp survival differences, so they are
+    # compared at the fit's own tolerance.
+    for target in fast.survivals:
+        assert np.allclose(fast.survivals[target], ref.survivals[target],
+                           atol=1e-12, rtol=0.0)
+    for unit in units:
+        for gate in unit:
+            assert fast.error_rate(gate) == pytest.approx(
+                ref.error_rate(gate), rel=1e-5, abs=1e-9
+            )
+
+
+@pytest.mark.parametrize("noise", _NOISE_CASES, ids=lambda c: "decay={include_decoherence},1q={include_single_qubit_errors}".format(**c))
+def test_vectorized_matches_scalar_srb_pair(poughkeepsie, noise):
+    units = [((0, 1), (2, 3))]
+    fast = _run(poughkeepsie, dataclasses.replace(_BASE, estimate="exact", **noise), units)
+    ref = _run(poughkeepsie, dataclasses.replace(_BASE, estimate="exact-scalar", **noise), units)
+    _assert_parity(fast, ref, units)
+
+
+def test_vectorized_matches_scalar_single_qubit_rb(poughkeepsie):
+    units = [((4,), (9,))]
+    fast = _run(poughkeepsie, dataclasses.replace(_BASE, estimate="exact"), units)
+    ref = _run(poughkeepsie, dataclasses.replace(_BASE, estimate="exact-scalar"), units)
+    _assert_parity(fast, ref, units)
+
+
+def test_scalar_mode_dispatches(poughkeepsie):
+    config = dataclasses.replace(_BASE, estimate="exact-scalar")
+    executor = RBExecutor(poughkeepsie, day=0, config=config, seed=5)
+    result = executor.run_units([((0, 1),)])
+    assert 0.0 <= result.error_rate((0, 1)) < 0.5
+
+
+def test_survival_curves_match_exactly(poughkeepsie):
+    # Stronger than the fitted rates: the per-length mean survivals agree.
+    fast_exec = RBExecutor(poughkeepsie, day=0, config=_BASE, seed=5)
+    ref_exec = RBExecutor(
+        poughkeepsie, day=0,
+        config=dataclasses.replace(_BASE, estimate="exact-scalar"), seed=5,
+    )
+    units = [((0, 1), (2, 3))]
+    fast = fast_exec.run_units(units)
+    ref = ref_exec.run_units(units)
+    for target in fast.survivals:
+        assert np.allclose(fast.survivals[target], ref.survivals[target],
+                           atol=1e-12, rtol=0.0)
