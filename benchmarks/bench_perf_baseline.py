@@ -1,11 +1,13 @@
 """Machine-readable perf baseline: serial vs parallel on the hot loops.
 
-Writes ``BENCH_perf.json`` (repo root by default) with one entry per
-workload::
+Writes ``BENCH_perf.json`` (repo root by default) as a
+``repro.obs.manifest/v1`` run manifest whose ``results.workloads`` carry
+one entry per workload::
 
-    {"schema": "repro.bench-perf/v1", "cpu_count": ..., "workloads": {
+    {"schema": "repro.obs.manifest/v1", "run_id": ..., "git": {...},
+     "config": {"fast": ..., "cpu_count": ...}, "results": {"workloads": {
         "campaign_one_hop_packed": {"serial_seconds": ..., "parallel_seconds":
-            ..., "workers": 4, "speedup": ...}, ...}}
+            ..., "workers": 4, "speedup": ...}, ...}}}
 
 The headline workload is the ONE_HOP_PACKED characterization campaign.  Its
 *serial* leg is the pre-optimization configuration — the scalar exact
@@ -30,7 +32,6 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
-import json
 import os
 import sys
 import time
@@ -39,7 +40,6 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.circuit.circuit import QuantumCircuit  # noqa: E402
 from repro.core.characterization.campaign import (  # noqa: E402
     CharacterizationCampaign,
     CharacterizationPolicy,
@@ -52,11 +52,11 @@ from repro.experiments.common import (  # noqa: E402
     prepare_circuit,
     tomography_error,
 )
+from repro.obs import RunManifest, write_manifest  # noqa: E402
 from repro.rb.clifford import clifford_group  # noqa: E402
 from repro.rb.executor import RBConfig  # noqa: E402
 from repro.workloads.swap import swap_benchmark  # noqa: E402
 
-SCHEMA = "repro.bench-perf/v1"
 DEFAULT_OUT = REPO_ROOT / "BENCH_perf.json"
 
 
@@ -168,29 +168,30 @@ def main(argv=None) -> int:
                              "parallel leg is slower than X times serial")
     args = parser.parse_args(argv)
 
-    document = {
-        "schema": SCHEMA,
-        "fast": args.fast,
-        "cpu_count": os.cpu_count(),
-        "workloads": {},
-    }
+    workloads = {}
     for name, fn in WORKLOADS.items():
         print(f"[bench_perf] running {name} ...", flush=True)
         entry = fn(args.workers, args.fast)
-        document["workloads"][name] = entry
+        workloads[name] = entry
         print(f"[bench_perf]   serial {entry['serial_seconds']:.2f}s  "
               f"parallel {entry['parallel_seconds']:.2f}s  "
               f"speedup {entry['speedup']:.2f}x", flush=True)
 
-    args.out.write_text(json.dumps(document, indent=2) + "\n")
-    print(f"[bench_perf] wrote {args.out}")
+    manifest = RunManifest.capture(
+        name="bench_perf_baseline",
+        config={"fast": args.fast, "cpu_count": os.cpu_count()},
+        workers=args.workers,
+        results={"workloads": workloads},
+    )
+    write_manifest(manifest, str(args.out))
+    print(f"[bench_perf] wrote {args.out} (run {manifest.run_id})")
 
     failures = []
-    for name, entry in document["workloads"].items():
+    for name, entry in workloads.items():
         if not entry.get("deterministic_across_worker_counts", True):
             failures.append(f"{name}: results differ across worker counts")
     if args.check is not None:
-        campaign = document["workloads"]["campaign_one_hop_packed"]
+        campaign = workloads["campaign_one_hop_packed"]
         limit = args.check * campaign["serial_seconds"]
         if campaign["parallel_seconds"] > limit:
             failures.append(

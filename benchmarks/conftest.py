@@ -33,22 +33,26 @@ def record_table(results_dir):
 
 @pytest.fixture
 def record_trace(results_dir):
-    """Collect every pipeline/campaign trace emitted inside the block and
-    archive the aggregated JSON document next to the driver's table::
+    """Run the block inside a :class:`repro.obs.Session` and archive its
+    telemetry — span-tree trace, metric deltas, event log, and run
+    manifest — next to the driver's table::
 
         with record_trace("fig5"):
             rows = run()
+
+    Inspect any of the written files with ``python -m repro.obs report``.
     """
 
     @contextlib.contextmanager
     def _record(name: str):
-        from repro.pipeline.trace import TraceCollector
+        from repro.obs import Session
 
-        with TraceCollector() as collector:
-            yield collector
-        path = results_dir / f"{name}_trace.json"
-        path.write_text(collector.to_json(indent=2) + "\n")
-        print(f"\n[{len(collector)} pipeline traces written to {path}]")
+        session = Session(name)
+        with session:
+            yield session
+        paths = session.write(str(results_dir))
+        print(f"\n[run {session.run_id}: telemetry written to "
+              f"{paths['trace']} (+ metrics/manifest/events)]")
 
     return _record
 

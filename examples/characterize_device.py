@@ -6,6 +6,9 @@ and the daily workflow: a full 1-hop campaign once, then cheap daily
 refreshes of only the high-crosstalk pairs.
 
 Run:  python examples/characterize_device.py      (~1 minute)
+
+``main(fast=True)`` uses the minimal RB sizing for a seconds-long smoke
+run.
 """
 
 from repro import (
@@ -17,11 +20,10 @@ from repro import (
 from repro.core.characterization.cost import PAPER_COST_MODEL
 
 
-def main():
+def main(fast: bool = False):
     device = ibmq_poughkeepsie()
-    campaign = CharacterizationCampaign(
-        device, rb_config=RBConfig(num_sequences=16), seed=3
-    )
+    rb_config = RBConfig.fast() if fast else RBConfig(num_sequences=16)
+    campaign = CharacterizationCampaign(device, rb_config=rb_config, seed=3)
 
     # ------------------------------------------------------------------
     # Cost of each policy (planning only; the cost model applies the

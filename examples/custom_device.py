@@ -7,6 +7,10 @@ measurements alone, and XtalkSched uses the result to beat ParSched on a
 communication circuit crossing the noisy region.
 
 Run:  python examples/custom_device.py      (~30 seconds)
+
+``main(fast=True)`` trims the RB sizing and trajectory budget for a
+seconds-long smoke run (still enough statistics to find the planted
+pair).
 """
 
 from repro import (
@@ -40,15 +44,15 @@ def build_device() -> Device:
     return Device("my_line_12q", coupling, calibration, crosstalk, seed=4)
 
 
-def main():
+def main(fast: bool = False):
     device = build_device()
     print(f"device: {device}")
     print(f"planted crosstalk pair: (4,5) | (6,7)\n")
 
     # Discover the pair from measurements alone.
-    campaign = CharacterizationCampaign(
-        device, rb_config=RBConfig(num_sequences=16), seed=5
-    )
+    rb_config = (RBConfig(lengths=(2, 8, 20), num_sequences=12)
+                 if fast else RBConfig(num_sequences=16))
+    campaign = CharacterizationCampaign(device, rb_config=rb_config, seed=5)
     outcome = campaign.run(CharacterizationPolicy.ONE_HOP_PACKED)
     print(outcome.report.summary())
 
@@ -59,7 +63,7 @@ def main():
     # A SWAP circuit whose two chains straddle the noisy region.
     bench = swap_benchmark(device.coupling, 2, 9)
     backend = NoisyBackend(device)
-    config = ExperimentConfig(trajectories=200, seed=6)
+    config = ExperimentConfig(trajectories=50 if fast else 200, seed=6)
     print(f"SWAP benchmark 2 -> 9 (path {bench.plan.path}):")
     print(f"{'scheduler':14s} {'error rate':>10s} {'duration (ns)':>14s}")
     for scheduler in ("SerialSched", "ParSched", "XtalkSched"):

@@ -12,7 +12,15 @@ would:
 4. execute and compare against the ParSched baseline, printing the
    per-pass timing/counter trace of every campaign and compile.
 
+The whole run executes inside a :class:`repro.obs.Session`, so one trace
+tree, metrics snapshot, event log, and run manifest land next to the
+persisted report — the telemetry a deployment would archive per run
+(inspect them with ``python -m repro.obs report <file>``).
+
 Run:  python examples/production_workflow.py      (~1 minute)
+
+``main(fast=True)`` shrinks the RB sizing and trajectory budget for a
+seconds-long smoke run.
 """
 
 import tempfile
@@ -32,21 +40,35 @@ from repro.core.scheduling.predictor import tune_omega
 from repro.circuit.circuit import QuantumCircuit
 from repro.experiments.common import ExperimentConfig, run_distribution
 from repro.metrics.distributions import success_probability
+from repro.obs import Session
 from repro.workloads.hidden_shift import expected_output, hidden_shift_on_region
 
 
-def main():
+def main(fast: bool = False):
     device = ibmq_poughkeepsie()
-    campaign = CharacterizationCampaign(
-        device, rb_config=RBConfig(num_sequences=16), seed=9
+    rb_config = RBConfig.fast() if fast else RBConfig(num_sequences=16)
+    campaign = CharacterizationCampaign(device, rb_config=rb_config, seed=9)
+    work_dir = Path(tempfile.mkdtemp())
+    session = Session(
+        "production_workflow",
+        config={"policy": "one_hop_packed", "fast": fast},
+        seeds={"campaign": 9, "execution": 17},
     )
+    with session:
+        _workflow(device, campaign, work_dir, fast, session)
+    paths = session.write(str(work_dir))
+    print(f"\nrun telemetry archived (run {session.run_id}):")
+    for kind, path in sorted(paths.items()):
+        print(f"  {kind:8s} {path}")
 
+
+def _workflow(device, campaign, work_dir, fast, session):
     # ------------------------------------------------------------------
     # Day 0: full campaign, persisted.
     # ------------------------------------------------------------------
     print("day 0: full 1-hop campaign...")
     day0 = campaign.run(CharacterizationPolicy.ONE_HOP_PACKED, day=0)
-    store = Path(tempfile.mkdtemp()) / "crosstalk_report.json"
+    store = work_dir / "crosstalk_report.json"
     store.write_text(day0.report.to_json())
     print(f"  {len(day0.report.high_pairs())} high pairs found; report "
           f"saved to {store}")
@@ -79,7 +101,7 @@ def main():
     # Execute tuned XtalkSched vs ParSched.
     # ------------------------------------------------------------------
     backend = NoisyBackend(device, day=1)
-    config = ExperimentConfig(trajectories=150, seed=17)
+    config = ExperimentConfig(trajectories=60 if fast else 150, seed=17)
     expected = expected_output("1010")
     results = {}
     for scheduler, omega in (("par", 0.0), ("xtalk", choice.omega)):
@@ -94,9 +116,12 @@ def main():
               f"duration {compiled.duration:.0f} ns")
         print(compiled.trace.format())
 
-    assert results["xtalk"][0] <= results["par"][0] + 0.02
+    tolerance = 0.1 if fast else 0.02  # fewer trajectories, noisier rates
+    assert results["xtalk"][0] <= results["par"][0] + tolerance
     print("\ntuned XtalkSched matches or beats ParSched, as predicted "
           "at compile time.")
+    session.results["xtalk_error"] = results["xtalk"][0]
+    session.results["par_error"] = results["par"][0]
 
 
 if __name__ == "__main__":

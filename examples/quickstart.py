@@ -10,6 +10,10 @@ Reproduces the paper's Figure 6 case study end to end:
    tomography of the Bell pair the circuit prepares.
 
 Run:  python examples/quickstart.py          (~1 minute)
+
+``main(fast=True)`` shrinks the RB sizing and trajectory budget so the
+example smoke-tests in seconds (the numbers get noisier; the story is the
+same).
 """
 
 from repro import (
@@ -23,7 +27,7 @@ from repro.experiments.common import ExperimentConfig, swap_error_rate
 from repro.workloads.swap import swap_benchmark
 
 
-def main():
+def main(fast: bool = False):
     device = ibmq_poughkeepsie()
     print(f"device: {device}\n")
 
@@ -31,9 +35,8 @@ def main():
     # 1. Characterize crosstalk (1-hop pairs, bin-packed experiments).
     # ------------------------------------------------------------------
     print("characterizing crosstalk (SRB on 1-hop pairs, bin-packed)...")
-    campaign = CharacterizationCampaign(
-        device, rb_config=RBConfig(num_sequences=16), seed=3
-    )
+    rb_config = RBConfig.fast() if fast else RBConfig(num_sequences=16)
+    campaign = CharacterizationCampaign(device, rb_config=rb_config, seed=3)
     outcome = campaign.run(CharacterizationPolicy.ONE_HOP_PACKED)
     print(f"  {outcome.num_experiments} experiments "
           f"(would take ~{outcome.machine_minutes:.0f} min of machine time "
@@ -49,7 +52,7 @@ def main():
           f"{bench.meeting_pair}, {bench.circuit.two_qubit_gate_count()} CNOTs\n")
 
     backend = NoisyBackend(device)
-    config = ExperimentConfig(trajectories=200, seed=7)
+    config = ExperimentConfig(trajectories=50 if fast else 200, seed=7)
     print(f"{'scheduler':14s} {'error rate':>10s} {'duration (ns)':>14s}")
     for scheduler in ("SerialSched", "ParSched", "XtalkSched"):
         error, duration = swap_error_rate(

@@ -7,6 +7,9 @@ cross entropy of the measured output distribution against the noise-free
 ideal.
 
 Run:  python examples/schedule_qaoa.py      (~30 seconds)
+
+``main(fast=True)`` sweeps three ω values with a reduced trajectory
+budget for a seconds-long smoke run.
 """
 
 from repro import NoisyBackend, XtalkScheduler, ibmq_poughkeepsie
@@ -24,14 +27,15 @@ REGION = (5, 10, 11, 12)
 OMEGAS = (0.0, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0)
 
 
-def main():
+def main(fast: bool = False):
     device = ibmq_poughkeepsie()
+    omegas = (0.0, 0.35, 1.0) if fast else OMEGAS
     # For a real device you would run a characterization campaign here
     # (see examples/characterize_device.py); the ground-truth report keeps
     # this example fast.
     report = ground_truth_report(device)
     backend = NoisyBackend(device)
-    config = ExperimentConfig(trajectories=150, seed=13)
+    config = ExperimentConfig(trajectories=60 if fast else 150, seed=13)
 
     circuit = qaoa_on_region(device.coupling, REGION, seed=11)
     ideal = ideal_distribution(circuit)
@@ -43,7 +47,7 @@ def main():
     print(f"{'omega':>6s} {'cross entropy':>14s} {'CE loss':>8s} "
           f"{'serialized pairs':>17s}")
     best = (None, float("inf"))
-    for omega in OMEGAS:
+    for omega in omegas:
         scheduler = XtalkScheduler(device.calibration(), report, omega=omega)
         result = scheduler.schedule(circuit)
         probs = run_distribution(backend, result.circuit, config)

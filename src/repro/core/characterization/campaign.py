@@ -27,6 +27,8 @@ from repro.core.characterization.cost import CostModel, PAPER_COST_MODEL
 from repro.core.characterization.report import CrosstalkReport
 from repro.device.device import Device
 from repro.device.topology import CouplingMap, Edge
+from repro.obs.events import log_event
+from repro.obs.registry import get_registry
 from repro.parallel import ParallelEngine
 from repro.pipeline.trace import PipelineTrace, SpanRecorder
 from repro.rb.executor import RBConfig, RBExecutor, normalize_target
@@ -176,7 +178,18 @@ class CharacterizationCampaign:
             prior: Optional[CrosstalkReport] = None,
             cost_model: Optional[CostModel] = None,
             workers: Optional[int] = None) -> CampaignOutcome:
+        from repro.pipeline.cache import device_fingerprint
+
+        registry = get_registry()
+        fingerprint = device_fingerprint(self.device)
         recorder = SpanRecorder(f"characterize[{policy.value}]")
+        recorder.trace.meta.update({
+            "device": fingerprint,
+            "policy": policy.value,
+            "day": day,
+        })
+        log_event("campaign.start", policy=policy.value, day=day,
+                  device=fingerprint)
 
         with recorder.span("plan") as span:
             plan = self.plan(policy, prior)
@@ -230,9 +243,19 @@ class CharacterizationCampaign:
                 report = prior.merged_with(report)
                 span.counters["campaign.merged_with_prior"] = 1.0
 
+        trace = recorder.finish()
+        registry.inc("campaign.runs")
+        registry.inc("campaign.experiments", plan.num_experiments)
+        registry.observe("campaign.run_seconds", trace.total_seconds)
+        log_event(
+            "campaign.end", policy=policy.value, day=day, device=fingerprint,
+            experiments=plan.num_experiments,
+            pairs_measured=plan.units_measured(),
+            seconds=trace.total_seconds,
+        )
         return CampaignOutcome(
             plan=plan,
             report=report,
             cost_model=cost_model or PAPER_COST_MODEL,
-            trace=recorder.finish(),
+            trace=trace,
         )

@@ -29,6 +29,8 @@ import numpy as np
 from repro.circuit.circuit import QuantumCircuit
 from repro.device.device import Device
 from repro.device.topology import normalize_edge
+from repro.obs.registry import get_registry
+from repro.obs.trace import span as obs_span
 from repro.parallel import ParallelEngine, stable_seed_sequence
 from repro.sim.channels import ReadoutModel, decay_probabilities
 from repro.sim.trajectory import NoisyOp, TrajectorySimulator
@@ -220,23 +222,30 @@ class NoisyBackend:
         children = root.spawn(len(chunk_counts))
 
         context = (events, measured_sim_qubits, len(qubit_map))
-        with ParallelEngine(
-            workers if workers is not None else self.workers,
-            name="backend.trajectories",
-        ) as engine:
-            partials = engine.map(
-                _trajectory_chunk_task, list(zip(chunk_counts, children)),
-                context,
-            )
-        total = np.zeros(2 ** len(measured_sim_qubits))
-        for partial in partials:
-            total += partial
-        probs = total / trajectories
-        for name, value in engine.counters.items():
-            if name == "parallel.workers":
-                self.counters[name] = value
-            else:
-                self.counters[name] = self.counters.get(name, 0.0) + value
+        with obs_span("backend.run_schedule") as record:
+            record.counters["backend.trajectories"] = float(trajectories)
+            record.counters["backend.chunks"] = float(len(chunk_counts))
+            with ParallelEngine(
+                workers if workers is not None else self.workers,
+                name="backend.trajectories",
+            ) as engine:
+                partials = engine.map(
+                    _trajectory_chunk_task, list(zip(chunk_counts, children)),
+                    context,
+                )
+            total = np.zeros(2 ** len(measured_sim_qubits))
+            for partial in partials:
+                total += partial
+            probs = total / trajectories
+            for name, value in engine.counters.items():
+                if name == "parallel.workers":
+                    self.counters[name] = value
+                else:
+                    self.counters[name] = self.counters.get(name, 0.0) + value
+        registry = get_registry()
+        registry.inc("backend.runs")
+        registry.inc("backend.trajectories", trajectories)
+        registry.observe("backend.run_seconds", record.seconds)
 
         readout = None
         if readout_error:

@@ -1,0 +1,96 @@
+"""repro.obs — the unified observability layer.
+
+One telemetry spine for the whole reproduction (traces, metrics, events,
+manifests), replacing the fragmented instrumentation that grew across
+PR 1 (pipeline trace spans) and PR 2 (``parallel.*`` counters and
+hand-rolled benchmark JSON).  Four pillars:
+
+* **Spans** (:mod:`repro.obs.trace`): :func:`span` opens a nested
+  wall-time span on a thread-local stack; independently-instrumented
+  layers compose into one tree.  Serializes as ``repro.obs.trace/v2``;
+  :func:`read_trace` also accepts the v1 ``repro.pipeline.trace`` schema.
+* **Metrics** (:mod:`repro.obs.registry`): a process-wide
+  :class:`MetricsRegistry` of counters, gauges, and histograms with
+  stable dotted names; snapshot/diff/merge lets worker-process deltas
+  flow back through :mod:`repro.parallel`.
+* **Events** (:mod:`repro.obs.events`): structured JSON-lines records
+  with run IDs and device fingerprints via :func:`log_event`, captured
+  by an installed :class:`EventLog` sink.
+* **Manifests** (:mod:`repro.obs.manifest`): per-run
+  ``repro.obs.manifest/v1`` documents pinning config, seeds, worker
+  count, and git SHA.
+
+:class:`Session` ties all four together around one run, and
+``python -m repro.obs report <file>`` renders any artefact as text.
+See ``docs/observability.md`` for the metric/span name registry and
+schemas.
+"""
+
+from .events import (
+    EVENTS_SCHEMA,
+    EventLog,
+    event_sink,
+    install_sink,
+    log_event,
+    read_events,
+    remove_sink,
+)
+from .manifest import (
+    MANIFEST_SCHEMA,
+    RunManifest,
+    environment_info,
+    git_revision,
+    new_run_id,
+    read_manifest,
+    write_manifest,
+)
+from .registry import (
+    METRICS_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    metrics_snapshot,
+    push_registry,
+    set_registry,
+)
+from .report import report
+from .session import Session
+from .trace import (
+    TRACE_COLLECTION_SCHEMA,
+    TRACE_COLLECTION_SCHEMA_V1,
+    TRACE_SCHEMA,
+    TRACE_SCHEMA_V1,
+    PassSpan,
+    PipelineTrace,
+    Span,
+    SpanRecorder,
+    Trace,
+    TraceCollector,
+    current_span,
+    emit_trace,
+    read_trace,
+    read_traces,
+    span,
+)
+
+__all__ = [
+    # trace
+    "TRACE_SCHEMA", "TRACE_SCHEMA_V1",
+    "TRACE_COLLECTION_SCHEMA", "TRACE_COLLECTION_SCHEMA_V1",
+    "Span", "PassSpan", "Trace", "PipelineTrace",
+    "SpanRecorder", "TraceCollector",
+    "span", "current_span", "emit_trace", "read_trace", "read_traces",
+    # registry
+    "METRICS_SCHEMA", "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "get_registry", "set_registry", "push_registry", "metrics_snapshot",
+    # events
+    "EVENTS_SCHEMA", "EventLog", "event_sink", "install_sink",
+    "remove_sink", "log_event", "read_events",
+    # manifest
+    "MANIFEST_SCHEMA", "RunManifest", "new_run_id", "git_revision",
+    "environment_info", "write_manifest", "read_manifest",
+    # session / reporting
+    "Session", "report",
+]

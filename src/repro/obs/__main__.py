@@ -1,0 +1,59 @@
+"""Command-line entry point: ``python -m repro.obs report <file>``.
+
+Renders any obs artefact — a v1/v2 trace, a trace collection, a metrics
+snapshot, or a run manifest — as a span tree and top-k counters table
+(traces) or the matching summary table.  Multiple files render in
+sequence::
+
+    PYTHONPATH=src python -m repro.obs report results/fig5_trace.json
+    PYTHONPATH=src python -m repro.obs report run/*_manifest.json --top-k 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .report import DEFAULT_TOP_K, report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.obs`` CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect repro observability artefacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    rep = sub.add_parser(
+        "report",
+        help="render a trace / metrics snapshot / manifest as text",
+    )
+    rep.add_argument("files", nargs="+",
+                     help="artefact JSON file(s) to render")
+    rep.add_argument("--top-k", type=int, default=DEFAULT_TOP_K,
+                     help="counters shown in the top-counters table "
+                          f"(default {DEFAULT_TOP_K})")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the CLI; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "report":
+        blocks = []
+        for path in args.files:
+            try:
+                blocks.append(report(path, top_k=args.top_k))
+            except (OSError, ValueError, KeyError) as error:
+                print(f"error: {path}: {error}", file=sys.stderr)
+                return 1
+        try:
+            print("\n\n".join(blocks))
+        except BrokenPipeError:
+            pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,165 @@
+"""Run manifests: what ran, with which config, seeds, workers, and code.
+
+Every campaign or benchmark run should leave behind a *manifest* — a
+small JSON document (schema ``repro.obs.manifest/v1``) that pins down
+enough context to reproduce or audit the run:
+
+* ``run_id`` — a random hex identifier shared with the run's trace,
+  metrics snapshot, and event log;
+* ``created_at`` — ISO-8601 UTC timestamp;
+* ``config`` — the caller's configuration (any JSON-serializable dict);
+* ``seeds`` — the seeds that fed the run's RNG streams;
+* ``workers`` — the resolved :mod:`repro.parallel` worker count;
+* ``git`` — the repository SHA (plus a dirty flag), when discoverable;
+* ``environment`` — Python/numpy versions and platform;
+* ``results`` — optional summary payload (headline numbers).
+
+:class:`~repro.obs.session.Session` builds one automatically;
+:func:`write_manifest` / :func:`read_manifest` round-trip it to disk.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Schema identifier stamped into every manifest document.
+MANIFEST_SCHEMA = "repro.obs.manifest/v1"
+
+
+def new_run_id() -> str:
+    """A fresh 12-hex-character run identifier."""
+    return uuid.uuid4().hex[:12]
+
+
+def git_revision(cwd: Optional[str] = None) -> Optional[dict]:
+    """``{"sha": ..., "dirty": ...}`` for the enclosing git checkout,
+    or None when git or the repository is unavailable."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=5,
+        )
+        if sha.returncode != 0:
+            return None
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd, capture_output=True, text=True, timeout=5,
+        )
+        dirty = bool(status.stdout.strip()) if status.returncode == 0 else None
+        return {"sha": sha.stdout.strip(), "dirty": dirty}
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def environment_info() -> dict:
+    """Interpreter and platform facts worth pinning in a manifest."""
+    info = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "executable": sys.executable,
+    }
+    try:
+        import numpy
+        info["numpy"] = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dep here
+        pass
+    workers = os.environ.get("REPRO_WORKERS")
+    if workers is not None:
+        info["REPRO_WORKERS"] = workers
+    return info
+
+
+@dataclass
+class RunManifest:
+    """One run's reproducibility record (see module docstring)."""
+
+    run_id: str = field(default_factory=new_run_id)
+    name: Optional[str] = None
+    created_at: str = field(
+        default_factory=lambda: datetime.datetime.now(
+            datetime.timezone.utc).isoformat()
+    )
+    config: Dict[str, Any] = field(default_factory=dict)
+    seeds: Dict[str, Any] = field(default_factory=dict)
+    workers: Optional[int] = None
+    git: Optional[dict] = None
+    environment: Dict[str, Any] = field(default_factory=dict)
+    results: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def capture(cls, name: Optional[str] = None,
+                config: Optional[dict] = None,
+                seeds: Optional[dict] = None,
+                workers: Optional[int] = None,
+                results: Optional[dict] = None) -> "RunManifest":
+        """A manifest pre-filled with git and environment facts."""
+        return cls(
+            name=name,
+            config=dict(config or {}),
+            seeds=dict(seeds or {}),
+            workers=workers,
+            git=git_revision(),
+            environment=environment_info(),
+            results=dict(results or {}),
+        )
+
+    def to_dict(self) -> dict:
+        """The manifest as a ``repro.obs.manifest/v1`` document."""
+        doc = {
+            "schema": MANIFEST_SCHEMA,
+            "run_id": self.run_id,
+            "created_at": self.created_at,
+            "config": self.config,
+            "seeds": self.seeds,
+            "workers": self.workers,
+            "git": self.git,
+            "environment": self.environment,
+            "results": self.results,
+        }
+        if self.name is not None:
+            doc["name"] = self.name
+        return doc
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The document as JSON text."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "RunManifest":
+        """Rebuild a manifest from its document form."""
+        if doc.get("schema") != MANIFEST_SCHEMA:
+            raise ValueError(
+                f"not a manifest document (schema={doc.get('schema')!r})"
+            )
+        return cls(
+            run_id=doc["run_id"],
+            name=doc.get("name"),
+            created_at=doc["created_at"],
+            config=dict(doc.get("config", {})),
+            seeds=dict(doc.get("seeds", {})),
+            workers=doc.get("workers"),
+            git=doc.get("git"),
+            environment=dict(doc.get("environment", {})),
+            results=dict(doc.get("results", {})),
+        )
+
+
+def write_manifest(manifest: RunManifest, path: str) -> None:
+    """Write ``manifest`` to ``path`` as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(manifest.to_json(indent=2))
+        handle.write("\n")
+
+
+def read_manifest(path: str) -> RunManifest:
+    """Read a manifest document back from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return RunManifest.from_dict(json.load(handle))

@@ -1,0 +1,168 @@
+"""Sessions: one context manager that captures a run's full telemetry.
+
+A :class:`Session` is the front door of :mod:`repro.obs`.  Entering one
+
+* mints a run ID and opens a **root span** on the thread-local span
+  stack, so every span any layer opens inside the block (pipeline
+  passes, parallel maps, SMT solves, backend trajectory chunks) nests
+  into one tree;
+* snapshots the process-wide :class:`~repro.obs.registry.MetricsRegistry`
+  so the session can report the **metric deltas** its block produced;
+* installs an :class:`~repro.obs.events.EventLog` sink stamped with the
+  run ID, so :func:`~repro.obs.events.log_event` calls are captured;
+* collects every trace emitted inside the block (a
+  :class:`~repro.obs.trace.TraceCollector` is active throughout).
+
+On exit the root span closes and the session exposes the four artefact
+documents — ``trace`` (v2), ``metrics`` (delta snapshot), ``events``,
+and a :class:`~repro.obs.manifest.RunManifest` — plus :meth:`write`,
+which drops all four next to each other in an output directory::
+
+    with Session("fig5_campaign", config={"policy": "one_hop"}) as session:
+        report = campaign.run(policy)
+        session.results["epsilon_ct"] = report.max_conditional_error
+    session.write("results/")          # fig5_campaign_trace.json, ...
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+from .events import EventLog, install_sink, remove_sink
+from .manifest import RunManifest, environment_info, git_revision, new_run_id
+from .registry import MetricsRegistry, get_registry
+from .trace import Span, Trace, TraceCollector, _stack, emit_trace
+
+
+class Session:
+    """Capture one run's trace, metrics, events, and manifest.
+
+    Parameters
+    ----------
+    name:
+        Root span / artefact base name (``fig5_campaign``).
+    config:
+        JSON-serializable run configuration, recorded in the manifest.
+    seeds:
+        The seeds feeding the run's RNG streams, recorded in the manifest.
+    workers:
+        Resolved parallel worker count, recorded in the manifest.
+    meta:
+        Free-form metadata attached to the trace document (device
+        fingerprints, policy names).
+    """
+
+    def __init__(self, name: str,
+                 config: Optional[dict] = None,
+                 seeds: Optional[dict] = None,
+                 workers: Optional[int] = None,
+                 meta: Optional[dict] = None):
+        self.name = name
+        self.run_id = new_run_id()
+        self.config = dict(config or {})
+        self.seeds = dict(seeds or {})
+        self.workers = workers
+        self.meta = dict(meta or {})
+        #: Headline numbers the caller wants pinned in the manifest.
+        self.results: Dict[str, Any] = {}
+
+        self._root = Span(name=name)
+        self._started: Optional[float] = None
+        self._baseline: Optional[dict] = None
+        self._collector = TraceCollector()
+        self.event_log = EventLog(run_id=self.run_id)
+
+        self.trace: Optional[Trace] = None
+        self.metrics: Optional[dict] = None
+        self.manifest: Optional[RunManifest] = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Session":
+        self._baseline = get_registry().snapshot()
+        self._collector.__enter__()
+        install_sink(self.event_log)
+        _stack().append(self._root)
+        self._started = time.perf_counter()
+        self.event_log.log("session.start", name=self.name)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._root.seconds = time.perf_counter() - self._started
+        stack = _stack()
+        if stack and stack[-1] is self._root:
+            stack.pop()
+        self.event_log.log(
+            "session.end", name=self.name,
+            seconds=self._root.seconds,
+            error=repr(exc) if exc is not None else None,
+        )
+        remove_sink(self.event_log)
+        self._collector.__exit__(exc_type, exc, tb)
+
+        self.metrics = MetricsRegistry.diff(
+            self._baseline, get_registry().snapshot()
+        )
+        self.trace = Trace(
+            pipeline=self.name,
+            spans=[self._root],
+            run_id=self.run_id,
+            meta=dict(self.meta),
+        )
+        self.manifest = RunManifest(
+            run_id=self.run_id,
+            name=self.name,
+            config=self.config,
+            seeds=self.seeds,
+            workers=self.workers,
+            git=git_revision(),
+            environment=environment_info(),
+            results=dict(self.results),
+        )
+        emit_trace(self.trace)
+
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> Span:
+        """The session's root span (open while the session is active)."""
+        return self._root
+
+    @property
+    def collected_traces(self) -> List[Trace]:
+        """Every trace emitted inside the session block (campaign and
+        compile traces, in addition to the session's own tree)."""
+        return self._collector.traces
+
+    def write(self, directory: str) -> Dict[str, str]:
+        """Write the four artefacts into ``directory``.
+
+        Files are named ``{name}_trace.json``, ``{name}_metrics.json``,
+        ``{name}_manifest.json``, and ``{name}_events.jsonl``.  Returns a
+        dict mapping artefact kind to the written path.  Only valid after
+        the session has exited.
+        """
+        if self.trace is None:
+            raise RuntimeError("session has not finished; nothing to write")
+        os.makedirs(directory, exist_ok=True)
+        paths = {
+            "trace": os.path.join(directory, f"{self.name}_trace.json"),
+            "metrics": os.path.join(directory, f"{self.name}_metrics.json"),
+            "manifest": os.path.join(directory, f"{self.name}_manifest.json"),
+            "events": os.path.join(directory, f"{self.name}_events.jsonl"),
+        }
+        with open(paths["trace"], "w", encoding="utf-8") as handle:
+            handle.write(self.trace.to_json(indent=2))
+            handle.write("\n")
+        import json as _json
+        with open(paths["metrics"], "w", encoding="utf-8") as handle:
+            _json.dump(self.metrics, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        # refresh the manifest's results in case the caller added headline
+        # numbers after __exit__
+        self.manifest.results = dict(self.results)
+        with open(paths["manifest"], "w", encoding="utf-8") as handle:
+            handle.write(self.manifest.to_json(indent=2))
+            handle.write("\n")
+        self.event_log.write(paths["events"])
+        return paths

@@ -1,0 +1,415 @@
+"""Nested wall-time spans and the ``repro.obs.trace/v2`` JSON schema.
+
+This module is the trace core of the unified observability layer.  It
+subsumes the original per-pass instrumentation of ``repro.pipeline.trace``
+(which now re-exports everything from here): every structure that existed
+in v1 — :class:`PassSpan`, :class:`PipelineTrace`, :class:`SpanRecorder`,
+:class:`TraceCollector` — keeps its name and API, and two things are new:
+
+* **Nesting.**  Spans form a tree.  A thread-local *span stack* tracks the
+  currently-open span; :func:`span` (and therefore every
+  :meth:`SpanRecorder.span` block) attaches the finished record as a child
+  of whatever span encloses it.  The parallel engine, the SMT solver, and
+  the noisy backend open spans of their own, so a campaign or compile run
+  produces one tree covering pipeline passes, per-map parallel task
+  timing, and solver time.
+* **Schema v2.**  Traces serialize as ``repro.obs.trace/v2``: top-level key
+  ``name`` (v1: ``pipeline``), span lists under ``spans`` (v1: flat
+  ``passes``), each span carrying its own nested ``spans``, and optional
+  ``run_id`` / ``meta``.  :func:`read_trace` is the compat reader — it
+  accepts both v1 and v2 documents (and either collection schema) and
+  returns live :class:`Trace` objects.
+
+This module deliberately imports nothing from the rest of :mod:`repro` so
+any layer (core, rb, smt, transpiler, experiments) can record spans
+without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+#: Schema identifier stamped into every exported trace document.
+TRACE_SCHEMA = "repro.obs.trace/v2"
+
+#: Schema identifier for a collection of traces (one benchmark driver run).
+TRACE_COLLECTION_SCHEMA = "repro.obs.trace-collection/v2"
+
+#: The schemas this package's reader accepts for single traces.
+TRACE_SCHEMA_V1 = "repro.pipeline.trace/v1"
+
+#: The schemas this package's reader accepts for trace collections.
+TRACE_COLLECTION_SCHEMA_V1 = "repro.pipeline.trace-collection/v1"
+
+
+@dataclass
+class Span:
+    """One timed region: wall time, counters, and child spans."""
+
+    name: str
+    seconds: float = 0.0
+    counters: Dict[str, float] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    def add(self, counter: str, value: float = 1.0) -> None:
+        """Accumulate ``value`` onto one counter."""
+        self.counters[counter] = self.counters.get(counter, 0.0) + value
+
+    def add_counters(self, counters: Dict[str, float]) -> None:
+        """Accumulate a whole counter dict into this span.
+
+        Used when a span fans work out to parallel tasks that each return
+        their own counter dict (e.g. per-experiment ``rb.*`` counters): the
+        span sums the contributions rather than overwriting them.
+        """
+        for name, value in counters.items():
+            self.add(name, value)
+
+    def walk(self) -> Iterator["Span"]:
+        """This span, then every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def total_counters(self) -> Dict[str, float]:
+        """Counters summed over this span and every descendant."""
+        totals: Dict[str, float] = {}
+        for node in self.walk():
+            for name, value in node.counters.items():
+                totals[name] = totals.get(name, 0.0) + value
+        return totals
+
+    def to_dict(self) -> dict:
+        """The span as a ``repro.obs.trace/v2`` span object."""
+        doc = {
+            "name": self.name,
+            "seconds": self.seconds,
+            "counters": dict(self.counters),
+        }
+        if self.children:
+            doc["spans"] = [child.to_dict() for child in self.children]
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Span":
+        """Rebuild a span (v1 pass objects have no ``spans`` key)."""
+        return cls(
+            name=doc["name"],
+            seconds=float(doc.get("seconds", 0.0)),
+            counters={k: float(v) for k, v in doc.get("counters", {}).items()},
+            children=[cls.from_dict(c) for c in doc.get("spans", [])],
+        )
+
+
+#: Historical name: one pipeline pass's record.  Same class — spans from
+#: the pass pipeline and spans from anywhere else are interchangeable.
+PassSpan = Span
+
+
+@dataclass
+class Trace:
+    """An ordered tree of every span one run recorded.
+
+    ``pipeline`` is the root name (the v1 field name is kept so existing
+    callers — and the ``compile[...]`` / ``characterize[...]`` naming
+    convention — carry over; ``name`` aliases it).  ``run_id`` and ``meta``
+    are optional v2 additions: a session id and free-form metadata such as
+    the device fingerprint.
+    """
+
+    pipeline: str
+    spans: List[Span] = field(default_factory=list)
+    run_id: Optional[str] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        """v2 name of the trace root (aliases the v1 ``pipeline`` field)."""
+        return self.pipeline
+
+    @property
+    def total_seconds(self) -> float:
+        """Summed wall time of the top-level spans (children are within)."""
+        return sum(span.seconds for span in self.spans)
+
+    @property
+    def pass_names(self) -> List[str]:
+        """Top-level span names, in execution order."""
+        return [span.name for span in self.spans]
+
+    def walk(self) -> Iterator[Span]:
+        """Every span in the tree, depth first."""
+        for span in self.spans:
+            yield from span.walk()
+
+    def counters(self) -> Dict[str, float]:
+        """Counters summed across every span in the tree."""
+        totals: Dict[str, float] = {}
+        for span in self.walk():
+            for name, value in span.counters.items():
+                totals[name] = totals.get(name, 0.0) + value
+        return totals
+
+    def counter(self, name: str, default: float = 0.0) -> float:
+        """One summed counter (see :meth:`counters`)."""
+        return self.counters().get(name, default)
+
+    def span(self, name: str) -> Span:
+        """The first span (anywhere in the tree) with ``name``."""
+        for s in self.walk():
+            if s.name == name:
+                return s
+        raise KeyError(f"no span named {name!r} in trace {self.pipeline!r}")
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """The trace as a ``repro.obs.trace/v2`` document."""
+        doc = {
+            "schema": TRACE_SCHEMA,
+            "name": self.pipeline,
+            "total_seconds": self.total_seconds,
+            "counters": self.counters(),
+            "spans": [span.to_dict() for span in self.spans],
+        }
+        if self.run_id is not None:
+            doc["run_id"] = self.run_id
+        if self.meta:
+            doc["meta"] = dict(self.meta)
+        return doc
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The v2 document as JSON text."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def format(self) -> str:
+        """A human-readable span-tree table (used by the examples)."""
+        lines = [f"trace {self.pipeline!r}: "
+                 f"{self.total_seconds * 1e3:.1f} ms total"]
+        if self.run_id:
+            lines[0] += f"  (run {self.run_id})"
+
+        def emit(span: Span, depth: int) -> None:
+            pad = "  " * (depth + 1)
+            lines.append(f"{pad}{span.name:24s} {span.seconds * 1e3:9.2f} ms")
+            for counter in sorted(span.counters):
+                value = span.counters[counter]
+                lines.append(f"{pad}  {counter:30s} {value:>10g}")
+            for child in span.children:
+                emit(child, depth + 1)
+
+        for span in self.spans:
+            emit(span, 0)
+        return "\n".join(lines)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Trace":
+        """Rebuild a trace from a v1 **or** v2 document (compat reader)."""
+        schema = doc.get("schema")
+        if schema == TRACE_SCHEMA_V1:
+            spans = [Span.from_dict(p) for p in doc.get("passes", [])]
+            return cls(pipeline=doc["pipeline"], spans=spans)
+        if schema == TRACE_SCHEMA:
+            spans = [Span.from_dict(s) for s in doc.get("spans", [])]
+            return cls(
+                pipeline=doc["name"],
+                spans=spans,
+                run_id=doc.get("run_id"),
+                meta=dict(doc.get("meta", {})),
+            )
+        raise ValueError(f"not a trace document (schema={schema!r})")
+
+
+#: Historical name for :class:`Trace`.
+PipelineTrace = Trace
+
+
+# ----------------------------------------------------------------------
+# the thread-local span stack
+# ----------------------------------------------------------------------
+_STACK = threading.local()
+
+
+def _stack() -> List[Span]:
+    try:
+        return _STACK.spans
+    except AttributeError:
+        _STACK.spans = []
+        return _STACK.spans
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span on this thread, or None."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def span(name: str) -> Iterator[Span]:
+    """Open a nested wall-time span.
+
+    The yielded :class:`Span` accepts counters (``record.add(...)`` or
+    ``record.counters[...] = ...``).  On exit the span's wall time is
+    stamped and the record attaches itself as a child of the enclosing
+    span, if any — so independently-instrumented layers (pipeline passes,
+    the parallel engine, the SMT solver) compose into one tree without
+    knowing about each other.  With no enclosing span the record simply
+    floats free; use a :class:`SpanRecorder` or
+    :class:`~repro.obs.session.Session` to root a tree.
+    """
+    record = Span(name=name)
+    stack = _stack()
+    stack.append(record)
+    started = time.perf_counter()
+    try:
+        yield record
+    finally:
+        record.seconds = time.perf_counter() - started
+        stack.pop()
+        parent = stack[-1] if stack else None
+        if parent is not None:
+            parent.children.append(record)
+
+
+class SpanRecorder:
+    """Builds a :class:`Trace` span by span.
+
+    Used by the :class:`~repro.pipeline.runner.Pipeline` runner and
+    directly by stages that are not circuit passes (the characterization
+    campaign, tomography).  Recorder spans participate in the global span
+    stack: anything that opens spans inside a recorder block nests under
+    it, and the recorder's own spans nest under any enclosing span (a
+    :class:`~repro.obs.session.Session` root, for instance) while *also*
+    landing in the recorder's trace.
+    """
+
+    def __init__(self, pipeline: str):
+        self.trace = Trace(pipeline=pipeline)
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Span]:
+        """One top-level span of this recorder's trace (may nest freely)."""
+        record: Optional[Span] = None
+        try:
+            with span(name) as record:
+                yield record
+        finally:
+            if record is not None:
+                self.trace.spans.append(record)
+
+    def finish(self) -> Trace:
+        """Emit the finished trace to any active collector and return it."""
+        emit_trace(self.trace)
+        return self.trace
+
+
+# ----------------------------------------------------------------------
+# trace collection
+# ----------------------------------------------------------------------
+_ACTIVE_COLLECTORS: List["TraceCollector"] = []
+
+
+def emit_trace(trace: Trace) -> None:
+    """Hand a finished trace to every active :class:`TraceCollector`."""
+    for collector in _ACTIVE_COLLECTORS:
+        collector.add(trace)
+
+
+class TraceCollector:
+    """Context manager that gathers every trace emitted while active.
+
+    Nested collectors all receive every trace.  The aggregated document the
+    benchmarks archive contains each individual trace plus fleet-wide
+    counter totals::
+
+        with TraceCollector() as traces:
+            run_fig5(...)
+        path.write_text(traces.to_json(indent=2))
+
+    Note that with nested spans, a campaign trace emitted *inside* a
+    session span overlaps the session's root trace; collection totals sum
+    over traces as emitted and may double-count overlapping trees.
+    """
+
+    def __init__(self) -> None:
+        self.traces: List[Trace] = []
+
+    def __enter__(self) -> "TraceCollector":
+        _ACTIVE_COLLECTORS.append(self)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _ACTIVE_COLLECTORS.remove(self)
+
+    def add(self, trace: Trace) -> None:
+        """Record one emitted trace (called by :func:`emit_trace`)."""
+        self.traces.append(trace)
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall time summed over every collected trace."""
+        return sum(t.total_seconds for t in self.traces)
+
+    def counters(self) -> Dict[str, float]:
+        """Counters summed across every collected trace."""
+        totals: Dict[str, float] = {}
+        for trace in self.traces:
+            for name, value in trace.counters().items():
+                totals[name] = totals.get(name, 0.0) + value
+        return totals
+
+    def to_dict(self) -> dict:
+        """The collection as a ``repro.obs.trace-collection/v2`` doc."""
+        return {
+            "schema": TRACE_COLLECTION_SCHEMA,
+            "num_traces": len(self.traces),
+            "total_seconds": self.total_seconds,
+            "counters": self.counters(),
+            "traces": [trace.to_dict() for trace in self.traces],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The collection document as JSON text."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+# ----------------------------------------------------------------------
+# the v1/v2 compat reader
+# ----------------------------------------------------------------------
+def read_trace(source: Union[str, dict]) -> Trace:
+    """Read one trace from a v1 or v2 document (dict, JSON text, or path).
+
+    Accepts ``repro.pipeline.trace/v1`` and ``repro.obs.trace/v2``
+    documents.  For collections use :func:`read_traces`.
+    """
+    doc = _load_document(source)
+    return Trace.from_dict(doc)
+
+
+def read_traces(source: Union[str, dict]) -> List[Trace]:
+    """Read every trace in a document: a single trace (v1 or v2) yields a
+    one-element list; a trace collection (either version) yields all of its
+    traces."""
+    doc = _load_document(source)
+    schema = doc.get("schema")
+    if schema in (TRACE_COLLECTION_SCHEMA, TRACE_COLLECTION_SCHEMA_V1):
+        return [Trace.from_dict(t) for t in doc.get("traces", [])]
+    return [Trace.from_dict(doc)]
+
+
+def _load_document(source: Union[str, dict]) -> dict:
+    """Dict → itself; JSON text → parsed; anything else → path to read."""
+    if isinstance(source, dict):
+        return source
+    text = str(source)
+    if text.lstrip().startswith("{"):
+        return json.loads(text)
+    with open(text, "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -13,6 +13,18 @@ use:
   what a serial run of the same tasks would have cost;
 * ``parallel.wall_seconds`` — actual wall time of the fan-out.
 
+Each :meth:`map` call also opens a nested :func:`repro.obs.trace.span`
+named ``parallel.map[{engine.name}]`` carrying per-map detail in the
+``parallel.map.*`` namespace (task count, queue/exec seconds), so the
+fan-out appears as a child wherever it runs — under a pipeline pass, a
+campaign stage, or a session root.  Per-task queue and execution timings
+additionally feed the process-wide
+:class:`~repro.obs.registry.MetricsRegistry` histograms
+``parallel.task.queue_seconds`` and ``parallel.task.exec_seconds``, and
+metric deltas recorded *inside* pool workers (``rb.*`` counters, solver
+counters) are shipped back per task and merged into the parent-process
+registry — registry totals are worker-count invariant.
+
 Worker count resolution order: explicit ``workers=`` keyword, then the
 ``REPRO_WORKERS`` environment variable, then serial.  Inside a pool worker
 the engine always resolves to serial so nested fan-outs (a tomography
@@ -29,6 +41,9 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.registry import MetricsRegistry, get_registry
+from repro.obs.trace import span as obs_span
 
 #: Environment variable overriding the default worker count.
 WORKERS_ENV = "REPRO_WORKERS"
@@ -67,9 +82,23 @@ def _init_worker(context: Any) -> None:
 
 
 def _run_task(fn: Callable[[Any, Any], Any], index: int, item: Any):
+    """Execute one task in a pool worker.
+
+    Returns ``(index, value, exec_seconds, start_ts, metrics_delta)``:
+    ``start_ts`` is the worker's wall clock at task start (the parent
+    subtracts its submit timestamp to estimate queue time), and
+    ``metrics_delta`` is the task's contribution to the worker-local
+    :class:`~repro.obs.registry.MetricsRegistry`, shipped back for the
+    parent to merge so process-wide metrics stay worker-count invariant.
+    """
+    registry = get_registry()
+    before = registry.snapshot()
+    start_ts = time.time()
     started = time.perf_counter()
     value = fn(_WORKER_CONTEXT, item)
-    return index, value, time.perf_counter() - started
+    seconds = time.perf_counter() - started
+    delta = MetricsRegistry.diff(before, registry.snapshot())
+    return index, value, seconds, start_ts, delta
 
 
 class ParallelEngine:
@@ -77,7 +106,7 @@ class ParallelEngine:
 
     One engine accumulates ``parallel.*`` counters across every
     :meth:`map` call so a caller can snapshot them into a
-    :class:`~repro.pipeline.trace.PassSpan` (``span.counters.update(
+    :class:`~repro.obs.trace.Span` (``span.counters.update(
     engine.counters)``).
     """
 
@@ -142,32 +171,49 @@ class ParallelEngine:
         be picklable.  Task exceptions propagate to the caller.
         """
         work: Sequence[Any] = list(items)
-        started = time.perf_counter()
-        if self.workers == 1 or len(work) <= 1:
-            results = []
-            for item in work:
-                t0 = time.perf_counter()
-                results.append(fn(context, item))
-                self.counters["parallel.serial_seconds_estimate"] += (
-                    time.perf_counter() - t0
-                )
-        else:
-            results = [None] * len(work)
-            pool = self._ensure_pool(context)
-            futures = [
-                pool.submit(_run_task, fn, i, item)
-                for i, item in enumerate(work)
-            ]
-            try:
-                for future in futures:
-                    index, value, seconds = future.result()
-                    results[index] = value
+        registry = get_registry()
+        with obs_span(f"parallel.map[{self.name}]") as record:
+            record.counters["parallel.map.workers"] = float(self.workers)
+            record.counters["parallel.map.tasks"] = float(len(work))
+            started = time.perf_counter()
+            if self.workers == 1 or len(work) <= 1:
+                results = []
+                for item in work:
+                    t0 = time.perf_counter()
+                    results.append(fn(context, item))
+                    seconds = time.perf_counter() - t0
                     self.counters["parallel.serial_seconds_estimate"] += seconds
-            except BaseException:
-                self.close()
-                raise
-        self.counters["parallel.tasks"] += float(len(work))
-        self.counters["parallel.wall_seconds"] += time.perf_counter() - started
+                    record.add("parallel.map.exec_seconds", seconds)
+                    registry.observe("parallel.task.exec_seconds", seconds)
+                    registry.inc("parallel.tasks")
+            else:
+                results = [None] * len(work)
+                pool = self._ensure_pool(context)
+                futures = []
+                submitted = []
+                for i, item in enumerate(work):
+                    submitted.append(time.time())
+                    futures.append(pool.submit(_run_task, fn, i, item))
+                try:
+                    for future, submit_ts in zip(futures, submitted):
+                        index, value, seconds, start_ts, delta = future.result()
+                        results[index] = value
+                        queue_seconds = max(0.0, start_ts - submit_ts)
+                        self.counters["parallel.serial_seconds_estimate"] += seconds
+                        record.add("parallel.map.exec_seconds", seconds)
+                        record.add("parallel.map.queue_seconds", queue_seconds)
+                        registry.observe("parallel.task.exec_seconds", seconds)
+                        registry.observe("parallel.task.queue_seconds",
+                                         queue_seconds)
+                        registry.inc("parallel.tasks")
+                        registry.merge(delta)
+                except BaseException:
+                    self.close()
+                    raise
+            wall = time.perf_counter() - started
+            self.counters["parallel.tasks"] += float(len(work))
+            self.counters["parallel.wall_seconds"] += wall
+            record.counters["parallel.map.wall_seconds"] = wall
         return results
 
     # ------------------------------------------------------------------

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
+from repro.obs.events import log_event
+from repro.obs.registry import get_registry
 from repro.pipeline.context import PassContext
 from repro.pipeline.passes import Pass, compile_passes
 from repro.pipeline.trace import PipelineTrace, SpanRecorder
@@ -35,14 +37,24 @@ class Pipeline:
     # ------------------------------------------------------------------
     def run(self, context: PassContext) -> PassContext:
         """Run every pass over ``context``; attach and emit the trace."""
+        registry = get_registry()
         recorder = SpanRecorder(self.name)
         for stage in self.passes:
             with recorder.span(stage.name) as span:
                 counters = stage.run(context)
                 if counters:
                     span.counters.update(counters)
+            registry.inc("pipeline.passes")
+            registry.observe("pipeline.pass_seconds", span.seconds)
         context.trace = recorder.finish()
         self.last_trace = context.trace
+        registry.inc("pipeline.runs")
+        log_event(
+            "pipeline.run",
+            pipeline=self.name,
+            passes=len(self.passes),
+            seconds=context.trace.total_seconds,
+        )
         return context
 
 

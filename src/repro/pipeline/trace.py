@@ -1,210 +1,35 @@
-"""Per-pass instrumentation: spans, counters, and JSON trace export.
+"""Compat shim: the trace core moved to :mod:`repro.obs.trace`.
 
-Every :class:`~repro.pipeline.runner.Pipeline` run produces a
-:class:`PipelineTrace` — an ordered list of :class:`PassSpan` records, one
-per pass, each carrying the pass's wall time and whatever counters the pass
-reported (SWAPs inserted, gate pairs serialized, SMT nodes explored, solve
-seconds, ...).  The characterization campaign reuses the same structures via
-:class:`SpanRecorder`, so compilation and characterization report per-stage
-cost in one format.
-
-Traces serialize to a stable JSON schema (:data:`TRACE_SCHEMA`).  A
-:class:`TraceCollector` gathers every trace emitted while it is active —
-the figure benchmarks use it to archive one aggregated JSON file per driver
-under ``benchmarks/results/``.
-
-This module deliberately imports nothing from the rest of :mod:`repro` so
-any layer (core, rb, transpiler, experiments) can record spans without
-creating an import cycle.
+Every name that lived here through PR 1/PR 2 — :class:`PassSpan`,
+:class:`PipelineTrace`, :class:`SpanRecorder`, :class:`TraceCollector`,
+:func:`emit_trace`, :data:`TRACE_SCHEMA`, :data:`TRACE_COLLECTION_SCHEMA`
+— now re-exports from the unified observability layer.  Note that the
+schema identifiers therefore point at v2 (``repro.obs.trace/v2``); use
+:func:`repro.obs.read_trace` to read archived v1 documents.
 """
 
-from __future__ import annotations
+from repro.obs.trace import (  # noqa: F401
+    TRACE_COLLECTION_SCHEMA,
+    TRACE_COLLECTION_SCHEMA_V1,
+    TRACE_SCHEMA,
+    TRACE_SCHEMA_V1,
+    PassSpan,
+    PipelineTrace,
+    Span,
+    SpanRecorder,
+    Trace,
+    TraceCollector,
+    current_span,
+    emit_trace,
+    read_trace,
+    read_traces,
+    span,
+)
 
-import json
-import time
-from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
-
-#: Schema identifier stamped into every exported trace document.
-TRACE_SCHEMA = "repro.pipeline.trace/v1"
-
-#: Schema identifier for a collection of traces (one benchmark driver run).
-TRACE_COLLECTION_SCHEMA = "repro.pipeline.trace-collection/v1"
-
-
-@dataclass
-class PassSpan:
-    """One pass's execution record: wall time plus counters."""
-
-    name: str
-    seconds: float = 0.0
-    counters: Dict[str, float] = field(default_factory=dict)
-
-    def add(self, counter: str, value: float = 1.0) -> None:
-        self.counters[counter] = self.counters.get(counter, 0.0) + value
-
-    def add_counters(self, counters: Dict[str, float]) -> None:
-        """Accumulate a whole counter dict into this span.
-
-        Used when a span fans work out to parallel tasks that each return
-        their own counter dict (e.g. per-experiment ``rb.*`` counters): the
-        span sums the contributions rather than overwriting them.
-        """
-        for name, value in counters.items():
-            self.add(name, value)
-
-    def to_dict(self) -> dict:
-        return {
-            "name": self.name,
-            "seconds": self.seconds,
-            "counters": dict(self.counters),
-        }
-
-
-@dataclass
-class PipelineTrace:
-    """An ordered record of every pass a pipeline ran."""
-
-    pipeline: str
-    spans: List[PassSpan] = field(default_factory=list)
-
-    @property
-    def total_seconds(self) -> float:
-        return sum(span.seconds for span in self.spans)
-
-    @property
-    def pass_names(self) -> List[str]:
-        return [span.name for span in self.spans]
-
-    def counters(self) -> Dict[str, float]:
-        """Counters summed across all spans."""
-        totals: Dict[str, float] = {}
-        for span in self.spans:
-            for name, value in span.counters.items():
-                totals[name] = totals.get(name, 0.0) + value
-        return totals
-
-    def counter(self, name: str, default: float = 0.0) -> float:
-        return self.counters().get(name, default)
-
-    def span(self, name: str) -> PassSpan:
-        for s in self.spans:
-            if s.name == name:
-                return s
-        raise KeyError(f"no span named {name!r} in trace {self.pipeline!r}")
-
-    # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
-        return {
-            "schema": TRACE_SCHEMA,
-            "pipeline": self.pipeline,
-            "total_seconds": self.total_seconds,
-            "counters": self.counters(),
-            "passes": [span.to_dict() for span in self.spans],
-        }
-
-    def to_json(self, indent: Optional[int] = None) -> str:
-        return json.dumps(self.to_dict(), indent=indent)
-
-    def format(self) -> str:
-        """A human-readable per-pass table (used by the examples)."""
-        lines = [f"pipeline {self.pipeline!r}: "
-                 f"{self.total_seconds * 1e3:.1f} ms total"]
-        for span in self.spans:
-            lines.append(f"  {span.name:24s} {span.seconds * 1e3:9.2f} ms")
-            for counter in sorted(span.counters):
-                value = span.counters[counter]
-                shown = f"{value:g}"
-                lines.append(f"    {counter:30s} {shown:>10s}")
-        return "\n".join(lines)
-
-
-class SpanRecorder:
-    """Builds a :class:`PipelineTrace` span by span.
-
-    Used by the :class:`~repro.pipeline.runner.Pipeline` runner and directly
-    by stages that are not circuit passes (the characterization campaign).
-    """
-
-    def __init__(self, pipeline: str):
-        self.trace = PipelineTrace(pipeline=pipeline)
-
-    @contextmanager
-    def span(self, name: str) -> Iterator[PassSpan]:
-        record = PassSpan(name=name)
-        started = time.perf_counter()
-        try:
-            yield record
-        finally:
-            record.seconds = time.perf_counter() - started
-            self.trace.spans.append(record)
-
-    def finish(self) -> PipelineTrace:
-        """Emit the finished trace to any active collector and return it."""
-        emit_trace(self.trace)
-        return self.trace
-
-
-# ----------------------------------------------------------------------
-# trace collection
-# ----------------------------------------------------------------------
-_ACTIVE_COLLECTORS: List["TraceCollector"] = []
-
-
-def emit_trace(trace: PipelineTrace) -> None:
-    """Hand a finished trace to every active :class:`TraceCollector`."""
-    for collector in _ACTIVE_COLLECTORS:
-        collector.add(trace)
-
-
-class TraceCollector:
-    """Context manager that gathers every trace emitted while active.
-
-    Nested collectors all receive every trace.  The aggregated document the
-    benchmarks archive contains each individual trace plus fleet-wide
-    counter totals::
-
-        with TraceCollector() as traces:
-            run_fig5(...)
-        path.write_text(traces.to_json(indent=2))
-    """
-
-    def __init__(self) -> None:
-        self.traces: List[PipelineTrace] = []
-
-    def __enter__(self) -> "TraceCollector":
-        _ACTIVE_COLLECTORS.append(self)
-        return self
-
-    def __exit__(self, *exc) -> None:
-        _ACTIVE_COLLECTORS.remove(self)
-
-    def add(self, trace: PipelineTrace) -> None:
-        self.traces.append(trace)
-
-    def __len__(self) -> int:
-        return len(self.traces)
-
-    @property
-    def total_seconds(self) -> float:
-        return sum(t.total_seconds for t in self.traces)
-
-    def counters(self) -> Dict[str, float]:
-        totals: Dict[str, float] = {}
-        for trace in self.traces:
-            for name, value in trace.counters().items():
-                totals[name] = totals.get(name, 0.0) + value
-        return totals
-
-    def to_dict(self) -> dict:
-        return {
-            "schema": TRACE_COLLECTION_SCHEMA,
-            "num_traces": len(self.traces),
-            "total_seconds": self.total_seconds,
-            "counters": self.counters(),
-            "traces": [trace.to_dict() for trace in self.traces],
-        }
-
-    def to_json(self, indent: Optional[int] = None) -> str:
-        return json.dumps(self.to_dict(), indent=indent)
+__all__ = [
+    "TRACE_SCHEMA", "TRACE_SCHEMA_V1",
+    "TRACE_COLLECTION_SCHEMA", "TRACE_COLLECTION_SCHEMA_V1",
+    "Span", "PassSpan", "Trace", "PipelineTrace",
+    "SpanRecorder", "TraceCollector",
+    "span", "current_span", "emit_trace", "read_trace", "read_traces",
+]

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.device.device import Device
 from repro.device.topology import Edge
+from repro.obs.registry import get_registry
 from repro.parallel.seeding import stable_rng
 from repro.rb.clifford import clifford_group
 from repro.rb.fitting import RBFit, fit_rb_decay
@@ -307,13 +308,19 @@ class RBExecutor:
             for t in targets
         }
         context = {t: tuple(o for o in targets if o != t) for t in targets}
+        seconds = time.perf_counter() - started
+        sequences = float(len(targets) * len(cfg.lengths) * cfg.num_sequences)
         self.counters["rb.experiments"] += 1.0
         self.counters["rb.units"] += float(len(units))
         self.counters["rb.targets"] += float(len(targets))
-        self.counters["rb.sequences"] += float(
-            len(targets) * len(cfg.lengths) * cfg.num_sequences
-        )
-        self.counters["rb.seconds"] += time.perf_counter() - started
+        self.counters["rb.sequences"] += sequences
+        self.counters["rb.seconds"] += seconds
+        # Process-wide metrics too; inside a pool worker these land in the
+        # worker-local registry and are shipped back as per-task deltas.
+        registry = get_registry()
+        registry.inc("rb.experiments")
+        registry.inc("rb.sequences", sequences)
+        registry.observe("rb.experiment_seconds", seconds)
         return SRBResult(cfg.lengths, mean_survivals, fits, context)
 
     def run_independent(self, gate: Sequence[int]) -> SRBResult:

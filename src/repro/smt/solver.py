@@ -29,6 +29,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 from scipy import optimize
 
+from repro.obs.events import log_event
+from repro.obs.registry import get_registry
+from repro.obs.trace import span as obs_span
 from repro.smt.feasibility import difference_feasible
 from repro.smt.model import DiffConstraint, ScheduleModel
 
@@ -118,10 +121,47 @@ class OptimizingSolver:
 
     # ------------------------------------------------------------------
     def solve(self) -> Solution:
-        """Exact B&B when the decision count is small, else greedy dive."""
-        if len(self.model.decisions) <= self.exact_decision_limit:
-            return self.solve_exact()
-        return self.solve_greedy()
+        """Exact B&B when the decision count is small, else greedy dive.
+
+        Opens an ``smt.solve`` observability span (nested under whatever
+        pass or session is active) carrying solve time, node count, and
+        the model's constraint/variable/decision counts in the
+        ``smt.solve.*`` namespace, mirrors the same figures into the
+        process-wide metrics registry, and logs one ``smt.solve`` event.
+        """
+        model = self.model
+        with obs_span("smt.solve") as record:
+            started = time.perf_counter()
+            if len(model.decisions) <= self.exact_decision_limit:
+                solution = self.solve_exact()
+            else:
+                solution = self.solve_greedy()
+            seconds = time.perf_counter() - started
+            record.counters.update({
+                "smt.solve.seconds": seconds,
+                "smt.solve.nodes": float(solution.nodes_explored),
+                "smt.solve.decisions": float(len(model.decisions)),
+                "smt.solve.constraints": float(len(model.base_constraints)),
+                "smt.solve.variables": float(model.num_vars),
+                "smt.solve.exact": 1.0 if solution.exact else 0.0,
+            })
+            registry = get_registry()
+            registry.inc("smt.solves")
+            registry.inc("smt.nodes_explored", solution.nodes_explored)
+            registry.observe("smt.solve.seconds", seconds)
+            registry.set("smt.last.constraints", len(model.base_constraints))
+            registry.set("smt.last.decisions", len(model.decisions))
+            log_event(
+                "smt.solve",
+                seconds=seconds,
+                nodes=solution.nodes_explored,
+                decisions=len(model.decisions),
+                constraints=len(model.base_constraints),
+                variables=model.num_vars,
+                exact=solution.exact,
+                objective=solution.objective,
+            )
+        return solution
 
     # ------------------------------------------------------------------
     def solve_exact(self) -> Solution:

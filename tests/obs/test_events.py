@@ -1,0 +1,66 @@
+"""Structured event logging: sinks, run-id stamping, JSONL round-trip."""
+
+from repro.obs.events import EventLog, event_sink, log_event, read_events
+
+
+class TestEventLog:
+    def test_records_name_timestamp_and_fields(self):
+        log = EventLog()
+        record = log.log("campaign.start", policy="one_hop", device="fp")
+        assert record["event"] == "campaign.start"
+        assert record["ts"] > 0
+        assert record["policy"] == "one_hop"
+        assert record["device"] == "fp"
+
+    def test_run_id_stamped_when_present(self):
+        log = EventLog(run_id="abc")
+        assert log.log("e")["run_id"] == "abc"
+        assert "run_id" not in EventLog().log("e")
+
+    def test_of_filters_by_name(self):
+        log = EventLog()
+        log.log("a")
+        log.log("b")
+        log.log("a", n=2)
+        assert [e.get("n") for e in log.of("a")] == [None, 2]
+
+
+class TestSinks:
+    def test_log_event_noop_without_sink(self):
+        log_event("nobody.listening", x=1)  # must not raise
+
+    def test_log_event_reaches_installed_sink(self):
+        with event_sink() as sink:
+            log_event("hello", n=3)
+        assert len(sink) == 1
+        assert sink.events[0]["n"] == 3
+
+    def test_stacked_sinks_both_receive(self):
+        with event_sink() as outer:
+            with event_sink() as inner:
+                log_event("e")
+        assert len(outer) == len(inner) == 1
+
+    def test_events_stop_after_removal(self):
+        with event_sink() as sink:
+            log_event("in")
+        log_event("out")
+        assert [e["event"] for e in sink] == ["in"]
+
+
+class TestJsonlRoundTrip:
+    def test_write_and_read_back(self, tmp_path):
+        log = EventLog(run_id="r1")
+        log.log("a", x=1)
+        log.log("b", y=[1, 2])
+        path = str(tmp_path / "events.jsonl")
+        log.write(path)
+        records = read_events(path)
+        assert [r["event"] for r in records] == ["a", "b"]
+        assert records[0]["run_id"] == "r1"
+        assert records[1]["y"] == [1, 2]
+
+    def test_empty_log_writes_empty_file(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        EventLog().write(path)
+        assert read_events(path) == []

@@ -1,0 +1,56 @@
+"""Run manifests: capture, schema, and disk round-trip."""
+
+import pytest
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    RunManifest,
+    git_revision,
+    new_run_id,
+    read_manifest,
+    write_manifest,
+)
+
+
+class TestCapture:
+    def test_run_ids_are_unique(self):
+        assert new_run_id() != new_run_id()
+
+    def test_capture_records_environment_and_git(self):
+        manifest = RunManifest.capture(
+            name="demo", config={"policy": "one_hop"},
+            seeds={"campaign": 7}, workers=4,
+        )
+        assert manifest.name == "demo"
+        assert manifest.config == {"policy": "one_hop"}
+        assert manifest.seeds == {"campaign": 7}
+        assert manifest.workers == 4
+        assert "python" in manifest.environment
+        # this test runs inside the repo checkout, so git facts resolve
+        assert manifest.git is not None
+        assert len(manifest.git["sha"]) == 40
+
+    def test_git_revision_none_outside_repo(self, tmp_path):
+        assert git_revision(cwd=str(tmp_path)) is None
+
+
+class TestRoundTrip:
+    def test_document_schema(self):
+        doc = RunManifest.capture(name="x").to_dict()
+        assert doc["schema"] == MANIFEST_SCHEMA
+        assert {"run_id", "created_at", "config", "seeds", "workers",
+                "git", "environment", "results"} <= set(doc)
+
+    def test_disk_round_trip(self, tmp_path):
+        manifest = RunManifest.capture(
+            name="rt", config={"a": 1}, seeds={"s": 2}, workers=3,
+            results={"epsilon": 0.01},
+        )
+        path = str(tmp_path / "manifest.json")
+        write_manifest(manifest, path)
+        rebuilt = read_manifest(path)
+        assert rebuilt.to_dict() == manifest.to_dict()
+
+    def test_reader_rejects_wrong_schema(self):
+        with pytest.raises(ValueError):
+            RunManifest.from_dict({"schema": "other/v1"})

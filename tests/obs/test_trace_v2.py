@@ -1,0 +1,162 @@
+"""Trace v2: span nesting, serialization, and the v1 compat reader."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    TRACE_COLLECTION_SCHEMA,
+    TRACE_SCHEMA,
+    TRACE_SCHEMA_V1,
+    Span,
+    SpanRecorder,
+    Trace,
+    current_span,
+    read_trace,
+    read_traces,
+    span,
+)
+
+
+class TestSpanNesting:
+    def test_nested_spans_form_a_tree(self):
+        with span("outer") as outer:
+            with span("middle") as middle:
+                with span("inner") as inner:
+                    inner.add("n", 1)
+            with span("sibling"):
+                pass
+        assert [c.name for c in outer.children] == ["middle", "sibling"]
+        assert [c.name for c in middle.children] == ["inner"]
+        assert outer.seconds >= middle.seconds >= inner.seconds >= 0.0
+
+    def test_current_span_tracks_innermost(self):
+        assert current_span() is None
+        with span("a") as a:
+            assert current_span() is a
+            with span("b") as b:
+                assert current_span() is b
+            assert current_span() is a
+        assert current_span() is None
+
+    def test_stack_unwinds_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with span("outer"):
+                with span("inner"):
+                    raise RuntimeError("boom")
+        assert current_span() is None
+
+    def test_walk_and_total_counters(self):
+        with span("root") as root:
+            root.add("x", 1)
+            with span("leaf") as leaf:
+                leaf.add("x", 2)
+                leaf.add("y", 5)
+        assert [s.name for s in root.walk()] == ["root", "leaf"]
+        assert root.total_counters() == {"x": 3.0, "y": 5.0}
+
+    def test_recorder_spans_nest_under_enclosing_span(self):
+        recorder = SpanRecorder("inner-trace")
+        with span("outer") as outer:
+            with recorder.span("stage"):
+                pass
+        assert [c.name for c in outer.children] == ["stage"]
+        assert [s.name for s in recorder.trace.spans] == ["stage"]
+
+
+class TestV2Serialization:
+    def make_trace(self):
+        recorder = SpanRecorder("demo")
+        with recorder.span("a") as a:
+            a.add("k", 2)
+            with span("a.child") as child:
+                child.add("k", 1)
+        trace = recorder.trace
+        trace.run_id = "abc123"
+        trace.meta["device"] = "fp"
+        return trace
+
+    def test_document_shape(self):
+        doc = self.make_trace().to_dict()
+        assert doc["schema"] == TRACE_SCHEMA
+        assert doc["name"] == "demo"
+        assert doc["run_id"] == "abc123"
+        assert doc["meta"] == {"device": "fp"}
+        (span_doc,) = doc["spans"]
+        assert [c["name"] for c in span_doc["spans"]] == ["a.child"]
+
+    def test_counters_recursive(self):
+        trace = self.make_trace()
+        assert trace.counter("k") == 3.0
+
+    def test_v2_round_trip(self):
+        trace = self.make_trace()
+        rebuilt = read_trace(trace.to_json())
+        assert rebuilt.to_dict() == trace.to_dict()
+
+    def test_span_lookup_descends(self):
+        trace = self.make_trace()
+        assert trace.span("a.child").counters == {"k": 1.0}
+
+
+class TestV1CompatReader:
+    V1_DOC = {
+        "schema": TRACE_SCHEMA_V1,
+        "pipeline": "compile[xtalk]",
+        "total_seconds": 0.5,
+        "counters": {"smt.solve_seconds": 0.25},
+        "passes": [
+            {"name": "routing", "seconds": 0.25,
+             "counters": {"routing.swaps_inserted": 4.0}},
+            {"name": "schedule[xtalk]", "seconds": 0.25,
+             "counters": {"smt.solve_seconds": 0.25}},
+        ],
+    }
+
+    def test_reads_v1_document(self):
+        trace = read_trace(self.V1_DOC)
+        assert trace.pipeline == trace.name == "compile[xtalk]"
+        assert trace.pass_names == ["routing", "schedule[xtalk]"]
+        assert trace.counter("routing.swaps_inserted") == 4.0
+
+    def test_reads_v1_json_text_and_file(self, tmp_path):
+        text = json.dumps(self.V1_DOC)
+        assert read_trace(text).pipeline == "compile[xtalk]"
+        path = tmp_path / "trace.json"
+        path.write_text(text)
+        assert read_trace(str(path)).pipeline == "compile[xtalk]"
+
+    def test_v1_reserializes_as_v2(self):
+        doc = read_trace(self.V1_DOC).to_dict()
+        assert doc["schema"] == TRACE_SCHEMA
+        assert doc["name"] == "compile[xtalk]"
+        assert [s["name"] for s in doc["spans"]] == [
+            "routing", "schedule[xtalk]",
+        ]
+
+    def test_reads_v1_collection(self):
+        collection = {
+            "schema": "repro.pipeline.trace-collection/v1",
+            "num_traces": 2,
+            "traces": [self.V1_DOC, self.V1_DOC],
+        }
+        traces = read_traces(collection)
+        assert len(traces) == 2
+        assert all(t.pipeline == "compile[xtalk]" for t in traces)
+
+    def test_reads_v2_collection(self):
+        trace = Trace(pipeline="t", spans=[Span("s", 0.1)])
+        collection = {
+            "schema": TRACE_COLLECTION_SCHEMA,
+            "traces": [trace.to_dict()],
+        }
+        (rebuilt,) = read_traces(collection)
+        assert rebuilt.pipeline == "t"
+
+    def test_single_trace_reads_as_one_element_list(self):
+        (trace,) = read_traces(self.V1_DOC)
+        assert trace.pipeline == "compile[xtalk]"
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError):
+            read_trace({"schema": "bogus/v9", "name": "x"})

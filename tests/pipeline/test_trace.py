@@ -58,16 +58,16 @@ class TestPipelineTrace:
 class TestTraceJsonSchema:
     def test_trace_document(self):
         doc = json.loads(sample_trace().to_json())
-        assert doc["schema"] == TRACE_SCHEMA == "repro.pipeline.trace/v1"
-        assert doc["pipeline"] == "compile[test]"
+        assert doc["schema"] == TRACE_SCHEMA == "repro.obs.trace/v2"
+        assert doc["name"] == "compile[test]"
         assert isinstance(doc["total_seconds"], float)
         assert doc["counters"]["routing.swaps_inserted"] == 4.0
-        assert [p["name"] for p in doc["passes"]] == [
+        assert [s["name"] for s in doc["spans"]] == [
             "routing", "schedule[xtalk]",
         ]
-        for p in doc["passes"]:
-            assert set(p) == {"name", "seconds", "counters"}
-            assert p["seconds"] >= 0.0
+        for s in doc["spans"]:
+            assert {"name", "seconds", "counters"} <= set(s)
+            assert s["seconds"] >= 0.0
 
     def test_collection_document(self):
         with TraceCollector() as collector:

@@ -1,11 +1,13 @@
 """Smoke tests for the example scripts.
 
-Each example must import cleanly and expose a ``main`` callable; the
-docstring must say what it does and how long it takes.  (Full example runs
-are exercised manually / in CI-nightly — they are minutes-scale.)
+Each example must import cleanly, expose a ``main(fast=...)`` callable
+whose fast mode actually completes, and carry a docstring that says what
+it does and how long it takes.  (Full, default-sized example runs remain
+minutes-scale and are exercised manually / in CI-nightly.)
 """
 
 import importlib.util
+import inspect
 import pathlib
 
 import pytest
@@ -24,8 +26,21 @@ def load_module(path: pathlib.Path):
 @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
 def test_example_imports_and_has_main(path):
     module = load_module(path)
-    assert callable(getattr(module, "main", None)), path.name
+    main = getattr(module, "main", None)
+    assert callable(main), path.name
+    assert "fast" in inspect.signature(main).parameters, (
+        f"{path.name}: main() must accept fast= for the smoke run"
+    )
     assert module.__doc__ and "Run:" in module.__doc__, path.name
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_in_fast_mode(path, capsys):
+    """Every example completes end to end with ``main(fast=True)``."""
+    module = load_module(path)
+    module.main(fast=True)
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.name}: fast run produced no output"
 
 
 def test_expected_examples_present():

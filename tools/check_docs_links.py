@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Check markdown links and anchors across the documentation.
+
+Scans markdown files for inline links ``[text](target)`` and verifies:
+
+* relative file targets exist (``docs/api.md``, ``../DESIGN.md``);
+* anchor targets (``file.md#section`` or ``#section``) match a heading
+  in the target file, using GitHub's heading-slug rules;
+* external (``http(s)://``, ``mailto:``) targets are skipped — CI must
+  not depend on the network.
+
+Usage::
+
+    python tools/check_docs_links.py [files-or-dirs ...]
+
+With no arguments, checks ``README.md`` and every ``*.md`` under
+``docs/``. Exits nonzero listing every broken link. Stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — text may contain nested ``[]`` one level deep
+#: (images in links are not used here); target stops at the first
+#: unescaped ``)``.
+LINK_RE = re.compile(r"\[([^\]]*)\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def strip_fenced_blocks(text: str) -> str:
+    """Blank out fenced code blocks so links inside them are ignored."""
+    out = []
+    in_fence = False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        out.append("" if in_fence else line)
+    return "\n".join(out)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (sans duplicate suffixes)."""
+    text = heading.strip()
+    # Unwrap markdown links and inline code/emphasis markers.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.replace("`", "").replace("*", "")
+    text = text.lower()
+    slug = "".join(ch for ch in text if ch.isalnum() or ch in " -_")
+    return slug.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set:
+    """Every anchor GitHub would generate for ``path``'s headings."""
+    slugs: set = set()
+    counts: dict = {}
+    for line in strip_fenced_blocks(
+            path.read_text(encoding="utf-8")).splitlines():
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        base = github_slug(match.group(2))
+        n = counts.get(base, 0)
+        counts[base] = n + 1
+        slugs.add(base if n == 0 else f"{base}-{n}")
+    return slugs
+
+
+def iter_links(path: Path):
+    """Yield ``(line_number, target)`` for every inline link."""
+    text = strip_fenced_blocks(path.read_text(encoding="utf-8"))
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(2)
+
+
+def check_file(path: Path) -> list:
+    """All broken-link complaints for one markdown file."""
+    problems = []
+    for lineno, target in iter_links(path):
+        if target.startswith(EXTERNAL_PREFIXES):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            dest = (path.parent / file_part).resolve()
+            if not dest.exists():
+                problems.append(
+                    f"{path}:{lineno}: broken link target {target!r}"
+                    f" (no such file {file_part!r})")
+                continue
+        else:
+            dest = path
+        if anchor:
+            if dest.suffix.lower() != ".md":
+                continue
+            if anchor not in heading_slugs(dest):
+                problems.append(
+                    f"{path}:{lineno}: broken anchor {target!r}"
+                    f" (no heading slug {anchor!r} in {dest.name})")
+    return problems
+
+
+def collect_files(args: list) -> list:
+    if not args:
+        files = [REPO_ROOT / "README.md"]
+        files += sorted((REPO_ROOT / "docs").glob("*.md"))
+        return files
+    files = []
+    for arg in args:
+        path = Path(arg)
+        if path.is_dir():
+            files += sorted(path.rglob("*.md"))
+        else:
+            files.append(path)
+    return files
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*",
+                        help="markdown files or directories "
+                             "(default: README.md + docs/)")
+    args = parser.parse_args(argv)
+
+    files = collect_files(args.paths)
+    problems = []
+    checked = 0
+    for path in files:
+        if not path.exists():
+            problems.append(f"{path}: file not found")
+            continue
+        checked += 1
+        problems += check_file(path)
+
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"[check_docs_links] {checked} files checked, "
+          f"{len(problems)} problems")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

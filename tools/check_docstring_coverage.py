@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Docstring-coverage gate for a package (default: ``src/repro/obs``).
+
+Walks the package with :mod:`ast` and counts docstrings on modules,
+classes, and public functions/methods (names not starting with ``_``;
+dunders are excluded). Prints per-file coverage and fails if overall
+coverage is below the threshold.
+
+Usage::
+
+    python tools/check_docstring_coverage.py [--min 100] [paths ...]
+
+Stdlib only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_TARGET = REPO_ROOT / "src" / "repro" / "obs"
+
+
+def is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def documentable_nodes(tree: ast.Module):
+    """Yield ``(kind, qualified_name, node)`` for everything that should
+    carry a docstring."""
+    yield "module", "<module>", tree
+
+    def walk(node, prefix):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                if is_public(child.name):
+                    qualname = f"{prefix}{child.name}"
+                    yield "class", qualname, child
+                    yield from walk(child, f"{qualname}.")
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if is_public(child.name):
+                    yield "function", f"{prefix}{child.name}", child
+
+    yield from walk(tree, "")
+
+
+def check_file(path: Path):
+    """``(documented, missing)`` where missing lists qualified names."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    documented = 0
+    missing = []
+    for kind, name, node in documentable_nodes(tree):
+        if ast.get_docstring(node):
+            documented += 1
+        else:
+            missing.append(f"{kind} {name}")
+    return documented, missing
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", type=Path,
+                        default=[DEFAULT_TARGET],
+                        help=f"files or package dirs (default {DEFAULT_TARGET})")
+    parser.add_argument("--min", type=float, default=100.0, metavar="PCT",
+                        help="minimum coverage percentage (default 100)")
+    args = parser.parse_args(argv)
+
+    files = []
+    for target in args.paths:
+        if target.is_dir():
+            files += sorted(target.rglob("*.py"))
+        else:
+            files.append(target)
+
+    total = documented = 0
+    failures = []
+    for path in files:
+        doc, missing = check_file(path)
+        n = doc + len(missing)
+        total += n
+        documented += doc
+        pct = 100.0 * doc / n if n else 100.0
+        print(f"[docstrings] {path}: {doc}/{n} ({pct:.0f}%)")
+        for item in missing:
+            failures.append(f"{path}: missing docstring on {item}")
+
+    coverage = 100.0 * documented / total if total else 100.0
+    print(f"[docstrings] overall: {documented}/{total} ({coverage:.1f}%), "
+          f"minimum {args.min:.1f}%")
+    if coverage < args.min:
+        for failure in failures:
+            print(failure, file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
