@@ -4,7 +4,10 @@ with auto-tuned ω, and monitor drift.
 Puts the library's higher-level pieces together the way a deployment
 would:
 
-1. day 0 — full 1-hop bin-packed campaign; persist the report to JSON;
+1. day 0 — full 1-hop bin-packed campaign streaming results to a
+   checkpoint; a simulated mid-campaign outage aborts the run, and the
+   rerun resumes from the checkpoint, re-executing only the missing
+   experiments; persist the report to JSON;
 2. day 1 — cheap high-pairs-only refresh merged into the saved report;
    drift monitoring decides whether the cheap policy is still safe;
 3. compile an application with `compile_circuit` using ω chosen by the
@@ -41,6 +44,7 @@ from repro.circuit.circuit import QuantumCircuit
 from repro.experiments.common import ExperimentConfig, run_distribution
 from repro.metrics.distributions import success_probability
 from repro.obs import Session
+from repro.resilience import FatalTaskError, FaultInjector, FaultPlan
 from repro.workloads.hidden_shift import expected_output, hidden_shift_on_region
 
 
@@ -64,10 +68,30 @@ def main(fast: bool = False):
 
 def _workflow(device, campaign, work_dir, fast, session):
     # ------------------------------------------------------------------
-    # Day 0: full campaign, persisted.
+    # Day 0: full campaign with checkpoint/resume, persisted.
+    #
+    # Completed SRB experiments stream to a JSON-lines checkpoint as the
+    # campaign runs. We simulate a mid-campaign outage (an injected
+    # non-retryable fault) and then resume: the rerun recognizes the
+    # checkpointed experiments by content and re-executes only the
+    # missing ones — the final report is identical to an uninterrupted
+    # run.
     # ------------------------------------------------------------------
-    print("day 0: full 1-hop campaign...")
-    day0 = campaign.run(CharacterizationPolicy.ONE_HOP_PACKED, day=0)
+    print("day 0: full 1-hop campaign (with simulated outage)...")
+    checkpoint = str(work_dir / "day0.ckpt.jsonl")
+    outage = FaultInjector(FaultPlan.single("fatal", rate=0.1, seed=23))
+    try:
+        campaign.run(CharacterizationPolicy.ONE_HOP_PACKED, day=0,
+                     checkpoint=checkpoint, faults=outage)
+    except FatalTaskError:
+        print(f"  outage after {outage.count} injected fault(s); "
+              "partial results checkpointed")
+    print("  resuming from checkpoint...")
+    day0 = campaign.run(CharacterizationPolicy.ONE_HOP_PACKED, day=0,
+                        checkpoint=checkpoint)
+    print(f"  resumed: {day0.checkpoint_hits} of "
+          f"{day0.plan.num_experiments} experiments served from the "
+          "checkpoint")
     store = work_dir / "crosstalk_report.json"
     store.write_text(day0.report.to_json())
     print(f"  {len(day0.report.high_pairs())} high pairs found; report "

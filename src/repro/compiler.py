@@ -52,7 +52,9 @@ def compile_circuit(circuit: QuantumCircuit, device: Device,
                     report: Optional[CrosstalkReport] = None,
                     scheduler: str = "xtalk", omega: float = 0.5,
                     initial_layout: Optional[Sequence[int]] = None,
-                    day: int = 0) -> CompilationResult:
+                    day: int = 0,
+                    max_solve_seconds: Optional[float] = None,
+                    fallback: str = "incumbent") -> CompilationResult:
     """Compile a logical circuit for a device.
 
     Args:
@@ -66,6 +68,11 @@ def compile_circuit(circuit: QuantumCircuit, device: Device,
             ``"disable"`` (the blanket nearby-gate-disable policy).
         omega: XtalkSched's crosstalk weight factor.
         initial_layout: logical->device placement; defaults to identity.
+        max_solve_seconds: XtalkSched solver budget; when exhausted the
+            scheduler degrades per ``fallback`` instead of raising (see
+            ``docs/resilience.md``).
+        fallback: ``"incumbent"`` (keep the solver's best-so-far valid
+            schedule) or ``"par"`` (submit unchanged, ParSched-style).
 
     Returns:
         A :class:`CompilationResult` whose ``circuit`` is hardware-ready and
@@ -86,7 +93,13 @@ def compile_circuit(circuit: QuantumCircuit, device: Device,
         initial_layout=initial_layout,
         circuit=circuit,
     )
-    build_compile_pipeline(scheduler).run(context)
+    scheduler_kwargs = None
+    if scheduler == "xtalk" and max_solve_seconds is not None:
+        scheduler_kwargs = {
+            "max_solve_seconds": max_solve_seconds,
+            "fallback": fallback,
+        }
+    build_compile_pipeline(scheduler, scheduler_kwargs=scheduler_kwargs).run(context)
     return CompilationResult(
         circuit=context.circuit,
         layout=tuple(context.layout),

@@ -14,24 +14,48 @@ Policies (each one experiment-count-dominates the next):
 * ``HIGH_ONLY`` — Optimization 3: re-measure only the high-crosstalk pairs
   found by a previous full campaign (packed), merging into the prior
   report.
+
+Resilience (see ``docs/resilience.md``):
+
+* ``retry=`` and ``faults=`` thread a
+  :class:`~repro.resilience.retry.RetryPolicy` and
+  :class:`~repro.resilience.faults.FaultInjector` into the parallel
+  engine, so transient experiment failures re-run deterministically;
+* ``checkpoint=`` streams each completed experiment to a
+  :class:`~repro.resilience.checkpoint.JsonlCheckpoint` keyed by the
+  campaign's content hash — a killed campaign resumed against the same
+  checkpoint re-executes only the missing experiments and produces a
+  report bitwise-identical to the uninterrupted run;
+* ``degradation="partial"`` turns exhausted retries into a *partial*
+  report instead of an exception: failed units fall back to the prior
+  day's measurement (the paper's Opt 3 reuse semantics) and the outcome's
+  :class:`~repro.resilience.degrade.CampaignCoverage` annotates every
+  planned unit as fresh, stale, or missing.
 """
 
 from __future__ import annotations
 
 import enum
+import json
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from repro.core.characterization.binpacking import Unit, pack_pairs_first_fit
 from repro.core.characterization.cost import CostModel, PAPER_COST_MODEL
 from repro.core.characterization.report import CrosstalkReport
 from repro.device.device import Device
-from repro.device.topology import CouplingMap, Edge
-from repro.obs.events import log_event
+from repro.device.topology import CouplingMap, Edge, normalize_edge
+from repro.obs.events import current_run_id, log_event
 from repro.obs.registry import get_registry
 from repro.parallel import ParallelEngine
+from repro.parallel.seeding import stable_entropy
 from repro.pipeline.trace import PipelineTrace, SpanRecorder
 from repro.rb.executor import RBConfig, RBExecutor, normalize_target
+from repro.resilience.checkpoint import JsonlCheckpoint
+from repro.resilience.degrade import CampaignCoverage, CoverageEntry
+from repro.resilience.errors import TaskFailure
+from repro.resilience.faults import FaultInjector
+from repro.resilience.retry import RetryPolicy
 
 
 class CharacterizationPolicy(enum.Enum):
@@ -70,12 +94,21 @@ class CampaignOutcome:
     independent RB, pair SRB) in the same
     :class:`~repro.pipeline.trace.PipelineTrace` format the compile
     pipeline emits, so campaign cost and compile cost read identically.
+
+    ``coverage`` annotates every planned unit as fresh, stale, or missing
+    (all fresh unless the campaign degraded); ``failures`` holds the
+    :class:`~repro.resilience.errors.TaskFailure` records of experiments
+    that exhausted their retries; ``checkpoint_hits`` counts experiments
+    served from a resume checkpoint instead of re-executed.
     """
 
     plan: CharacterizationPlan
     report: CrosstalkReport
     cost_model: CostModel = field(default_factory=lambda: PAPER_COST_MODEL)
     trace: Optional[PipelineTrace] = None
+    coverage: Optional[CampaignCoverage] = None
+    failures: Tuple[TaskFailure, ...] = ()
+    checkpoint_hits: int = 0
 
     @property
     def num_experiments(self) -> int:
@@ -92,6 +125,11 @@ class CampaignOutcome:
     @property
     def executions(self) -> int:
         return self.cost_model.executions(self.num_experiments)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any planned unit fell back to stale data or is missing."""
+        return self.coverage is not None and not self.coverage.complete
 
 
 def _campaign_experiment_task(context, experiment: List[Unit]):
@@ -114,6 +152,32 @@ def _campaign_experiment_task(context, experiment: List[Unit]):
             target = normalize_target(gate)
             rates[target] = result.error_rate(target)
     return rates, executor.counters
+
+
+def _experiment_key(stage: str, experiment: List[Unit]) -> str:
+    """The stable identity of one experiment: its stage plus its units.
+
+    Used both for fault selection / retry jitter in the engine and as the
+    checkpoint record key, so a resumed campaign recognizes completed
+    experiments by *content*, independent of plan ordering.
+    """
+    units = [[list(gate) for gate in unit] for unit in experiment]
+    return json.dumps([stage, units], separators=(",", ":"))
+
+
+def _encode_result(value) -> dict:
+    """JSON-friendly rendering of an experiment result for the checkpoint."""
+    rates, counters = value
+    return {
+        "rates": [[list(target), rate] for target, rate in sorted(rates.items())],
+        "counters": dict(counters),
+    }
+
+
+def _decode_result(record: dict):
+    """Inverse of :func:`_encode_result` (exact: JSON floats round-trip)."""
+    rates = {tuple(target): rate for target, rate in record["rates"]}
+    return rates, dict(record["counters"])
 
 
 class CharacterizationCampaign:
@@ -174,12 +238,101 @@ class CharacterizationCampaign:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def checkpoint_key(self, policy: CharacterizationPolicy,
+                       day: int = 0) -> str:
+        """The content hash identifying this campaign's checkpoint.
+
+        Derived from the same inputs as the result cache's campaign key
+        (device fingerprint, day, seed, RB sizing, policy), so two
+        campaigns share a checkpoint exactly when they would produce the
+        same measurements.
+        """
+        from repro.pipeline.cache import campaign_cache_key
+
+        key = campaign_cache_key(
+            self.device, day, self.seed, self.rb_config, policy.value
+        )
+        return f"{stable_entropy('campaign.checkpoint', key):032x}"
+
+    def _open_checkpoint(self, checkpoint, policy: CharacterizationPolicy,
+                         day: int, on_mismatch: str) -> Optional[JsonlCheckpoint]:
+        if checkpoint is None or isinstance(checkpoint, JsonlCheckpoint):
+            return checkpoint
+        return JsonlCheckpoint(
+            str(checkpoint),
+            campaign_key=self.checkpoint_key(policy, day),
+            run_id=current_run_id(),
+            on_mismatch=on_mismatch,
+        )
+
+    def _run_stage(self, engine: ParallelEngine, recorder: SpanRecorder,
+                   span_name: str, stage: str, experiments: List[List[Unit]],
+                   context, checkpoint: Optional[JsonlCheckpoint],
+                   degradation: str) -> List:
+        """Execute one campaign stage, resuming from the checkpoint.
+
+        Returns one entry per experiment: ``(rates, counters)`` on success
+        or a :class:`TaskFailure` when retries were exhausted under
+        ``degradation="partial"``.  Results are placed by plan index, so
+        the merge order — and therefore the report — is identical whether
+        an experiment ran now, ran before the resume, or ran on a retry.
+        """
+        with recorder.span(span_name) as span:
+            baseline = dict(engine.counters)
+            keys = [_experiment_key(stage, exp) for exp in experiments]
+            results: List = [None] * len(experiments)
+            to_run: List[int] = []
+            skipped = 0
+            for i, key in enumerate(keys):
+                if checkpoint is not None and key in checkpoint:
+                    results[i] = _decode_result(checkpoint.get(key))
+                    skipped += 1
+                else:
+                    to_run.append(i)
+            if skipped:
+                log_event(
+                    "resilience.checkpoint.resume", stage=span_name,
+                    skipped=skipped, remaining=len(to_run),
+                    path=checkpoint.path,
+                )
+            if to_run:
+                run_keys = [keys[i] for i in to_run]
+
+                def on_result(j: int, value) -> None:
+                    if checkpoint is not None:
+                        checkpoint.append(run_keys[j], _encode_result(value))
+
+                fresh = engine.map(
+                    _campaign_experiment_task,
+                    [experiments[i] for i in to_run],
+                    context,
+                    keys=run_keys,
+                    on_result=on_result,
+                    return_failures=(degradation == "partial"),
+                )
+                for j, i in enumerate(to_run):
+                    results[i] = fresh[j]
+            for value in results:
+                if not isinstance(value, TaskFailure):
+                    span.add_counters(value[1])
+            span.counters.update(engine.counters_since(baseline))
+            if skipped:
+                span.counters["resilience.checkpoint.hits"] = float(skipped)
+        return results
+
     def run(self, policy: CharacterizationPolicy, day: int = 0,
             prior: Optional[CrosstalkReport] = None,
             cost_model: Optional[CostModel] = None,
-            workers: Optional[int] = None) -> CampaignOutcome:
+            workers: Optional[int] = None, *,
+            checkpoint: Union[None, str, JsonlCheckpoint] = None,
+            retry: Optional[RetryPolicy] = None,
+            faults: Optional[FaultInjector] = None,
+            degradation: str = "strict",
+            on_mismatch: str = "raise") -> CampaignOutcome:
         from repro.pipeline.cache import device_fingerprint
 
+        if degradation not in ("strict", "partial"):
+            raise ValueError("degradation must be 'strict' or 'partial'")
         registry = get_registry()
         fingerprint = device_fingerprint(self.device)
         recorder = SpanRecorder(f"characterize[{policy.value}]")
@@ -199,49 +352,77 @@ class CharacterizationCampaign:
             span.counters["campaign.pairs_measured"] = float(
                 plan.units_measured()
             )
+        checkpoint = self._open_checkpoint(checkpoint, policy, day, on_mismatch)
         engine = ParallelEngine(
             workers if workers is not None else self.workers,
             name=f"characterize[{policy.value}]",
+            retry=retry,
+            faults=faults,
         )
         context = (self.device, day, self.rb_config, self.seed * 65537 + day)
         report = CrosstalkReport(day=day)
+        failures: List[TaskFailure] = []
+        entries: List[CoverageEntry] = []
+        hits_before = checkpoint.hits if checkpoint is not None else 0
 
         with engine:
-            with recorder.span("independent_rb") as span:
-                baseline = dict(engine.counters)
-                results = engine.map(_campaign_experiment_task,
-                                     plan.independent_experiments, context)
-                for experiment, (rates, counters) in zip(
-                        plan.independent_experiments, results):
-                    for unit in experiment:
-                        (edge,) = unit
-                        report.record_independent(
-                            edge, rates[normalize_target(edge)]
-                        )
-                    span.add_counters(counters)
-                span.counters.update(engine.counters_since(baseline))
+            independent_results = self._run_stage(
+                engine, recorder, "independent_rb", "independent",
+                plan.independent_experiments, context, checkpoint, degradation,
+            )
+            for experiment, value in zip(plan.independent_experiments,
+                                         independent_results):
+                if isinstance(value, TaskFailure):
+                    failures.append(value)
+                    entries.extend(self._degrade_independent(
+                        report, experiment, prior,
+                    ))
+                    continue
+                rates, _counters = value
+                for unit in experiment:
+                    (edge,) = unit
+                    report.record_independent(edge, rates[normalize_target(edge)])
+                    entries.append(CoverageEntry(
+                        "edge", (normalize_edge(edge),), "fresh",
+                        source_day=day,
+                    ))
 
-            with recorder.span("pair_srb") as span:
-                baseline = dict(engine.counters)
-                results = engine.map(_campaign_experiment_task,
-                                     plan.pair_experiments, context)
-                for experiment, (rates, counters) in zip(
-                        plan.pair_experiments, results):
-                    for unit in experiment:
-                        a, b = unit
-                        report.record_conditional(
-                            a, b, rates[normalize_target(a)]
-                        )
-                        report.record_conditional(
-                            b, a, rates[normalize_target(b)]
-                        )
-                    span.add_counters(counters)
-                span.counters.update(engine.counters_since(baseline))
+            pair_results = self._run_stage(
+                engine, recorder, "pair_srb", "pair",
+                plan.pair_experiments, context, checkpoint, degradation,
+            )
+            for experiment, value in zip(plan.pair_experiments, pair_results):
+                if isinstance(value, TaskFailure):
+                    failures.append(value)
+                    entries.extend(self._degrade_pairs(
+                        report, experiment, prior,
+                    ))
+                    continue
+                rates, _counters = value
+                for unit in experiment:
+                    a, b = unit
+                    report.record_conditional(a, b, rates[normalize_target(a)])
+                    report.record_conditional(b, a, rates[normalize_target(b)])
+                    entries.append(CoverageEntry(
+                        "pair", (normalize_edge(a), normalize_edge(b)), "fresh",
+                        source_day=day,
+                    ))
 
         with recorder.span("merge") as span:
             if policy is CharacterizationPolicy.HIGH_ONLY and prior is not None:
                 report = prior.merged_with(report)
                 span.counters["campaign.merged_with_prior"] = 1.0
+
+        coverage = CampaignCoverage(tuple(entries))
+        checkpoint_hits = (checkpoint.hits - hits_before
+                           if checkpoint is not None else 0)
+        if not coverage.complete:
+            degraded_units = len(coverage.stale) + len(coverage.missing)
+            registry.inc("resilience.degraded_pairs", degraded_units)
+            log_event(
+                "campaign.degraded", policy=policy.value, day=day,
+                device=fingerprint, **coverage.summary(),
+            )
 
         trace = recorder.finish()
         registry.inc("campaign.runs")
@@ -258,4 +439,54 @@ class CharacterizationCampaign:
             report=report,
             cost_model=cost_model or PAPER_COST_MODEL,
             trace=trace,
+            coverage=coverage,
+            failures=tuple(failures),
+            checkpoint_hits=checkpoint_hits,
         )
+
+    # ------------------------------------------------------------------
+    # graceful degradation (paper Opt 3 reuse semantics)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _degrade_independent(report: CrosstalkReport,
+                             experiment: List[Unit],
+                             prior: Optional[CrosstalkReport]
+                             ) -> List[CoverageEntry]:
+        """Fall back to the prior report for a failed independent-RB
+        experiment; every unit becomes ``stale`` or ``missing``."""
+        entries = []
+        for unit in experiment:
+            (edge,) = unit
+            edge = normalize_edge(edge)
+            if prior is not None and edge in prior.independent:
+                report.record_independent(edge, prior.independent[edge])
+                entries.append(CoverageEntry(
+                    "edge", (edge,), "stale", source_day=prior.day,
+                ))
+            else:
+                entries.append(CoverageEntry("edge", (edge,), "missing"))
+        return entries
+
+    @staticmethod
+    def _degrade_pairs(report: CrosstalkReport, experiment: List[Unit],
+                       prior: Optional[CrosstalkReport]
+                       ) -> List[CoverageEntry]:
+        """Fall back to the prior report for a failed SRB experiment."""
+        entries = []
+        for unit in experiment:
+            a, b = (normalize_edge(g) for g in unit)
+            copied = False
+            if prior is not None:
+                for key in ((a, b), (b, a)):
+                    if key in prior.conditional:
+                        report.record_conditional(
+                            key[0], key[1], prior.conditional[key],
+                        )
+                        copied = True
+            if copied:
+                entries.append(CoverageEntry(
+                    "pair", (a, b), "stale", source_day=prior.day,
+                ))
+            else:
+                entries.append(CoverageEntry("pair", (a, b), "missing"))
+        return entries

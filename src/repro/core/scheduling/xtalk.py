@@ -60,7 +60,15 @@ class CandidatePair:
 
 @dataclass
 class ScheduledCircuit:
-    """XtalkSched output: the barriered circuit plus solver artifacts."""
+    """XtalkSched output: the barriered circuit plus solver artifacts.
+
+    ``fallback_reason`` is ``None`` for a normal solve; otherwise it names
+    why the scheduler degraded (``"solve_budget:incumbent"`` — the solver
+    budget expired and the incumbent was kept; ``"solve_budget:par"`` —
+    the budget expired and the circuit was submitted ParSched-style;
+    ``"solver_error:<Type>"`` — the solver raised and ParSched was used).
+    The circuit is valid and submittable in every case.
+    """
 
     circuit: QuantumCircuit
     intended_schedule: Schedule
@@ -68,6 +76,7 @@ class ScheduledCircuit:
     candidate_pairs: Tuple[CandidatePair, ...]
     option_labels: Tuple[str, ...]
     compile_seconds: float
+    fallback_reason: Optional[str] = None
 
     @property
     def serialized_pairs(self) -> Tuple[Tuple[int, int], ...]:
@@ -93,17 +102,30 @@ class XtalkScheduler:
     def __init__(self, calibration: Calibration, report: CrosstalkReport,
                  omega: float = 0.5, exact_decision_limit: int = 14,
                  max_nodes: int = 200_000, time_limit: Optional[float] = None,
-                 minimal_barriers: bool = True, isa: str = "barrier"):
+                 minimal_barriers: bool = True, isa: str = "barrier",
+                 max_solve_seconds: Optional[float] = None,
+                 fallback: str = "incumbent"):
         if not 0.0 <= omega <= 1.0:
             raise ValueError("omega must be in [0, 1]")
         if isa not in ("barrier", "pulse"):
             raise ValueError("isa must be 'barrier' or 'pulse'")
+        if fallback not in ("incumbent", "par"):
+            raise ValueError("fallback must be 'incumbent' or 'par'")
         self.calibration = calibration
         self.report = report
         self.omega = omega
         self.exact_decision_limit = exact_decision_limit
         self.max_nodes = max_nodes
         self.time_limit = time_limit
+        #: Solve-time budget in seconds.  When the solver exhausts it, the
+        #: scheduler degrades instead of running arbitrarily long: with
+        #: ``fallback="incumbent"`` (default) it realizes the solver's
+        #: best-so-far valid schedule; with ``fallback="par"`` it submits
+        #: the circuit unchanged (ParSched).  Either way the fallback is
+        #: counted (``resilience.fallbacks``) and logged
+        #: (``resilience.fallback``) rather than raised.
+        self.max_solve_seconds = max_solve_seconds
+        self.fallback = fallback
         #: True (default): iterative realization that only barriers pairs
         #: still overlapping under the hardware re-schedule.  False: one
         #: barrier per serialized pair (the naive realization; kept for the
@@ -135,13 +157,32 @@ class XtalkScheduler:
         self._add_decoherence_objective(model, circuit, dag, var_of, durations)
         cost_fn = self._make_partial_cost(circuit, pairs)
 
+        effective_limit = (self.max_solve_seconds
+                           if self.max_solve_seconds is not None
+                           else self.time_limit)
         solver = OptimizingSolver(
             model, cost_fn,
             exact_decision_limit=self.exact_decision_limit,
             max_nodes=self.max_nodes,
-            time_limit=self.time_limit,
+            time_limit=effective_limit,
         )
-        solution = solver.solve()
+        fallback_reason: Optional[str] = None
+        try:
+            solution = solver.solve()
+        except Exception as error:
+            reason = f"solver_error:{type(error).__name__}"
+            self._note_fallback(reason, pairs)
+            return self._par_fallback(circuit, pairs, started, reason)
+        if (solution.interrupt == "deadline"
+                and self.max_solve_seconds is not None):
+            fallback_reason = f"solve_budget:{self.fallback}"
+            self._note_fallback(fallback_reason, pairs)
+            if self.fallback == "par":
+                return self._par_fallback(
+                    circuit, pairs, started, fallback_reason,
+                )
+            # fallback == "incumbent": the interrupted solution is still a
+            # valid schedule (every constraint holds); realize it.
 
         starts = [solution.times[var_of[idx]] for idx in range(len(circuit))]
         intended = Schedule(circuit, durations, starts)
@@ -172,6 +213,55 @@ class XtalkScheduler:
             candidate_pairs=tuple(pairs),
             option_labels=labels,
             compile_seconds=time.perf_counter() - started,
+            fallback_reason=fallback_reason,
+        )
+
+    # ------------------------------------------------------------------
+    # graceful degradation
+    # ------------------------------------------------------------------
+    def _note_fallback(self, reason: str, pairs: Sequence[CandidatePair]) -> None:
+        from repro.obs.events import log_event
+        from repro.obs.registry import get_registry
+
+        get_registry().inc("resilience.fallbacks")
+        log_event(
+            "resilience.fallback", component="xtalk_sched", reason=reason,
+            candidate_pairs=len(pairs),
+            budget_seconds=self.max_solve_seconds,
+        )
+
+    def _par_fallback(self, circuit: QuantumCircuit,
+                      pairs: Sequence[CandidatePair], started: float,
+                      reason: str) -> ScheduledCircuit:
+        """ParSched degradation: submit the circuit unchanged.
+
+        Every candidate pair is labeled ``overlap`` (maximum parallelism
+        accepts all conditional rates), the intended schedule is the
+        hardware's own right-aligned timing, and the trivial
+        :class:`Solution` is marked inexact with zero nodes explored.
+        """
+        from repro.transpiler.scheduling import hardware_schedule
+
+        final = circuit.copy(name=f"{circuit.name}_xtalk")
+        intended = hardware_schedule(final, self.calibration.durations)
+        solution = Solution(
+            assignment=tuple(2 for _ in pairs),
+            times=(),
+            objective=float("nan"),
+            constant_part=0.0,
+            linear_part=0.0,
+            nodes_explored=0,
+            exact=False,
+            interrupt="fallback",
+        )
+        return ScheduledCircuit(
+            circuit=final,
+            intended_schedule=intended,
+            solution=solution,
+            candidate_pairs=tuple(pairs),
+            option_labels=tuple(_OVERLAP for _ in pairs),
+            compile_seconds=time.perf_counter() - started,
+            fallback_reason=reason,
         )
 
     # ------------------------------------------------------------------

@@ -32,6 +32,8 @@ from repro.device.topology import normalize_edge
 from repro.obs.registry import get_registry
 from repro.obs.trace import span as obs_span
 from repro.parallel import ParallelEngine, stable_seed_sequence
+from repro.resilience.faults import FaultInjector
+from repro.resilience.retry import RetryPolicy
 from repro.sim.channels import ReadoutModel, decay_probabilities
 from repro.sim.trajectory import NoisyOp, TrajectorySimulator
 from repro.transpiler.schedule import Schedule
@@ -73,14 +75,25 @@ class ExecutionResult:
 
 
 class NoisyBackend:
-    """Executes circuits against a :class:`~repro.device.device.Device`."""
+    """Executes circuits against a :class:`~repro.device.device.Device`.
+
+    ``faults`` injects simulated job rejections/timeouts at the
+    ``"backend.job"`` fault site (raised before any simulation work, like
+    a queued hardware job dying); ``retry`` makes :meth:`run` and
+    :meth:`run_schedule` resubmit such transient failures with
+    deterministic backoff instead of surfacing them.
+    """
 
     def __init__(self, device: Device, day: int = 0, seed: Optional[int] = None,
-                 workers: Optional[int] = None):
+                 workers: Optional[int] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 faults: Optional[FaultInjector] = None):
         self.device = device
         self.day = day
         self._seed = seed if seed is not None else device.seed * 7919 + day
         self.workers = workers
+        self.retry = retry
+        self.faults = faults
         #: ``parallel.*`` counters accumulated across every run (workers is
         #: a level, not an accumulator).
         self.counters: Dict[str, float] = {}
@@ -205,7 +218,32 @@ class NoisyBackend:
         each chunk simulated with its own RNG spawned from a stable root
         seed, and the partial accumulators merged in chunk order — so the
         probabilities do not depend on ``workers``.
+
+        Job submission is the ``"backend.job"`` fault site: an injected
+        rejection or timeout raises
+        :class:`~repro.resilience.errors.BackendJobError` before any
+        simulation work, and a ``retry`` policy resubmits it.  The result
+        is identical to an unfaulted run — simulation seeds derive from
+        the job's stable identity, never from the attempt number.
         """
+        job_key = (self._seed, self.day, shots, trajectories, seed)
+
+        def submit() -> ExecutionResult:
+            if self.faults is not None:
+                self.faults.check("backend.job", job_key)
+            return self._run_schedule_once(
+                schedule, shots=shots, trajectories=trajectories,
+                readout_error=readout_error, seed=seed, workers=workers,
+            )
+
+        if self.retry is not None:
+            return self.retry.call(submit, site="backend.job", key=job_key)
+        return submit()
+
+    def _run_schedule_once(self, schedule: Schedule, shots: int,
+                           trajectories: int, readout_error: bool,
+                           seed: Optional[int],
+                           workers: Optional[int]) -> ExecutionResult:
         if not any(t.instruction.is_measure for t in schedule):
             raise ValueError("schedule has no measurements")
         if trajectories <= 0:

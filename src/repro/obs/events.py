@@ -125,6 +125,21 @@ def event_sink(sink: Optional[EventLog] = None) -> Iterator[EventLog]:
         remove_sink(sink)
 
 
+def current_run_id() -> Optional[str]:
+    """The run ID of the most recently installed sink that carries one.
+
+    Lets layers outside the session (checkpoints, resilience records) tie
+    their artifacts to the enclosing run without threading the session
+    object through every call; ``None`` when no run-scoped sink is
+    installed.
+    """
+    with _SINK_LOCK:
+        for sink in reversed(_SINKS):
+            if sink.run_id is not None:
+                return sink.run_id
+    return None
+
+
 def log_event(event: str, **fields: Any) -> None:
     """Log one structured event to every installed sink (no-op if none).
 

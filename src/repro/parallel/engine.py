@@ -33,17 +33,45 @@ setting running trajectory batches) never oversubscribe.
 Task functions must be module-level (picklable) and are called as
 ``fn(context, item)``; the ``context`` object is shipped to each worker
 once via the pool initializer rather than once per task.
+
+Resilience
+----------
+
+An engine built with a :class:`~repro.resilience.retry.RetryPolicy`
+survives transient task failures and worker deaths: failed tasks are
+resubmitted (with deterministic backoff) up to ``max_attempts`` times,
+a broken pool is torn down and recreated, and only the tasks that
+actually failed re-run — completed results are never recomputed, and the
+final result list is placed by item index, so the merge order (and hence
+the output) is bitwise-identical to a fault-free run.  Worker-side
+exceptions are captured *structurally* (exception object plus formatted
+traceback plus task identity) and surface as
+:class:`~repro.resilience.errors.TaskFailure` records rather than a bare
+re-raise that forgets which task died.  An optional
+:class:`~repro.resilience.faults.FaultInjector` deterministically injects
+failures for testing; directives are computed in the parent (so they are
+counted even when the worker dies) and executed at the task site.
 """
 
 from __future__ import annotations
 
-import os
+import pickle
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from concurrent.futures.process import BrokenProcessPool
+from typing import (
+    Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple,
+)
 
+import os
+
+from repro.obs.events import log_event
 from repro.obs.registry import MetricsRegistry, get_registry
 from repro.obs.trace import span as obs_span
+from repro.resilience.errors import RemoteTaskError, TaskFailure, WorkerCrashError
+from repro.resilience.faults import FaultDirective, FaultInjector, execute_directive
+from repro.resilience.retry import RetryPolicy
 
 #: Environment variable overriding the default worker count.
 WORKERS_ENV = "REPRO_WORKERS"
@@ -81,24 +109,47 @@ def _init_worker(context: Any) -> None:
     _IN_WORKER = True
 
 
-def _run_task(fn: Callable[[Any, Any], Any], index: int, item: Any):
+def _shippable_error(error: BaseException) -> BaseException:
+    """``error`` if it survives a pickle round trip, else a
+    :class:`RemoteTaskError` stand-in carrying its ``repr``."""
+    try:
+        pickle.loads(pickle.dumps(error))
+        return error
+    except Exception:
+        return RemoteTaskError(f"{type(error).__name__}: {error}")
+
+
+def _run_task(fn: Callable[[Any, Any], Any], index: int, item: Any,
+              directive: Optional[FaultDirective] = None):
     """Execute one task in a pool worker.
 
-    Returns ``(index, value, exec_seconds, start_ts, metrics_delta)``:
-    ``start_ts`` is the worker's wall clock at task start (the parent
-    subtracts its submit timestamp to estimate queue time), and
+    Returns ``(index, payload, exec_seconds, start_ts, metrics_delta)``:
+    ``payload`` is ``("ok", value)`` on success or
+    ``("error", exception, traceback_text)`` when the task raised —
+    captured structurally so the parent keeps the original exception,
+    the worker-side traceback, and the task identity instead of a bare
+    re-raise.  ``start_ts`` is the worker's wall clock at task start (the
+    parent subtracts its submit timestamp to estimate queue time), and
     ``metrics_delta`` is the task's contribution to the worker-local
     :class:`~repro.obs.registry.MetricsRegistry`, shipped back for the
     parent to merge so process-wide metrics stay worker-count invariant.
+
+    An injected ``worker_death`` directive hard-kills the process here
+    (``os._exit``), so the parent sees a genuine ``BrokenProcessPool``.
     """
     registry = get_registry()
     before = registry.snapshot()
     start_ts = time.time()
     started = time.perf_counter()
-    value = fn(_WORKER_CONTEXT, item)
+    try:
+        if directive is not None:
+            execute_directive(directive, process_exit=_IN_WORKER)
+        payload: Tuple[Any, ...] = ("ok", fn(_WORKER_CONTEXT, item))
+    except Exception as error:
+        payload = ("error", _shippable_error(error), traceback.format_exc())
     seconds = time.perf_counter() - started
     delta = MetricsRegistry.diff(before, registry.snapshot())
-    return index, value, seconds, start_ts, delta
+    return index, payload, seconds, start_ts, delta
 
 
 class ParallelEngine:
@@ -108,11 +159,22 @@ class ParallelEngine:
     :meth:`map` call so a caller can snapshot them into a
     :class:`~repro.obs.trace.Span` (``span.counters.update(
     engine.counters)``).
+
+    ``retry`` (a :class:`~repro.resilience.retry.RetryPolicy`) makes the
+    engine resubmit transiently failed tasks and recreate broken pools;
+    ``faults`` (a :class:`~repro.resilience.faults.FaultInjector`)
+    deterministically injects failures at the site
+    ``"{name}.task"``.  Without a retry policy the first failure is
+    terminal, matching the historical behavior.
     """
 
-    def __init__(self, workers: Optional[int] = None, name: str = "parallel"):
+    def __init__(self, workers: Optional[int] = None, name: str = "parallel",
+                 retry: Optional[RetryPolicy] = None,
+                 faults: Optional[FaultInjector] = None):
         self.workers = resolve_workers(workers)
         self.name = name
+        self.retry = retry
+        self.faults = faults
         self.counters: Dict[str, float] = {
             "parallel.workers": float(self.workers),
             "parallel.tasks": 0.0,
@@ -162,58 +224,265 @@ class ParallelEngine:
             pass
 
     # ------------------------------------------------------------------
+    @property
+    def _site(self) -> str:
+        return f"{self.name}.task"
+
+    def _max_attempts(self) -> int:
+        return self.retry.max_attempts if self.retry is not None else 1
+
+    def _note_retry(self, index: int, key: Any, attempt: int,
+                    error: BaseException) -> None:
+        get_registry().inc("resilience.retries")
+        log_event(
+            "resilience.retry", site=self._site, task_index=index,
+            attempt=attempt, key=repr(key), error=repr(error),
+        )
+
+    def _terminal_failure(self, index: int, key: Any, attempts: int,
+                          error: Optional[BaseException],
+                          tb_text: str) -> TaskFailure:
+        failure = TaskFailure(self._site, index, key, attempts, error, tb_text)
+        get_registry().inc("resilience.task_failures")
+        log_event("resilience.task_failure", **failure.to_dict())
+        return failure
+
+    @staticmethod
+    def _raise_with_identity(failure: TaskFailure) -> None:
+        """Propagate the task's original exception, annotated with its
+        :class:`TaskFailure` (index, key, attempts, worker traceback)."""
+        error = failure.cause if failure.cause is not None else failure
+        try:
+            error.task_failure = failure
+        except Exception:  # pragma: no cover - exotic exception types
+            pass
+        raise error
+
+    # ------------------------------------------------------------------
     def map(self, fn: Callable[[Any, Any], Any], items: Iterable[Any],
-            context: Any = None) -> List[Any]:
+            context: Any = None, *, keys: Optional[Sequence[Any]] = None,
+            on_result: Optional[Callable[[int, Any], None]] = None,
+            return_failures: bool = False) -> List[Any]:
         """Run ``fn(context, item)`` for every item, preserving item order.
 
         ``fn`` must be a module-level function and, when more than one
         worker is in play, ``context``, every item, and every result must
-        be picklable.  Task exceptions propagate to the caller.
+        be picklable.
+
+        ``keys`` gives each task a stable identity (used for fault
+        selection, retry jitter, and failure records); it defaults to the
+        item index.  ``on_result(index, value)`` is invoked as each task
+        *first* completes — in completion order, before the map returns —
+        which is how the campaign streams results to a checkpoint.
+
+        Failure semantics: without a retry policy, the first task
+        exception propagates (annotated with a ``task_failure`` attribute
+        carrying index, key, and the worker-side traceback).  With a
+        policy, retryable failures are re-run with deterministic backoff
+        and only tasks that exhaust their attempts become terminal.
+        Terminal failures propagate the original exception unless
+        ``return_failures=True``, in which case the result list holds a
+        :class:`~repro.resilience.errors.TaskFailure` in the failed
+        task's slot and the caller degrades gracefully.
         """
         work: Sequence[Any] = list(items)
+        if keys is not None:
+            keys = list(keys)
+            if len(keys) != len(work):
+                raise ValueError(
+                    f"keys has {len(keys)} entries for {len(work)} items"
+                )
         registry = get_registry()
         with obs_span(f"parallel.map[{self.name}]") as record:
             record.counters["parallel.map.workers"] = float(self.workers)
             record.counters["parallel.map.tasks"] = float(len(work))
             started = time.perf_counter()
             if self.workers == 1 or len(work) <= 1:
-                results = []
-                for item in work:
-                    t0 = time.perf_counter()
-                    results.append(fn(context, item))
-                    seconds = time.perf_counter() - t0
-                    self.counters["parallel.serial_seconds_estimate"] += seconds
-                    record.add("parallel.map.exec_seconds", seconds)
-                    registry.observe("parallel.task.exec_seconds", seconds)
-                    registry.inc("parallel.tasks")
+                results = self._map_serial(
+                    fn, work, context, keys, on_result, return_failures,
+                    record, registry,
+                )
             else:
-                results = [None] * len(work)
-                pool = self._ensure_pool(context)
-                futures = []
-                submitted = []
-                for i, item in enumerate(work):
-                    submitted.append(time.time())
-                    futures.append(pool.submit(_run_task, fn, i, item))
                 try:
-                    for future, submit_ts in zip(futures, submitted):
-                        index, value, seconds, start_ts, delta = future.result()
-                        results[index] = value
-                        queue_seconds = max(0.0, start_ts - submit_ts)
-                        self.counters["parallel.serial_seconds_estimate"] += seconds
-                        record.add("parallel.map.exec_seconds", seconds)
-                        record.add("parallel.map.queue_seconds", queue_seconds)
-                        registry.observe("parallel.task.exec_seconds", seconds)
-                        registry.observe("parallel.task.queue_seconds",
-                                         queue_seconds)
-                        registry.inc("parallel.tasks")
-                        registry.merge(delta)
+                    results = self._map_pool(
+                        fn, work, context, keys, on_result, return_failures,
+                        record, registry,
+                    )
                 except BaseException:
+                    # Cleanup only: the pool cannot outlive a failed map.
+                    # The exception re-raises unmodified (task failures
+                    # were already annotated with their TaskFailure).
                     self.close()
                     raise
             wall = time.perf_counter() - started
             self.counters["parallel.tasks"] += float(len(work))
             self.counters["parallel.wall_seconds"] += wall
             record.counters["parallel.map.wall_seconds"] = wall
+        return results
+
+    # ------------------------------------------------------------------
+    def _task_key(self, keys: Optional[Sequence[Any]], index: int) -> Any:
+        return keys[index] if keys is not None else index
+
+    def _map_serial(self, fn, work, context, keys, on_result,
+                    return_failures, record, registry) -> List[Any]:
+        results: List[Any] = [None] * len(work)
+        max_attempts = self._max_attempts()
+        for i, item in enumerate(work):
+            key = self._task_key(keys, i)
+            attempts = 0
+            while True:
+                directive = None
+                if self.faults is not None:
+                    directive = self.faults.directive(self._site, key, attempts)
+                t0 = time.perf_counter()
+                try:
+                    if directive is not None:
+                        self.faults.record(directive)
+                        execute_directive(directive, process_exit=False)
+                    value = fn(context, item)
+                except Exception as error:
+                    seconds = time.perf_counter() - t0
+                    self.counters["parallel.serial_seconds_estimate"] += seconds
+                    record.add("parallel.map.exec_seconds", seconds)
+                    registry.observe("parallel.task.exec_seconds", seconds)
+                    registry.inc("parallel.tasks")
+                    attempts += 1
+                    if (self.retry is not None and attempts < max_attempts
+                            and self.retry.is_retryable(error)):
+                        self._note_retry(i, key, attempts, error)
+                        self.retry.sleep(attempts, key)
+                        continue
+                    failure = self._terminal_failure(
+                        i, key, attempts, error, traceback.format_exc(),
+                    )
+                    if return_failures:
+                        results[i] = failure
+                        break
+                    error.task_failure = failure
+                    raise
+                else:
+                    seconds = time.perf_counter() - t0
+                    self.counters["parallel.serial_seconds_estimate"] += seconds
+                    record.add("parallel.map.exec_seconds", seconds)
+                    registry.observe("parallel.task.exec_seconds", seconds)
+                    registry.inc("parallel.tasks")
+                    results[i] = value
+                    if on_result is not None:
+                        on_result(i, value)
+                    break
+        return results
+
+    def _map_pool(self, fn, work, context, keys, on_result,
+                  return_failures, record, registry) -> List[Any]:
+        results: List[Any] = [None] * len(work)
+        failures: Dict[int, TaskFailure] = {}
+        attempts = [0] * len(work)
+        pending = set(range(len(work)))
+        max_attempts = self._max_attempts()
+        pool_breaks = 0
+        while pending:
+            pool = self._ensure_pool(context)
+            round_indexes = sorted(pending)
+            round_directives: Dict[int, Optional[FaultDirective]] = {}
+            futures = []
+            submitted = []
+            for i in round_indexes:
+                directive = None
+                if self.faults is not None:
+                    directive = self.faults.directive(
+                        self._site, self._task_key(keys, i), attempts[i],
+                    )
+                    if directive is not None:
+                        self.faults.record(directive)
+                round_directives[i] = directive
+                submitted.append(time.time())
+                futures.append(pool.submit(_run_task, fn, i, work[i], directive))
+            broken: Optional[BaseException] = None
+            round_delay = 0.0
+            for future, submit_ts in zip(futures, submitted):
+                try:
+                    index, payload, seconds, start_ts, delta = future.result()
+                except BrokenProcessPool as error:
+                    broken = error
+                    continue
+                queue_seconds = max(0.0, start_ts - submit_ts)
+                self.counters["parallel.serial_seconds_estimate"] += seconds
+                record.add("parallel.map.exec_seconds", seconds)
+                record.add("parallel.map.queue_seconds", queue_seconds)
+                registry.observe("parallel.task.exec_seconds", seconds)
+                registry.observe("parallel.task.queue_seconds", queue_seconds)
+                registry.inc("parallel.tasks")
+                registry.merge(delta)
+                if payload[0] == "ok":
+                    results[index] = payload[1]
+                    pending.discard(index)
+                    if on_result is not None:
+                        on_result(index, payload[1])
+                    continue
+                error, tb_text = payload[1], payload[2]
+                key = self._task_key(keys, index)
+                attempts[index] += 1
+                if (self.retry is not None and attempts[index] < max_attempts
+                        and self.retry.is_retryable(error)):
+                    self._note_retry(index, key, attempts[index], error)
+                    round_delay = max(
+                        round_delay, self.retry.delay(attempts[index], key),
+                    )
+                    continue
+                failure = self._terminal_failure(
+                    index, key, attempts[index], error, tb_text,
+                )
+                failures[index] = failure
+                pending.discard(index)
+            if failures and not return_failures:
+                # The whole round was still harvested (so on_result saw
+                # every completed task) before the first terminal failure
+                # aborts the map.
+                self._raise_with_identity(failures[min(failures)])
+            if broken is not None:
+                pool_breaks += 1
+                self.close()
+                registry.inc("resilience.pool.recreations")
+                log_event(
+                    "resilience.pool_broken", site=self._site,
+                    breaks=pool_breaks, pending=len(pending),
+                )
+                if self.retry is None:
+                    raise broken
+                # Attempts advance only for the tasks whose shipped
+                # directive was the worker death; collateral tasks that
+                # merely shared the doomed pool replay at the same
+                # attempt number, keeping fault selection (and therefore
+                # the final report) worker-count invariant.
+                death = [i for i in sorted(pending)
+                         if round_directives.get(i) is not None
+                         and round_directives[i].kind == "worker_death"]
+                for i in death:
+                    key = self._task_key(keys, i)
+                    attempts[i] += 1
+                    cause = WorkerCrashError(
+                        f"worker died running task {i} (key={key!r})"
+                    )
+                    if attempts[i] < max_attempts:
+                        self._note_retry(i, key, attempts[i], cause)
+                        continue
+                    failure = self._terminal_failure(
+                        i, key, attempts[i], cause, "",
+                    )
+                    failures[i] = failure
+                    pending.discard(i)
+                    if not return_failures:
+                        self._raise_with_identity(failure)
+                if not death and pool_breaks >= max_attempts:
+                    # A pool that keeps dying without any injected death
+                    # is a genuine environment failure; give up once the
+                    # retry budget is spent.
+                    raise broken
+            if pending and round_delay > 0.0:
+                time.sleep(round_delay)
+        for index, failure in failures.items():
+            results[index] = failure
         return results
 
     # ------------------------------------------------------------------

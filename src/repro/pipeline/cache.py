@@ -99,14 +99,20 @@ class CacheStats:
 
 
 class _InFlight:
-    """One in-progress computation: followers block on ``event``."""
+    """One in-progress computation: followers block on ``event``.
 
-    __slots__ = ("event", "value", "error")
+    ``leader_thread`` records who is running ``compute()`` so a re-entrant
+    request for the same key from the leader's own thread can be rejected
+    (it would otherwise deadlock waiting on an event only it can set).
+    """
+
+    __slots__ = ("event", "value", "error", "leader_thread")
 
     def __init__(self) -> None:
         self.event = threading.Event()
         self.value: Any = None
         self.error: Optional[BaseException] = None
+        self.leader_thread: Optional[int] = None
 
 
 class ResultCache:
@@ -166,7 +172,10 @@ class ResultCache:
         Single-flight: concurrent callers missing on the same key share one
         computation — the leader runs ``compute()``, followers block until
         it finishes and receive the same value (or re-raise the leader's
-        exception).
+        exception).  A failed ``compute()`` clears the in-flight latch, so
+        the next caller re-runs it rather than receiving a wedged entry.
+        A re-entrant call for the same key from inside ``compute()`` raises
+        ``RuntimeError`` instead of deadlocking.
         """
         with self._lock:
             if key in self._entries:
@@ -176,6 +185,7 @@ class ResultCache:
             flight = self._in_flight.get(key)
             if flight is None:
                 flight = _InFlight()
+                flight.leader_thread = threading.get_ident()
                 self._in_flight[key] = flight
                 leader = True
                 self.stats.misses += 1
@@ -183,6 +193,11 @@ class ResultCache:
                 leader = False
 
         if not leader:
+            if flight.leader_thread == threading.get_ident():
+                raise RuntimeError(
+                    f"re-entrant get_or_compute for key {key!r}: compute() "
+                    "requested the key it is itself computing"
+                )
             flight.event.wait()
             if flight.error is not None:
                 raise flight.error

@@ -217,6 +217,7 @@ class XtalkSchedulePass(SchedulingPass):
             "smt.nodes_explored": float(solution.nodes_explored),
             "smt.solve_seconds": scheduled.compile_seconds,
             "smt.exact": 1.0 if solution.exact else 0.0,
+            "schedule.fallback": 1.0 if scheduled.fallback_reason else 0.0,
         }
 
 
@@ -273,12 +274,17 @@ def scheduling_pass(scheduler: str, **kwargs) -> SchedulingPass:
 
 
 def compile_passes(scheduler: str = "xtalk",
-                   select_region: bool = False) -> Tuple[Pass, ...]:
-    """The full Figure 2 stage list for one scheduling policy."""
+                   select_region: bool = False,
+                   scheduler_kwargs: Optional[Dict] = None) -> Tuple[Pass, ...]:
+    """The full Figure 2 stage list for one scheduling policy.
+
+    ``scheduler_kwargs`` is forwarded to the scheduling pass constructor
+    (e.g. ``max_solve_seconds`` / ``fallback`` for ``"xtalk"``).
+    """
     return (
         LayoutPass(select_region=select_region),
         RoutingPass(),
         DecomposePass(),
-        scheduling_pass(scheduler),
+        scheduling_pass(scheduler, **(scheduler_kwargs or {})),
         HardwareSchedulePass(),
     )

@@ -59,10 +59,15 @@ class Pipeline:
 
 
 def build_compile_pipeline(scheduler: str = "xtalk",
-                           select_region: bool = False) -> Pipeline:
+                           select_region: bool = False,
+                           scheduler_kwargs: Optional[dict] = None) -> Pipeline:
     """The Figure 2 toolflow as a pipeline: layout -> routing -> basis
-    decomposition -> scheduling policy -> hardware timing."""
+    decomposition -> scheduling policy -> hardware timing.
+
+    ``scheduler_kwargs`` is forwarded to the scheduling pass (e.g.
+    ``max_solve_seconds`` / ``fallback`` for ``"xtalk"``)."""
     return Pipeline(
-        compile_passes(scheduler, select_region=select_region),
+        compile_passes(scheduler, select_region=select_region,
+                       scheduler_kwargs=scheduler_kwargs),
         name=f"compile[{scheduler}]",
     )

@@ -1,0 +1,71 @@
+"""Resilience layer: fault injection, retries, checkpoints, degradation.
+
+NISQ characterization campaigns run hundreds of queued jobs against
+drifting hardware; in a reproduction, the analogous risks are worker
+deaths, transient task failures, and solver budgets.  This package makes
+those failure modes first-class and *deterministic*:
+
+* :mod:`repro.resilience.faults` — reproducible fault injection keyed
+  off the same canonical-JSON/SHA-256 hashing as
+  :mod:`repro.parallel.seeding` (worker-count invariant);
+* :mod:`repro.resilience.retry` — bounded retries with exponential
+  backoff and deterministic jitter;
+* :mod:`repro.resilience.checkpoint` — JSON-lines checkpoints so a
+  killed campaign resumes bitwise-identically;
+* :mod:`repro.resilience.degrade` — coverage accounting for partial
+  reports that fall back to stale measurements (paper Opt 3);
+* :mod:`repro.resilience.errors` — the shared failure taxonomy.
+
+See ``docs/resilience.md`` for the full design.
+"""
+
+from repro.resilience.checkpoint import CHECKPOINT_SCHEMA, JsonlCheckpoint
+from repro.resilience.degrade import CampaignCoverage, CoverageEntry
+from repro.resilience.errors import (
+    BackendJobError,
+    CheckpointError,
+    CheckpointMismatch,
+    FatalTaskError,
+    RemoteTaskError,
+    ResilienceError,
+    TaskFailure,
+    TransientError,
+    TransientTaskError,
+    WorkerCrashError,
+)
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FaultDirective,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    execute_directive,
+    raise_fault,
+)
+from repro.resilience.retry import DEFAULT_RETRYABLE, RetryPolicy
+
+__all__ = [
+    "BackendJobError",
+    "CampaignCoverage",
+    "CHECKPOINT_SCHEMA",
+    "CheckpointError",
+    "CheckpointMismatch",
+    "CoverageEntry",
+    "DEFAULT_RETRYABLE",
+    "execute_directive",
+    "FatalTaskError",
+    "FAULT_KINDS",
+    "FaultDirective",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "JsonlCheckpoint",
+    "raise_fault",
+    "RemoteTaskError",
+    "ResilienceError",
+    "RetryPolicy",
+    "TaskFailure",
+    "TransientError",
+    "TransientTaskError",
+    "WorkerCrashError",
+]

@@ -1,0 +1,96 @@
+"""Coverage accounting for gracefully degraded characterization reports.
+
+When a campaign exhausts its retries on some experiments and runs in
+``degradation="partial"`` mode, the report it produces is a *mixture*:
+most entries are fresh measurements, some are stale values carried over
+from a prior report (the paper's Opt 3 — fall back to an earlier day's
+characterization when today's measurement is unavailable), and some are
+simply missing.  Downstream consumers — the scheduler weighing
+conditional error rates, a human reading the report — need to know which
+is which, so every planned unit gets a :class:`CoverageEntry` and the
+campaign outcome carries a :class:`CampaignCoverage` summarizing them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+#: The three states a planned measurement can end up in.
+COVERAGE_STATUSES = ("fresh", "stale", "missing")
+
+
+@dataclass(frozen=True)
+class CoverageEntry:
+    """Provenance of one planned measurement in a (possibly partial) report.
+
+    Attributes:
+        kind: ``"edge"`` (independent RB) or ``"pair"`` (conditional SRB).
+        targets: the gate targets measured — one edge for ``"edge"``, two
+            for ``"pair"``.
+        status: ``"fresh"`` (measured this run), ``"stale"`` (carried
+            over from a prior report), or ``"missing"`` (no value at all).
+        source_day: the day the value was actually measured on (differs
+            from the campaign day exactly when ``status == "stale"``).
+    """
+
+    kind: str
+    targets: Tuple[Tuple[int, ...], ...]
+    status: str
+    source_day: Optional[int] = None
+
+    def __post_init__(self):
+        if self.kind not in ("edge", "pair"):
+            raise ValueError("kind must be 'edge' or 'pair'")
+        if self.status not in COVERAGE_STATUSES:
+            raise ValueError(
+                f"status must be one of {COVERAGE_STATUSES}, "
+                f"got {self.status!r}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "targets": [list(t) for t in self.targets],
+            "status": self.status,
+            "source_day": self.source_day,
+        }
+
+
+@dataclass(frozen=True)
+class CampaignCoverage:
+    """Per-unit provenance for everything a campaign planned to measure."""
+
+    entries: Tuple[CoverageEntry, ...] = ()
+
+    @property
+    def fresh(self) -> List[CoverageEntry]:
+        return [e for e in self.entries if e.status == "fresh"]
+
+    @property
+    def stale(self) -> List[CoverageEntry]:
+        return [e for e in self.entries if e.status == "stale"]
+
+    @property
+    def missing(self) -> List[CoverageEntry]:
+        return [e for e in self.entries if e.status == "missing"]
+
+    @property
+    def complete(self) -> bool:
+        """True when every planned unit was measured fresh."""
+        return all(e.status == "fresh" for e in self.entries)
+
+    def summary(self) -> dict:
+        """Counts per status, for events and report annotations."""
+        return {
+            "total": len(self.entries),
+            "fresh": len(self.fresh),
+            "stale": len(self.stale),
+            "missing": len(self.missing),
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "summary": self.summary(),
+            "entries": [e.to_dict() for e in self.entries],
+        }

@@ -1,0 +1,124 @@
+"""The fault taxonomy: what can go wrong, and which failures are transient.
+
+The paper's workflow lives on flaky infrastructure — SRB characterization
+is hundreds of queued jobs on drifting hardware, and queued jobs get
+rejected, time out, or die with the worker that ran them.  This module
+names those failure modes as exception classes so every layer (the
+parallel engine, the campaign, the backend) can agree on *retryability*:
+
+* :class:`TransientError` subclasses model failures that a retry can
+  plausibly cure (a rejected job, a dead worker, an injected transient);
+  the default :class:`~repro.resilience.retry.RetryPolicy` retries them.
+* Everything else (a ``ValueError`` in task code, a
+  :class:`FatalTaskError`) is treated as a bug and surfaces immediately.
+
+:class:`TaskFailure` is not a failure mode but the *terminal record* of
+one: when retries are exhausted the engine wraps the original exception
+with its task identity (index, stable key, attempt count, and the
+worker-side traceback text) so failures stay debuggable across process
+boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class ResilienceError(Exception):
+    """Base class for every failure mode this package models."""
+
+
+class TransientError(ResilienceError):
+    """A failure a retry can plausibly cure (retryable by default)."""
+
+
+class TransientTaskError(TransientError):
+    """An injected (or genuinely transient) worker-task exception."""
+
+
+class WorkerCrashError(TransientError):
+    """A worker process died mid-task.
+
+    In pool mode a real worker death surfaces as
+    :class:`concurrent.futures.process.BrokenProcessPool`; this class is
+    the serial-mode stand-in raised by an injected ``worker_death`` fault
+    when there is no pool to break.
+    """
+
+
+class BackendJobError(TransientError):
+    """A simulated backend rejected or timed out a submitted job.
+
+    ``kind`` is ``"rejection"`` or ``"timeout"`` — the two ways a queued
+    hardware job dies without ever producing data.
+    """
+
+    def __init__(self, message: str, kind: str = "rejection"):
+        super().__init__(message)
+        self.kind = kind
+
+
+class FatalTaskError(ResilienceError):
+    """A non-retryable failure (used by tests and fault plans to model
+    bugs rather than infrastructure flakiness)."""
+
+
+class RemoteTaskError(ResilienceError):
+    """Stand-in for a worker-side exception that could not be pickled.
+
+    Carries the original exception's ``repr`` so the parent still sees
+    what happened; never retryable (the original class is unknown).
+    """
+
+
+class CheckpointError(ResilienceError):
+    """A checkpoint file could not be used."""
+
+
+class CheckpointMismatch(CheckpointError):
+    """An existing checkpoint belongs to a *different* campaign key.
+
+    Resuming from it would silently mix measurements from two different
+    campaigns; the caller must either point at the right file or pass
+    ``on_mismatch="reset"`` to discard the stale checkpoint.
+    """
+
+
+class TaskFailure(ResilienceError):
+    """Terminal record of one task that exhausted its retries.
+
+    Attributes:
+        site: the fault site name (``"characterize[one_hop].task"``).
+        task_index: position of the task in the ``map`` call's item list.
+        task_key: the caller's stable key for the task (falls back to the
+            index when no keys were given).
+        attempts: how many times the task ran before giving up.
+        cause: the final exception instance (or a
+            :class:`RemoteTaskError` stand-in).
+        traceback_text: the worker-side formatted traceback of ``cause``.
+    """
+
+    def __init__(self, site: str, task_index: int, task_key: Any,
+                 attempts: int, cause: Optional[BaseException],
+                 traceback_text: str = ""):
+        self.site = site
+        self.task_index = task_index
+        self.task_key = task_key
+        self.attempts = attempts
+        self.cause = cause
+        self.traceback_text = traceback_text
+        super().__init__(
+            f"task {task_index} at {site!r} failed after {attempts} "
+            f"attempt(s): {cause!r}"
+        )
+
+    def to_dict(self) -> dict:
+        """A JSON-friendly rendering (event payloads, coverage reports)."""
+        return {
+            "site": self.site,
+            "task_index": self.task_index,
+            "task_key": repr(self.task_key),
+            "attempts": self.attempts,
+            "cause": repr(self.cause),
+            "traceback": self.traceback_text,
+        }

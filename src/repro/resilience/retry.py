@@ -1,0 +1,149 @@
+"""Retry policies: bounded attempts, exponential backoff, deterministic jitter.
+
+A :class:`RetryPolicy` answers three questions for any caller — the
+parallel engine, the campaign, the noisy backend:
+
+* *should this failure be retried?* — :meth:`RetryPolicy.is_retryable`
+  consults the error taxonomy of :mod:`repro.resilience.errors`
+  (``TransientError`` subclasses and ``BrokenProcessPool`` are
+  retryable; everything else is a bug and surfaces immediately);
+* *how long to wait?* — :meth:`RetryPolicy.delay` grows exponentially
+  from ``base_delay`` and is spread by **deterministic jitter**: the
+  jitter factor is derived from the same canonical-JSON/SHA-256 hashing
+  as :mod:`repro.parallel.seeding`, keyed on the policy seed, the
+  caller's stable key, and the attempt number — two runs of the same
+  scenario back off identically, yet distinct tasks never thunder in
+  step;
+* *how many times?* — ``max_attempts`` counts total attempts including
+  the first, so ``max_attempts=1`` disables retries entirely.
+
+:meth:`RetryPolicy.call` is the generic in-process wrapper (used by
+:meth:`NoisyBackend.run <repro.device.backend.NoisyBackend.run>`); the
+parallel engine implements its own loop because it must also recreate
+pools and resubmit only the failed tasks.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple, Type
+
+from repro.obs.events import log_event
+from repro.obs.registry import get_registry
+from repro.parallel.seeding import stable_entropy
+
+from repro.resilience.errors import TransientError
+
+#: Resolution of the jitter draw (uniform fractions in [0, 1)).
+_DRAW_DENOMINATOR = 10 ** 12
+
+#: Exception classes retried by default, beyond ``TransientError``.
+DEFAULT_RETRYABLE: Tuple[Type[BaseException], ...] = (
+    BrokenProcessPool, TimeoutError, ConnectionError,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and whether) to retry transient failures.
+
+    Attributes:
+        max_attempts: total attempts including the first (1 = no retry).
+        base_delay: backoff before the first retry, seconds.
+        multiplier: exponential growth factor per further retry.
+        max_delay: backoff ceiling, seconds.
+        jitter: symmetric jitter fraction — each delay is scaled by a
+            deterministic factor in ``[1 - jitter, 1 + jitter)``.
+        jitter_seed: root of the deterministic jitter derivation.
+        retryable_types: extra exception classes to treat as retryable
+            (``TransientError`` subclasses always are).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    jitter_seed: int = 0
+    retryable_types: Tuple[Type[BaseException], ...] = DEFAULT_RETRYABLE
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """No retries: the first failure is terminal."""
+        return cls(max_attempts=1)
+
+    @classmethod
+    def fast(cls, max_attempts: int = 3) -> "RetryPolicy":
+        """Zero-backoff policy for tests and simulations."""
+        return cls(max_attempts=max_attempts, base_delay=0.0, max_delay=0.0)
+
+    # ------------------------------------------------------------------
+    def is_retryable(self, error: BaseException) -> bool:
+        """Whether a retry can plausibly cure ``error``."""
+        if isinstance(error, TransientError):
+            return True
+        return isinstance(error, self.retryable_types)
+
+    def delay(self, attempt: int, key: Any = None) -> float:
+        """Backoff before retry number ``attempt`` (1-based), seconds.
+
+        Deterministic: the same ``(policy, key, attempt)`` always
+        produces the same delay, so fault scenarios replay identically.
+        """
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        raw = min(self.base_delay * self.multiplier ** (attempt - 1),
+                  self.max_delay)
+        if self.jitter and raw > 0.0:
+            draw = stable_entropy(
+                "resilience.retry.jitter", self.jitter_seed, key, attempt
+            ) % _DRAW_DENOMINATOR
+            raw *= 1.0 + self.jitter * (2.0 * (draw / _DRAW_DENOMINATOR) - 1.0)
+        return max(0.0, raw)
+
+    def sleep(self, attempt: int, key: Any = None) -> float:
+        """Sleep the computed backoff; returns the seconds slept."""
+        seconds = self.delay(attempt, key)
+        if seconds > 0.0:
+            time.sleep(seconds)
+        return seconds
+
+    # ------------------------------------------------------------------
+    def call(self, fn: Callable[[], Any], *, site: str = "call",
+             key: Any = None,
+             on_retry: Optional[Callable[[int, BaseException], None]] = None
+             ) -> Any:
+        """Run ``fn()`` under this policy, retrying transient failures.
+
+        Each retry increments the ``resilience.retries`` counter and logs
+        a ``resilience.retry`` event carrying the site, attempt number,
+        and the failure's ``repr``.  The final failure propagates
+        unchanged.
+        """
+        registry = get_registry()
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except Exception as error:
+                attempt += 1
+                if attempt >= self.max_attempts or not self.is_retryable(error):
+                    raise
+                registry.inc("resilience.retries")
+                log_event(
+                    "resilience.retry", site=site, attempt=attempt,
+                    key=repr(key), error=repr(error),
+                )
+                if on_retry is not None:
+                    on_retry(attempt, error)
+                self.sleep(attempt, key)

@@ -40,7 +40,15 @@ PartialCost = Callable[[Tuple[int, ...]], float]
 
 @dataclass
 class Solution:
-    """Solver output."""
+    """Solver output.
+
+    ``interrupt`` records why the search was cut short, if it was:
+    ``"deadline"`` (the ``time_limit`` budget expired) or ``"nodes"``
+    (the ``max_nodes`` cap).  An interrupted solution is still *valid* —
+    it satisfies every constraint — just not proven optimal; callers like
+    :class:`~repro.core.scheduling.xtalk.XtalkScheduler` use the field to
+    decide whether to keep the incumbent or fall back entirely.
+    """
 
     assignment: Tuple[int, ...]
     times: Tuple[float, ...]
@@ -49,6 +57,7 @@ class Solution:
     linear_part: float
     nodes_explored: int
     exact: bool
+    interrupt: Optional[str] = None
 
     def option_labels(self, model: ScheduleModel) -> Tuple[str, ...]:
         return tuple(
@@ -71,6 +80,25 @@ class OptimizingSolver:
         self._nodes = 0
         self._deadline: Optional[float] = None
         self._interrupted = False
+        self._interrupt_reason: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # time budget
+    # ------------------------------------------------------------------
+    def _arm_deadline(self) -> bool:
+        """Start the ``time_limit`` clock if set and not already running.
+
+        Returns True when this call armed it (the caller then owns
+        clearing it), so :meth:`solve_exact` and the greedy incumbent it
+        seeds share one budget instead of restarting the clock.
+        """
+        if self.time_limit is not None and self._deadline is None:
+            self._deadline = time.monotonic() + self.time_limit
+            return True
+        return False
+
+    def _deadline_passed(self) -> bool:
+        return self._deadline is not None and time.monotonic() > self._deadline
 
     # ------------------------------------------------------------------
     # LP over difference constraints
@@ -144,6 +172,7 @@ class OptimizingSolver:
                 "smt.solve.constraints": float(len(model.base_constraints)),
                 "smt.solve.variables": float(model.num_vars),
                 "smt.solve.exact": 1.0 if solution.exact else 0.0,
+                "smt.solve.interrupted": 1.0 if solution.interrupt else 0.0,
             })
             registry = get_registry()
             registry.inc("smt.solves")
@@ -159,6 +188,7 @@ class OptimizingSolver:
                 constraints=len(model.base_constraints),
                 variables=model.num_vars,
                 exact=solution.exact,
+                interrupt=solution.interrupt,
                 objective=solution.objective,
             )
         return solution
@@ -167,19 +197,26 @@ class OptimizingSolver:
     def solve_exact(self) -> Solution:
         self._nodes = 0
         self._interrupted = False
-        self._deadline = time.monotonic() + self.time_limit if self.time_limit else None
+        self._interrupt_reason = None
+        armed = self._arm_deadline()
         # Greedy incumbent first: dramatically improves pruning.
         incumbent = self.solve_greedy()
         best = [incumbent.objective, incumbent]
+        if incumbent.interrupt is not None:
+            self._interrupted = True
+            self._interrupt_reason = incumbent.interrupt
 
         def recurse(prefix: List[int]) -> None:
             if self._interrupted:
                 return
             self._nodes += 1
-            if self._nodes > self.max_nodes or (
-                self._deadline is not None and time.monotonic() > self._deadline
-            ):
+            if self._nodes > self.max_nodes:
                 self._interrupted = True
+                self._interrupt_reason = "nodes"
+                return
+            if self._deadline_passed():
+                self._interrupted = True
+                self._interrupt_reason = "deadline"
                 return
             constraints = self.model.constraints_for(prefix)
             lp = self._lp_minimize(constraints)
@@ -213,6 +250,8 @@ class OptimizingSolver:
                 prefix.pop()
 
         recurse([])
+        if armed:
+            self._deadline = None
         solution = best[1]
         solution = Solution(
             assignment=solution.assignment,
@@ -222,30 +261,44 @@ class OptimizingSolver:
             linear_part=solution.linear_part,
             nodes_explored=self._nodes,
             exact=not self._interrupted,
+            interrupt=self._interrupt_reason,
         )
         return solution
 
     # ------------------------------------------------------------------
     def solve_greedy(self) -> Solution:
+        armed = self._arm_deadline()
+        interrupt: Optional[str] = None
         assignment: List[int] = []
-        for decision in self.model.decisions:
-            best_k = None
-            best_score = float("inf")
-            for k in range(len(decision.options)):
-                candidate = assignment + [k]
-                lp = self._lp_minimize(self.model.constraints_for(candidate))
-                if lp is None:
+        try:
+            for decision in self.model.decisions:
+                if self._deadline_passed():
+                    # Budget spent: stop scoring options with LPs and dive
+                    # to the first feasible completion — still a valid
+                    # schedule, just no longer cost-guided.
+                    interrupt = "deadline"
+                    assignment.append(self._first_feasible(assignment, decision))
                     continue
-                score = self.partial_cost(tuple(candidate)) + lp[0]
-                if score < best_score - 1e-12:
-                    best_score = score
-                    best_k = k
-            if best_k is None:
-                raise RuntimeError(
-                    f"decision {decision.name!r} has no feasible option given "
-                    "earlier choices"
-                )
-            assignment.append(best_k)
+                best_k = None
+                best_score = float("inf")
+                for k in range(len(decision.options)):
+                    candidate = assignment + [k]
+                    lp = self._lp_minimize(self.model.constraints_for(candidate))
+                    if lp is None:
+                        continue
+                    score = self.partial_cost(tuple(candidate)) + lp[0]
+                    if score < best_score - 1e-12:
+                        best_score = score
+                        best_k = k
+                if best_k is None:
+                    raise RuntimeError(
+                        f"decision {decision.name!r} has no feasible option given "
+                        "earlier choices"
+                    )
+                assignment.append(best_k)
+        finally:
+            if armed:
+                self._deadline = None
         lp = self._lp_minimize(self.model.constraints_for(assignment))
         if lp is None:  # pragma: no cover - guarded by per-step feasibility
             raise RuntimeError("greedy produced an infeasible assignment")
@@ -257,5 +310,20 @@ class OptimizingSolver:
             constant_part=constant,
             linear_part=lp[0],
             nodes_explored=len(assignment),
-            exact=len(self.model.decisions) == 0,
+            exact=len(self.model.decisions) == 0 and interrupt is None,
+            interrupt=interrupt,
+        )
+
+    def _first_feasible(self, assignment: List[int], decision) -> int:
+        """The lowest-index feasible option, found without LP scoring."""
+        for k in range(len(decision.options)):
+            feasible = difference_feasible(
+                self.model.num_vars,
+                self.model.constraints_for(assignment + [k]),
+            )
+            if feasible is not None:
+                return k
+        raise RuntimeError(
+            f"decision {decision.name!r} has no feasible option given "
+            "earlier choices"
         )

@@ -198,3 +198,61 @@ class TestSingleFlight:
         assert cache.keys() == ["a"]
         cache.clear()
         assert len(cache) == 0
+
+
+class TestSingleFlightRecovery:
+    """A failed compute() must never wedge the in-flight latch."""
+
+    def test_exception_clears_latch_for_next_caller(self):
+        cache = ResultCache()
+        calls = []
+
+        def failing():
+            calls.append(1)
+            raise RuntimeError("compute blew up")
+
+        with pytest.raises(RuntimeError, match="blew up"):
+            cache.get_or_compute("k", failing)
+
+        # The next caller must recompute, not block forever or receive a
+        # cached error.
+        assert cache.get_or_compute("k", lambda: 42) == 42
+        assert len(calls) == 1
+        assert cache.get("k") == 42
+
+    def test_sequential_failures_each_recompute(self):
+        cache = ResultCache()
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ValueError("transient")
+            return "finally"
+
+        for _ in range(2):
+            with pytest.raises(ValueError):
+                cache.get_or_compute("k", flaky)
+        assert cache.get_or_compute("k", flaky) == "finally"
+        assert len(attempts) == 3
+
+    def test_latch_cleared_even_for_base_exception(self):
+        cache = ResultCache()
+
+        def interrupted():
+            raise KeyboardInterrupt()
+
+        with pytest.raises(KeyboardInterrupt):
+            cache.get_or_compute("k", interrupted)
+        assert cache.get_or_compute("k", lambda: 1) == 1
+
+    def test_reentrant_compute_raises_instead_of_deadlocking(self):
+        cache = ResultCache()
+
+        def recursive():
+            return cache.get_or_compute("k", recursive)
+
+        with pytest.raises(RuntimeError, match="re-entrant"):
+            cache.get_or_compute("k", recursive)
+        # and the latch is cleared afterwards
+        assert cache.get_or_compute("k", lambda: "ok") == "ok"

@@ -1,0 +1,207 @@
+"""Campaign-level resilience: fault convergence, resume, degradation.
+
+The acceptance bar from the issue: a campaign with >=20% injected transient
+failures must converge — after retries — to a report bitwise-identical to
+the fault-free run, at every worker count; killing a run mid-campaign and
+resuming from its checkpoint must produce the identical report while
+re-executing only the missing experiments.
+"""
+
+import pytest
+
+from repro.core.characterization.campaign import (
+    CharacterizationCampaign,
+    CharacterizationPolicy,
+)
+from repro.rb.executor import RBConfig
+from repro.resilience import (
+    FatalTaskError,
+    FaultInjector,
+    FaultPlan,
+    JsonlCheckpoint,
+    RetryPolicy,
+)
+
+_TINY_RB = RBConfig(lengths=(2, 6, 14), num_sequences=2)
+
+
+def _campaign(device, workers=None):
+    return CharacterizationCampaign(
+        device, rb_config=_TINY_RB, seed=7, workers=workers
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline_json(poughkeepsie):
+    outcome = _campaign(poughkeepsie).run(
+        CharacterizationPolicy.ONE_HOP_PACKED
+    )
+    return outcome.report.to_json()
+
+
+class TestFaultConvergence:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_faulty_campaign_matches_fault_free_report(
+        self, poughkeepsie, baseline_json, workers
+    ):
+        injector = FaultInjector(
+            FaultPlan.single("task_error", rate=0.25, max_failures=1, seed=5)
+        )
+        outcome = _campaign(poughkeepsie, workers=workers).run(
+            CharacterizationPolicy.ONE_HOP_PACKED,
+            retry=RetryPolicy.fast(),
+            faults=injector,
+        )
+        assert injector.count > 0, "fault plan should actually fire"
+        assert outcome.report.to_json() == baseline_json
+        assert not outcome.degraded
+        assert outcome.failures == ()
+
+    def test_injection_count_is_worker_invariant(self, poughkeepsie):
+        counts = []
+        for workers in (1, 2):
+            injector = FaultInjector(
+                FaultPlan.single("task_error", rate=0.25, max_failures=1,
+                                 seed=5)
+            )
+            _campaign(poughkeepsie, workers=workers).run(
+                CharacterizationPolicy.ONE_HOP_PACKED,
+                retry=RetryPolicy.fast(),
+                faults=injector,
+            )
+            counts.append(injector.count)
+        assert counts[0] == counts[1] > 0
+
+
+class TestCheckpointResume:
+    def test_interrupted_run_resumes_to_identical_report(
+        self, poughkeepsie, baseline_json, tmp_path
+    ):
+        path = str(tmp_path / "campaign.ckpt.jsonl")
+        # Kill the campaign partway: a fatal (non-retryable) fault on one
+        # experiment aborts the run after earlier tasks already streamed
+        # their results into the checkpoint.
+        injector = FaultInjector(
+            FaultPlan.single("fatal", rate=0.15, seed=2)
+        )
+        with pytest.raises(FatalTaskError):
+            _campaign(poughkeepsie).run(
+                CharacterizationPolicy.ONE_HOP_PACKED,
+                checkpoint=path,
+                faults=injector,
+            )
+        completed = len(JsonlCheckpoint(path))
+        assert completed > 0, "some experiments should finish before the kill"
+
+        outcome = _campaign(poughkeepsie).run(
+            CharacterizationPolicy.ONE_HOP_PACKED, checkpoint=path
+        )
+        assert outcome.report.to_json() == baseline_json
+        assert outcome.checkpoint_hits == completed
+        assert outcome.checkpoint_hits < outcome.plan.num_experiments
+
+    def test_completed_run_resumes_entirely_from_checkpoint(
+        self, poughkeepsie, baseline_json, tmp_path
+    ):
+        path = str(tmp_path / "campaign.ckpt.jsonl")
+        first = _campaign(poughkeepsie).run(
+            CharacterizationPolicy.ONE_HOP_PACKED, checkpoint=path
+        )
+        assert first.checkpoint_hits == 0
+
+        second = _campaign(poughkeepsie).run(
+            CharacterizationPolicy.ONE_HOP_PACKED, checkpoint=path
+        )
+        assert second.checkpoint_hits == second.plan.num_experiments
+        assert second.report.to_json() == baseline_json
+        # span accounting must match the uninterrupted run (cached counters
+        # are replayed), so downstream cost analysis is unaffected
+        assert first.report.to_json() == second.report.to_json()
+
+    def test_checkpoint_rejects_different_campaign(
+        self, poughkeepsie, tmp_path
+    ):
+        from repro.resilience import CheckpointMismatch
+
+        path = str(tmp_path / "campaign.ckpt.jsonl")
+        _campaign(poughkeepsie).run(
+            CharacterizationPolicy.ONE_HOP_PACKED, checkpoint=path
+        )
+        other = CharacterizationCampaign(
+            poughkeepsie, rb_config=_TINY_RB, seed=8
+        )
+        with pytest.raises(CheckpointMismatch):
+            other.run(CharacterizationPolicy.ONE_HOP_PACKED, checkpoint=path)
+
+    def test_on_mismatch_reset_reruns_from_scratch(
+        self, poughkeepsie, tmp_path
+    ):
+        path = str(tmp_path / "campaign.ckpt.jsonl")
+        _campaign(poughkeepsie).run(
+            CharacterizationPolicy.ONE_HOP_PACKED, checkpoint=path
+        )
+        other = CharacterizationCampaign(
+            poughkeepsie, rb_config=_TINY_RB, seed=8
+        )
+        outcome = other.run(
+            CharacterizationPolicy.ONE_HOP_PACKED,
+            checkpoint=path, on_mismatch="reset",
+        )
+        assert outcome.checkpoint_hits == 0
+
+
+class TestGracefulDegradation:
+    def test_partial_report_falls_back_to_prior_day(self, poughkeepsie):
+        prior = _campaign(poughkeepsie).run(
+            CharacterizationPolicy.ONE_HOP_PACKED, day=0
+        ).report
+        injector = FaultInjector(
+            FaultPlan.single("fatal", rate=0.2, seed=3)
+        )
+        outcome = _campaign(poughkeepsie).run(
+            CharacterizationPolicy.ONE_HOP_PACKED, day=1,
+            prior=prior, faults=injector, degradation="partial",
+        )
+        assert injector.count > 0
+        assert outcome.degraded
+        assert len(outcome.failures) > 0
+        stale = outcome.coverage.stale
+        assert stale, "failed units should degrade to stale, not missing"
+        assert all(e.source_day == 0 for e in stale)
+        assert not outcome.coverage.missing
+        # stale values must be copied verbatim from the prior report
+        for entry in stale:
+            if entry.kind == "edge":
+                (edge,) = entry.targets
+                assert outcome.report.independent[edge] == \
+                    prior.independent[edge]
+
+    def test_partial_without_prior_marks_missing(self, poughkeepsie):
+        injector = FaultInjector(
+            FaultPlan.single("fatal", rate=0.2, seed=3)
+        )
+        outcome = _campaign(poughkeepsie).run(
+            CharacterizationPolicy.ONE_HOP_PACKED,
+            faults=injector, degradation="partial",
+        )
+        assert outcome.degraded
+        assert outcome.coverage.missing
+        assert not outcome.coverage.stale
+
+    def test_fault_free_run_has_complete_fresh_coverage(self, poughkeepsie):
+        outcome = _campaign(poughkeepsie).run(
+            CharacterizationPolicy.ONE_HOP_PACKED
+        )
+        assert not outcome.degraded
+        assert outcome.coverage.complete
+        summary = outcome.coverage.summary()
+        assert summary["stale"] == 0 and summary["missing"] == 0
+        assert summary["fresh"] == len(outcome.coverage.entries)
+
+    def test_strict_mode_raises_on_exhausted_failure(self, poughkeepsie):
+        injector = FaultInjector(FaultPlan.single("fatal", rate=0.2, seed=3))
+        with pytest.raises(FatalTaskError):
+            _campaign(poughkeepsie).run(
+                CharacterizationPolicy.ONE_HOP_PACKED,
+                faults=injector, degradation="strict",
+            )

@@ -1,0 +1,127 @@
+"""JSON-lines checkpoints: round-trip, corruption tolerance, identity checks."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import get_registry
+from repro.resilience import (
+    CHECKPOINT_SCHEMA,
+    CheckpointMismatch,
+    JsonlCheckpoint,
+)
+
+
+@pytest.fixture
+def path(tmp_path):
+    return str(tmp_path / "campaign.ckpt.jsonl")
+
+
+class TestRoundTrip:
+    def test_append_then_reload(self, path):
+        first = JsonlCheckpoint(path, campaign_key="abc", run_id="r1")
+        first.append("k1", {"rates": [0.01, 0.02]})
+        first.append("k2", {"rates": [0.03]})
+
+        second = JsonlCheckpoint(path, campaign_key="abc")
+        assert len(second) == 2
+        assert second.get("k1") == {"rates": [0.01, 0.02]}
+        assert second.get("k2") == {"rates": [0.03]}
+
+    def test_floats_round_trip_bitwise(self, path):
+        value = {"rate": 0.1 + 0.2, "other": 1e-17}
+        JsonlCheckpoint(path).append("k", value)
+        loaded = JsonlCheckpoint(path).get("k")
+        assert loaded["rate"] == value["rate"]
+        assert loaded["other"] == value["other"]
+
+    def test_last_write_wins_for_duplicate_keys(self, path):
+        ckpt = JsonlCheckpoint(path)
+        ckpt.append("k", 1)
+        ckpt.append("k", 2)
+        assert JsonlCheckpoint(path).get("k") == 2
+        assert len(JsonlCheckpoint(path)) == 1
+
+    def test_contains_and_keys(self, path):
+        ckpt = JsonlCheckpoint(path)
+        ckpt.append("a", 1)
+        ckpt.append("b", 2)
+        assert "a" in ckpt and "c" not in ckpt
+        assert list(ckpt.keys()) == ["a", "b"]
+
+    def test_missing_file_is_empty(self, path):
+        ckpt = JsonlCheckpoint(path)
+        assert len(ckpt) == 0
+        assert ckpt.get("nope", "default") == "default"
+
+
+class TestHitAccounting:
+    def test_hits_and_misses_counted(self, path):
+        registry = get_registry()
+        hits_before = registry.counter("resilience.checkpoint.hits").snapshot()
+        misses_before = registry.counter(
+            "resilience.checkpoint.misses").snapshot()
+
+        ckpt = JsonlCheckpoint(path)
+        ckpt.append("k", 1)
+        ckpt.get("k")
+        ckpt.get("absent")
+
+        assert ckpt.hits == 1
+        assert registry.counter(
+            "resilience.checkpoint.hits").snapshot() == hits_before + 1
+        assert registry.counter(
+            "resilience.checkpoint.misses").snapshot() == misses_before + 1
+
+
+class TestCorruption:
+    def test_corrupt_lines_are_skipped(self, path):
+        ckpt = JsonlCheckpoint(path)
+        ckpt.append("good", 1)
+        with open(path, "a") as handle:
+            handle.write("{not json at all\n")
+            handle.write('{"key": "also_good", "value": 2}\n')
+            handle.write('{"value": "missing key field"}\n')
+
+        registry = get_registry()
+        before = registry.counter(
+            "resilience.checkpoint.corrupt_lines").snapshot()
+        reloaded = JsonlCheckpoint(path)
+        assert reloaded.get("good") == 1
+        assert reloaded.get("also_good") == 2
+        assert len(reloaded) == 2
+        assert registry.counter(
+            "resilience.checkpoint.corrupt_lines").snapshot() == before + 2
+
+    def test_truncated_final_line_does_not_lose_earlier_records(self, path):
+        ckpt = JsonlCheckpoint(path)
+        for i in range(5):
+            ckpt.append(f"k{i}", i)
+        with open(path, "a") as handle:
+            handle.write('{"key": "k5", "val')  # simulated crash mid-write
+        reloaded = JsonlCheckpoint(path)
+        assert len(reloaded) == 5
+        assert "k5" not in reloaded
+
+
+class TestIdentity:
+    def test_header_carries_schema_and_key(self, path):
+        JsonlCheckpoint(path, campaign_key="abc", run_id="r1").append("k", 1)
+        with open(path) as handle:
+            header = json.loads(handle.readline())
+        assert header["schema"] == CHECKPOINT_SCHEMA
+        assert header["campaign_key"] == "abc"
+        assert header["run_id"] == "r1"
+
+    def test_mismatched_campaign_key_raises(self, path):
+        JsonlCheckpoint(path, campaign_key="abc").append("k", 1)
+        with pytest.raises(CheckpointMismatch):
+            JsonlCheckpoint(path, campaign_key="different")
+
+    def test_on_mismatch_reset_starts_fresh(self, path):
+        JsonlCheckpoint(path, campaign_key="abc").append("k", 1)
+        fresh = JsonlCheckpoint(path, campaign_key="different",
+                                on_mismatch="reset")
+        assert len(fresh) == 0
+        fresh.append("k2", 2)
+        assert JsonlCheckpoint(path, campaign_key="different").get("k2") == 2

@@ -1,0 +1,119 @@
+"""Fault plans must be deterministic, rate-respecting, and site-scoped."""
+
+import pytest
+
+from repro.resilience import (
+    BackendJobError,
+    FatalTaskError,
+    FaultDirective,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    TransientTaskError,
+    WorkerCrashError,
+    execute_directive,
+    raise_fault,
+)
+
+
+class TestFaultRule:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultRule("meteor_strike")
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultRule("task_error", rate=1.5)
+
+    def test_rejects_bad_max_failures(self):
+        with pytest.raises(ValueError, match="max_failures"):
+            FaultRule("task_error", max_failures=0)
+
+
+class TestFaultPlanSelection:
+    def test_same_key_always_same_decision(self):
+        plan = FaultPlan.single("task_error", rate=0.5, seed=11)
+        first = [plan.directive("site", k) for k in range(50)]
+        second = [plan.directive("site", k) for k in range(50)]
+        assert first == second
+
+    def test_rate_zero_never_fires_rate_one_always(self):
+        never = FaultPlan.single("task_error", rate=0.0)
+        always = FaultPlan.single("task_error", rate=1.0)
+        assert all(never.directive("s", k) is None for k in range(20))
+        assert all(always.directive("s", k) is not None for k in range(20))
+
+    def test_rate_is_roughly_respected(self):
+        plan = FaultPlan.single("task_error", rate=0.3, seed=4)
+        hits = sum(plan.directive("s", k) is not None for k in range(400))
+        assert 0.2 < hits / 400 < 0.4
+
+    def test_selection_independent_of_attempt_below_max(self):
+        plan = FaultPlan.single("task_error", rate=1.0, max_failures=3)
+        for attempt in range(3):
+            assert plan.directive("s", "k", attempt) is not None
+        assert plan.directive("s", "k", 3) is None
+
+    def test_site_pattern_scopes_rule(self):
+        plan = FaultPlan.single("task_error", site="characterize.*")
+        assert plan.directive("characterize.one_hop.task", 0) is not None
+        assert plan.directive("backend.job", 0) is None
+
+    def test_first_matching_rule_wins(self):
+        plan = FaultPlan(rules=(
+            FaultRule("fatal", rate=1.0, site="backend.*"),
+            FaultRule("task_error", rate=1.0),
+        ))
+        assert plan.directive("backend.job", 0).kind == "fatal"
+        assert plan.directive("elsewhere", 0).kind == "task_error"
+
+    def test_seed_changes_selection(self):
+        a = FaultPlan.single("task_error", rate=0.5, seed=0)
+        b = FaultPlan.single("task_error", rate=0.5, seed=1)
+        picks_a = [a.directive("s", k) is not None for k in range(60)]
+        picks_b = [b.directive("s", k) is not None for k in range(60)]
+        assert picks_a != picks_b
+
+
+class TestDirectiveExecution:
+    @pytest.mark.parametrize("kind,exc", [
+        ("task_error", TransientTaskError),
+        ("worker_death", WorkerCrashError),
+        ("job_rejection", BackendJobError),
+        ("job_timeout", BackendJobError),
+        ("fatal", FatalTaskError),
+    ])
+    def test_raise_fault_maps_kinds(self, kind, exc):
+        directive = FaultDirective(kind, "site", "key", 0)
+        with pytest.raises(exc):
+            raise_fault(directive)
+
+    def test_backend_kind_attribute(self):
+        with pytest.raises(BackendJobError) as info:
+            raise_fault(FaultDirective("job_timeout", "s", "k", 0))
+        assert info.value.kind == "timeout"
+
+    def test_execute_without_process_exit_raises(self):
+        directive = FaultDirective("worker_death", "s", "k", 0)
+        with pytest.raises(WorkerCrashError):
+            execute_directive(directive, process_exit=False)
+
+
+class TestFaultInjector:
+    def test_check_counts_attempts_until_clear(self):
+        injector = FaultInjector(
+            FaultPlan.single("task_error", rate=1.0, max_failures=2)
+        )
+        for _ in range(2):
+            with pytest.raises(TransientTaskError):
+                injector.check("s", "k")
+        injector.check("s", "k")  # third attempt clears max_failures
+        assert injector.count == 2
+
+    def test_injected_directives_are_recorded_in_order(self):
+        injector = FaultInjector(FaultPlan.single("task_error"))
+        with pytest.raises(TransientTaskError):
+            injector.check("s", "a")
+        with pytest.raises(TransientTaskError):
+            injector.check("s", "b")
+        assert [d.key for d in injector.injected] == [repr("a"), repr("b")]

@@ -1,0 +1,128 @@
+"""Retry policies: deterministic backoff, correct classification, bounded attempts."""
+
+import pytest
+
+from repro.obs.registry import get_registry
+from repro.resilience import (
+    BackendJobError,
+    FatalTaskError,
+    RetryPolicy,
+    TransientTaskError,
+    WorkerCrashError,
+)
+
+
+class TestValidation:
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            RetryPolicy(base_delay=-1.0)
+
+    def test_rejects_out_of_range_jitter(self):
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=2.0)
+
+
+class TestClassification:
+    def test_transient_errors_are_retryable(self):
+        policy = RetryPolicy()
+        assert policy.is_retryable(TransientTaskError("x"))
+        assert policy.is_retryable(WorkerCrashError("x"))
+        assert policy.is_retryable(BackendJobError("x"))
+
+    def test_ordinary_exceptions_are_not(self):
+        policy = RetryPolicy()
+        assert not policy.is_retryable(ValueError("bug"))
+        assert not policy.is_retryable(FatalTaskError("bug"))
+
+    def test_extra_types_extend_the_set(self):
+        policy = RetryPolicy(retryable_types=(KeyError,))
+        assert policy.is_retryable(KeyError("k"))
+        assert not policy.is_retryable(TimeoutError("t"))
+
+
+class TestDelay:
+    def test_deterministic_for_same_key_and_attempt(self):
+        policy = RetryPolicy(jitter_seed=5)
+        assert policy.delay(1, "k") == policy.delay(1, "k")
+        assert policy.delay(2, "k") == policy.delay(2, "k")
+
+    def test_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5,
+                             jitter=0.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(5) == pytest.approx(0.5)  # capped
+
+    def test_jitter_spreads_distinct_keys(self):
+        policy = RetryPolicy(base_delay=1.0, jitter=0.5, max_delay=10.0)
+        delays = {policy.delay(1, k) for k in range(20)}
+        assert len(delays) > 1
+        assert all(0.5 <= d <= 1.5 for d in delays)
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            RetryPolicy().delay(0)
+
+    def test_fast_policy_has_zero_backoff(self):
+        assert RetryPolicy.fast().delay(3, "k") == 0.0
+
+
+class TestCall:
+    def test_succeeds_after_transient_failures(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TransientTaskError("try again")
+            return "done"
+
+        assert RetryPolicy.fast(max_attempts=3).call(flaky) == "done"
+        assert len(attempts) == 3
+
+    def test_counts_retries_in_registry(self):
+        registry = get_registry()
+        before = registry.counter("resilience.retries").snapshot()
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise TransientTaskError("x")
+            return 1
+
+        RetryPolicy.fast().call(flaky)
+        assert registry.counter("resilience.retries").snapshot() == before + 1
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = []
+
+        def buggy():
+            calls.append(1)
+            raise ValueError("bug")
+
+        with pytest.raises(ValueError, match="bug"):
+            RetryPolicy.fast(max_attempts=5).call(buggy)
+        assert len(calls) == 1
+
+    def test_exhausted_attempts_propagate_final_error(self):
+        def always():
+            raise TransientTaskError("permanent")
+
+        with pytest.raises(TransientTaskError, match="permanent"):
+            RetryPolicy.fast(max_attempts=3).call(always)
+
+    def test_none_policy_never_retries(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            raise TransientTaskError("x")
+
+        with pytest.raises(TransientTaskError):
+            RetryPolicy.none().call(flaky)
+        assert len(calls) == 1
