@@ -17,9 +17,13 @@ def test_fig3_characterization_maps(benchmark, devices, record_table, record_tra
     def run():
         return fig3.run_fig3(devices=devices, rb_config=rb_config, seed=3)
 
-    with record_trace("fig3_characterization_maps"):
+    with record_trace("fig3_characterization_maps") as session:
         rows = run_once(benchmark, run)
+        scorecard = fig3.fig3_scorecard(rows)
+        session.documents["scorecard"] = scorecard.to_dict()
+        session.results.update(scorecard.series())
     record_table("fig3_characterization", fig3.format_table(rows))
+    print(f"\n{scorecard.format()}")
 
     # Also render the maps as SVG (Figure 3 as an actual figure).
     from benchmarks.conftest import RESULTS_DIR
@@ -32,6 +36,10 @@ def test_fig3_characterization_maps(benchmark, devices, record_table, record_tra
             title=f"{device.name} (measured high-crosstalk pairs)",
         )
         (RESULTS_DIR / f"fig3_map_{device.name}.svg").write_text(svg)
+
+    # Pooled characterization quality across every device.
+    assert scorecard.metrics["recall"] >= 0.9
+    assert scorecard.metrics["one_hop_exact"] == 1.0
 
     for row in rows:
         # Every planted pair must be detected (perfect recall), precision

@@ -18,9 +18,13 @@ def test_fig4_daily_drift(benchmark, poughkeepsie, record_table, record_trace):
         return fig4.run_fig4(device=poughkeepsie, days=6,
                              rb_config=rb_config, seed=5)
 
-    with record_trace("fig4_daily_drift"):
+    with record_trace("fig4_daily_drift") as session:
         rows = run_once(benchmark, run)
+        scorecard = fig4.fig4_scorecard(rows)
+        session.documents["scorecard"] = scorecard.to_dict()
+        session.results.update(scorecard.series())
     record_table("fig4_daily_drift", fig4.format_table(rows))
+    print(f"\n{scorecard.format()}")
 
     # Figure 4 as an actual figure.
     from benchmarks.conftest import RESULTS_DIR
@@ -34,6 +38,11 @@ def test_fig4_daily_drift(benchmark, poughkeepsie, record_table, record_trace):
     svg = line_chart_svg(series, title="Daily crosstalk drift (Poughkeepsie)",
                          x_label="day", y_label="error rate")
     (RESULTS_DIR / "fig4_daily_drift.svg").write_text(svg)
+
+    # The drift scorecard must recover the planted high pairs nearly
+    # every (day, pair) decision — the characterization-quality gate.
+    assert scorecard.metrics["recall"] >= 0.9
+    assert scorecard.metrics["drift_lag_days"] <= 1.0
 
     summary = fig4.summarize(rows)
     assert summary.conditional_above_independent_every_day

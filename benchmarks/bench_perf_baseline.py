@@ -23,9 +23,18 @@ Run directly (not through pytest)::
 
     PYTHONPATH=src python benchmarks/bench_perf_baseline.py --fast
     PYTHONPATH=src python benchmarks/bench_perf_baseline.py --check 1.2
+    PYTHONPATH=src python benchmarks/bench_perf_baseline.py --gate 5
 
 ``--check X`` exits nonzero if the campaign workload's parallel leg is
-slower than ``X`` times its serial leg — the CI perf-smoke gate.
+slower than ``X`` times its serial leg — the CI perf-smoke gate,
+implemented as a :mod:`repro.obs.diff` against a synthetic budget
+baseline.  ``--gate N`` diffs this run against the last *N* history
+records of the same name (``benchmarks/results/history.jsonl`` by
+default) with the noise-aware comparator and exits nonzero on any
+regression.  Every run appends its summary record to the history store
+unless ``--no-history`` is given; gating against a record produced on a
+dirty working tree prints a warning (regenerate the baseline from a
+clean tree instead of committing drifting numbers).
 """
 
 from __future__ import annotations
@@ -52,12 +61,23 @@ from repro.experiments.common import (  # noqa: E402
     prepare_circuit,
     tomography_error,
 )
-from repro.obs import RunManifest, write_manifest  # noqa: E402
+from repro.obs import (  # noqa: E402
+    DiffThresholds,
+    MetricsRegistry,
+    RunHistory,
+    RunManifest,
+    RunRecord,
+    diff_records,
+    format_diff,
+    push_registry,
+    write_manifest,
+)
 from repro.rb.clifford import clifford_group  # noqa: E402
 from repro.rb.executor import RBConfig  # noqa: E402
 from repro.workloads.swap import swap_benchmark  # noqa: E402
 
 DEFAULT_OUT = REPO_ROOT / "BENCH_perf.json"
+DEFAULT_HISTORY = REPO_ROOT / "benchmarks" / "results" / "history.jsonl"
 
 
 def _timed(fn):
@@ -155,6 +175,39 @@ WORKLOADS = {
 }
 
 
+def check_budget_diff(workloads: dict, check: float):
+    """The ``--check`` gate as a :mod:`repro.obs.diff`.
+
+    Builds a synthetic *budget* baseline — every workload's parallel leg
+    allowed ``check`` times its serial leg — and diffs the measured
+    parallel legs against it with zero tolerance, so any leg over budget
+    classifies as regressed.
+    """
+    budget = RunRecord(run_id="budget", name="bench_perf_budget", series={
+        f"workloads.{name}.parallel_seconds":
+            check * entry["serial_seconds"]
+        for name, entry in workloads.items()
+    })
+    measured = RunRecord(run_id="measured", name="bench_perf_measured",
+                         series={
+                             f"workloads.{name}.parallel_seconds":
+                                 entry["parallel_seconds"]
+                             for name, entry in workloads.items()
+                         })
+    zero = DiffThresholds(rel=0.0, mad_scale=0.0, abs_floor=1e-9,
+                          noise_floor_seconds=0.0)
+    return diff_records(budget, measured, zero)
+
+
+def _warn_if_dirty(record: RunRecord, label: str) -> None:
+    """Satellite of the dirty-manifest policy: gating against numbers
+    produced on an uncommitted tree is unreliable — say so."""
+    if record.git_dirty:
+        print(f"[bench_perf] WARNING: {label} (run {record.run_id}) was "
+              "produced on a dirty working tree; regenerate from a clean "
+              "tree before trusting the gate", file=sys.stderr)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--fast", action="store_true",
@@ -164,18 +217,27 @@ def main(argv=None) -> int:
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
                         help=f"output path (default {DEFAULT_OUT})")
     parser.add_argument("--check", type=float, default=None, metavar="X",
-                        help="exit nonzero if the campaign workload's "
-                             "parallel leg is slower than X times serial")
+                        help="exit nonzero if any workload's parallel leg "
+                             "is slower than X times its serial leg")
+    parser.add_argument("--gate", type=int, default=None, metavar="N",
+                        help="diff this run against the last N history "
+                             "records and exit nonzero on regressions")
+    parser.add_argument("--history", type=Path, default=DEFAULT_HISTORY,
+                        help=f"history store (default {DEFAULT_HISTORY})")
+    parser.add_argument("--no-history", action="store_true",
+                        help="do not append this run to the history store")
     args = parser.parse_args(argv)
 
+    registry = MetricsRegistry()
     workloads = {}
-    for name, fn in WORKLOADS.items():
-        print(f"[bench_perf] running {name} ...", flush=True)
-        entry = fn(args.workers, args.fast)
-        workloads[name] = entry
-        print(f"[bench_perf]   serial {entry['serial_seconds']:.2f}s  "
-              f"parallel {entry['parallel_seconds']:.2f}s  "
-              f"speedup {entry['speedup']:.2f}x", flush=True)
+    with push_registry(registry):
+        for name, fn in WORKLOADS.items():
+            print(f"[bench_perf] running {name} ...", flush=True)
+            entry = fn(args.workers, args.fast)
+            workloads[name] = entry
+            print(f"[bench_perf]   serial {entry['serial_seconds']:.2f}s  "
+                  f"parallel {entry['parallel_seconds']:.2f}s  "
+                  f"speedup {entry['speedup']:.2f}x", flush=True)
 
     manifest = RunManifest.capture(
         name="bench_perf_baseline",
@@ -186,19 +248,47 @@ def main(argv=None) -> int:
     write_manifest(manifest, str(args.out))
     print(f"[bench_perf] wrote {args.out} (run {manifest.run_id})")
 
+    record = RunRecord.from_artifacts(manifest=manifest.to_dict(),
+                                      metrics=registry.snapshot())
+    history = RunHistory(str(args.history))
+    baseline_window = history.last(args.gate, name=record.name) \
+        if args.gate else []
+    if not args.no_history:
+        history.append(record)
+        print(f"[bench_perf] appended run {record.run_id} to {history.path} "
+              f"({len(history)} records)")
+
     failures = []
     for name, entry in workloads.items():
         if not entry.get("deterministic_across_worker_counts", True):
             failures.append(f"{name}: results differ across worker counts")
+
     if args.check is not None:
-        campaign = workloads["campaign_one_hop_packed"]
-        limit = args.check * campaign["serial_seconds"]
-        if campaign["parallel_seconds"] > limit:
+        _warn_if_dirty(record, "this run")
+        diff = check_budget_diff(workloads, args.check)
+        for regression in diff.regressions:
             failures.append(
-                "campaign_one_hop_packed: parallel leg "
-                f"{campaign['parallel_seconds']:.2f}s exceeds "
-                f"{args.check:.2f}x serial ({campaign['serial_seconds']:.2f}s)"
+                f"{regression.name}: {regression.candidate:.2f}s exceeds "
+                f"{args.check:.2f}x serial budget "
+                f"({regression.baseline:.2f}s)"
             )
+
+    if args.gate:
+        _warn_if_dirty(record, "this run")
+        if not baseline_window:
+            print(f"[bench_perf] gate: no prior {record.name!r} records in "
+                  f"{history.path}; nothing to compare", file=sys.stderr)
+        else:
+            for prior in baseline_window:
+                _warn_if_dirty(prior, "baseline record")
+            diff = diff_records(baseline_window, record)
+            print(format_diff(diff))
+            for regression in diff.regressions:
+                failures.append(
+                    f"history gate: {regression.name} regressed "
+                    f"({regression.baseline!r} -> {regression.candidate!r})"
+                )
+
     for failure in failures:
         print(f"[bench_perf] FAIL {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -35,24 +35,28 @@ def record_table(results_dir):
 def record_trace(results_dir):
     """Run the block inside a :class:`repro.obs.Session` and archive its
     telemetry — span-tree trace, metric deltas, event log, and run
-    manifest — next to the driver's table::
+    manifest — next to the driver's table, plus a summary record in the
+    ``results/history.jsonl`` run store::
 
-        with record_trace("fig5"):
+        with record_trace("fig5") as session:
             rows = run()
+            session.documents["scorecard"] = scorecard.to_dict()
 
-    Inspect any of the written files with ``python -m repro.obs report``.
+    Inspect any of the written files with ``python -m repro.obs report``;
+    diff two runs with ``python -m repro.obs diff``.
     """
 
     @contextlib.contextmanager
     def _record(name: str):
         from repro.obs import Session
 
-        session = Session(name)
+        session = Session(name, history=str(results_dir / "history.jsonl"))
         with session:
             yield session
         paths = session.write(str(results_dir))
         print(f"\n[run {session.run_id}: telemetry written to "
-              f"{paths['trace']} (+ metrics/manifest/events)]")
+              f"{paths['trace']} (+ metrics/manifest/events; summary "
+              f"appended to history.jsonl)]")
 
     return _record
 

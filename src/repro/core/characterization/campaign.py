@@ -131,6 +131,39 @@ class CampaignOutcome:
         """True when any planned unit fell back to stale data or is missing."""
         return self.coverage is not None and not self.coverage.complete
 
+    def scorecard(self, device: Device, name: Optional[str] = None):
+        """Score this campaign against the device's hidden ground truth.
+
+        Compares the measured report's high-crosstalk pairs with
+        ``device.true_high_pairs()`` (evaluation-only data the compiler
+        never sees) and returns a
+        :class:`~repro.obs.scorecard.Scorecard` carrying detection
+        recall/precision plus the campaign's cost and coverage counts —
+        the ``repro.obs.scorecard/v1`` quality record every figure run
+        can append to history.
+        """
+        from repro.obs.events import current_run_id
+        from repro.obs.scorecard import campaign_scorecard
+
+        stale = len(self.coverage.stale) if self.coverage is not None else 0
+        missing = (len(self.coverage.missing)
+                   if self.coverage is not None else 0)
+        return campaign_scorecard(
+            name or f"campaign[{self.plan.policy.value}]",
+            detected_pairs=self.report.high_pairs(),
+            truth_pairs=device.true_high_pairs(),
+            run_id=current_run_id(),
+            experiments=self.num_experiments,
+            pairs_measured=self.plan.units_measured(),
+            stale_units=stale,
+            missing_units=missing,
+            extra_metrics={
+                "machine_hours": self.machine_hours,
+                "failures": float(len(self.failures)),
+                "checkpoint_hits": float(self.checkpoint_hits),
+            },
+        )
+
 
 def _campaign_experiment_task(context, experiment: List[Unit]):
     """Run one characterization experiment in a (possibly worker) process.

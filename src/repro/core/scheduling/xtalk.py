@@ -95,6 +95,37 @@ class ScheduledCircuit:
             if label == _OVERLAP
         )
 
+    def audit(self) -> Dict[str, int]:
+        """Decision-audit counts: what the solver was offered vs. took.
+
+        ``warranted`` is the number of candidate pairs (DAG-concurrent,
+        high-crosstalk — serialization was on the table), ``taken`` how
+        many the solver actually serialized, ``overlapped`` the rest, and
+        ``fallbacks`` whether this schedule degraded.  These counts feed
+        the ``schedule.*`` counters and the scheduler scorecard, so a
+        solver that silently stops serializing shows up in run diffs.
+        """
+        return {
+            "warranted": len(self.candidate_pairs),
+            "taken": len(self.serialized_pairs),
+            "overlapped": len(self.overlapped_pairs),
+            "fallbacks": 1 if self.fallback_reason is not None else 0,
+        }
+
+    def audit_scorecard(self, name: str = "xtalk_sched"):
+        """This schedule's audit as a ``repro.obs.scorecard/v1`` record."""
+        from repro.obs.events import current_run_id
+        from repro.obs.scorecard import schedule_audit_scorecard
+
+        counts = self.audit()
+        return schedule_audit_scorecard(
+            name,
+            serializations_taken=counts["taken"],
+            serializations_warranted=counts["warranted"],
+            fallbacks=counts["fallbacks"],
+            run_id=current_run_id(),
+        )
+
 
 class XtalkScheduler:
     """Builds and solves the Section 7 model for one circuit."""
@@ -172,15 +203,17 @@ class XtalkScheduler:
         except Exception as error:
             reason = f"solver_error:{type(error).__name__}"
             self._note_fallback(reason, pairs)
-            return self._par_fallback(circuit, pairs, started, reason)
+            return self._record_audit(
+                self._par_fallback(circuit, pairs, started, reason)
+            )
         if (solution.interrupt == "deadline"
                 and self.max_solve_seconds is not None):
             fallback_reason = f"solve_budget:{self.fallback}"
             self._note_fallback(fallback_reason, pairs)
             if self.fallback == "par":
-                return self._par_fallback(
+                return self._record_audit(self._par_fallback(
                     circuit, pairs, started, fallback_reason,
-                )
+                ))
             # fallback == "incumbent": the interrupted solution is still a
             # valid schedule (every constraint holds); realize it.
 
@@ -206,7 +239,7 @@ class XtalkScheduler:
             final = reorder_and_barrier(circuit, order, serialized)
         final.name = f"{circuit.name}_xtalk"
 
-        return ScheduledCircuit(
+        return self._record_audit(ScheduledCircuit(
             circuit=final,
             intended_schedule=intended,
             solution=solution,
@@ -214,7 +247,31 @@ class XtalkScheduler:
             option_labels=labels,
             compile_seconds=time.perf_counter() - started,
             fallback_reason=fallback_reason,
+        ))
+
+    # ------------------------------------------------------------------
+    # decision audit
+    # ------------------------------------------------------------------
+    def _record_audit(self, scheduled: ScheduledCircuit) -> ScheduledCircuit:
+        """Record the schedule's decision audit in the telemetry spine.
+
+        Counters ``schedule.pairs_candidate`` / ``schedule.pairs_serialized``
+        accumulate serializations warranted vs. taken across every schedule
+        of the run, and a ``schedule.audit`` event carries the per-circuit
+        counts — the raw material of the scheduler scorecard.
+        """
+        from repro.obs.events import log_event
+        from repro.obs.registry import get_registry
+
+        counts = scheduled.audit()
+        registry = get_registry()
+        registry.inc("schedule.pairs_candidate", counts["warranted"])
+        registry.inc("schedule.pairs_serialized", counts["taken"])
+        log_event(
+            "schedule.audit", component="xtalk_sched",
+            fallback_reason=scheduled.fallback_reason, **counts,
         )
+        return scheduled
 
     # ------------------------------------------------------------------
     # graceful degradation

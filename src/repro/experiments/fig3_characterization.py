@@ -80,6 +80,46 @@ def run_fig3(devices: Optional[Sequence[Device]] = None,
     return rows
 
 
+def fig3_scorecard(rows: Sequence[Fig3Row]):
+    """Score the characterization sweep across every device.
+
+    Pools the per-device true/false positive/negative counts into one
+    ``repro.obs.scorecard/v1`` record (kind ``campaign``), with the
+    paper's 1-hop observation tracked as ``one_hop_exact`` and per-device
+    counts kept in the details.
+    """
+    from repro.obs.events import current_run_id
+    from repro.obs.scorecard import DetectionQuality, Scorecard
+
+    quality = DetectionQuality(
+        true_positives=sum(r.true_positives for r in rows),
+        false_positives=sum(r.false_positives for r in rows),
+        false_negatives=sum(r.false_negatives for r in rows),
+    )
+    metrics = quality.to_metrics()
+    metrics["devices"] = float(len(rows))
+    metrics["one_hop_exact"] = (
+        1.0 if all(r.all_detected_at_one_hop for r in rows) else 0.0
+    )
+    return Scorecard(
+        kind="campaign", name="fig3_characterization",
+        run_id=current_run_id(), metrics=metrics,
+        details={
+            "per_device": [
+                {
+                    "device": r.device,
+                    "detected": len(r.detected_pairs),
+                    "planted": len(r.planted_pairs),
+                    "true_positives": r.true_positives,
+                    "false_positives": r.false_positives,
+                    "false_negatives": r.false_negatives,
+                }
+                for r in rows
+            ],
+        },
+    )
+
+
 def format_table(rows: Sequence[Fig3Row]) -> str:
     lines = ["Figure 3: detected high-crosstalk gate pairs (E(gi|gj) > 3 E(gi))"]
     for row in rows:

@@ -85,6 +85,43 @@ def summarize(rows: Sequence[Fig4Row], high_ratio: float = 3.0) -> Fig4Summary:
     return Fig4Summary(variation, above, stable)
 
 
+def fig4_scorecard(rows: Sequence[Fig4Row], high_ratio: float = 3.0):
+    """Score the drift experiment against the planted high pairs.
+
+    Per day, a tracked pair counts as *detected* when either direction
+    clears the paper's ``E(gi|gj) > 3 E(gi)`` criterion; the ground truth
+    is :data:`TRACKED_PAIRS` itself (both are planted high-crosstalk
+    pairs of the Poughkeepsie model, drifting but high every day).
+    Returns the :func:`repro.obs.scorecard.drift_scorecard` — pooled
+    recall/precision over every (day, pair) decision plus the
+    drift-tracking lag (longest streak of days a planted pair went
+    undetected).
+    """
+    from repro.obs.events import current_run_id
+    from repro.obs.scorecard import DriftDay, drift_scorecard
+
+    days = []
+    for row in rows:
+        detected = []
+        for (a, b) in TRACKED_PAIRS:
+            hit = (
+                row.conditional[f"E{a}|{b}"]
+                > high_ratio * row.independent[f"E{a}"]
+                or row.conditional[f"E{b}|{a}"]
+                > high_ratio * row.independent[f"E{b}"]
+            )
+            if hit:
+                detected.append((a, b))
+        days.append(DriftDay.build(row.day, detected, TRACKED_PAIRS))
+    summary = summarize(rows, high_ratio=high_ratio)
+    return drift_scorecard(
+        "fig4_daily_drift", days, run_id=current_run_id(),
+        extra_metrics={
+            "max_conditional_variation": summary.max_conditional_variation,
+        },
+    )
+
+
 def format_table(rows: Sequence[Fig4Row]) -> str:
     keys = sorted(rows[0].conditional) + sorted(rows[0].independent)
     header = "day  " + "  ".join(f"{k:>22s}" for k in keys)

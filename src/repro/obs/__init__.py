@@ -22,10 +22,37 @@ hand-rolled benchmark JSON).  Four pillars:
 
 :class:`Session` ties all four together around one run, and
 ``python -m repro.obs report <file>`` renders any artefact as text.
+
+On top of those sit the continuous-regression pillars (this layer is why
+one run's artefacts are comparable with the next's):
+
+* **History** (:mod:`repro.obs.history`): an append-only JSON-lines run
+  store (``repro.obs.history/v1``) of per-run summary records keyed by
+  run ID + git SHA, with query helpers and retention compaction.
+* **Diff** (:mod:`repro.obs.diff`): a noise-aware comparator (median ±
+  MAD window thresholds) classifying each series as improved / regressed
+  / unchanged; powers ``python -m repro.obs diff`` and its ``--gate``.
+* **Profile** (:mod:`repro.obs.profile`): deterministic self/total span
+  attribution with collapsed-stack and speedscope exports, plus fan-out
+  skew statistics from the per-task histograms.
+* **Scorecards** (:mod:`repro.obs.scorecard`): domain-quality records —
+  crosstalk-pair detection recall/precision, drift-tracking lag, and
+  scheduler serialization audits — that diff and gate like any series.
+
 See ``docs/observability.md`` for the metric/span name registry and
 schemas.
 """
 
+from .diff import (
+    DIFF_SCHEMA,
+    DiffThresholds,
+    RunDiff,
+    SeriesDiff,
+    diff_records,
+    diff_series,
+    direction_of,
+    format_diff,
+)
 from .events import (
     EVENTS_SCHEMA,
     EventLog,
@@ -34,6 +61,16 @@ from .events import (
     log_event,
     read_events,
     remove_sink,
+)
+from .history import (
+    HISTORY_SCHEMA,
+    RunHistory,
+    RunRecord,
+    flatten_numeric,
+    load_run_record,
+    summarize_manifest,
+    summarize_metrics,
+    summarize_trace,
 )
 from .manifest import (
     MANIFEST_SCHEMA,
@@ -55,7 +92,28 @@ from .registry import (
     push_registry,
     set_registry,
 )
-from .report import report
+from .profile import (
+    PROFILE_SCHEMA,
+    SpanStat,
+    TraceProfile,
+    collapsed_stacks,
+    fanout_skew,
+    histogram_percentile,
+    profile_trace,
+    speedscope_document,
+    validate_speedscope,
+)
+from .report import load_report_document, report
+from .scorecard import (
+    SCORECARD_SCHEMA,
+    DetectionQuality,
+    DriftDay,
+    Scorecard,
+    campaign_scorecard,
+    detection_quality,
+    drift_scorecard,
+    schedule_audit_scorecard,
+)
 from .session import Session
 from .trace import (
     TRACE_COLLECTION_SCHEMA,
@@ -91,6 +149,21 @@ __all__ = [
     # manifest
     "MANIFEST_SCHEMA", "RunManifest", "new_run_id", "git_revision",
     "environment_info", "write_manifest", "read_manifest",
+    # history
+    "HISTORY_SCHEMA", "RunHistory", "RunRecord", "flatten_numeric",
+    "load_run_record", "summarize_manifest", "summarize_metrics",
+    "summarize_trace",
+    # diff
+    "DIFF_SCHEMA", "DiffThresholds", "RunDiff", "SeriesDiff",
+    "diff_records", "diff_series", "direction_of", "format_diff",
+    # profile
+    "PROFILE_SCHEMA", "SpanStat", "TraceProfile", "profile_trace",
+    "collapsed_stacks", "speedscope_document", "validate_speedscope",
+    "histogram_percentile", "fanout_skew",
+    # scorecard
+    "SCORECARD_SCHEMA", "DetectionQuality", "DriftDay", "Scorecard",
+    "detection_quality", "campaign_scorecard", "drift_scorecard",
+    "schedule_audit_scorecard",
     # session / reporting
-    "Session", "report",
+    "Session", "report", "load_report_document",
 ]

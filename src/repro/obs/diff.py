@@ -1,0 +1,351 @@
+"""Noise-aware run diffing: classify every series as improved/regressed.
+
+Given two runs — or one run against a window of history records — the
+comparator classifies each shared series (a flat ``name → float`` map,
+see :mod:`repro.obs.history`) as **improved**, **regressed**,
+**unchanged**, or **indeterminate**, producing a ``repro.obs.diff/v1``
+document, a rendered table, and a CI gate (nonzero exit when anything
+regressed).
+
+Noise model
+-----------
+
+Run timings are noisy, counters are not; the comparator handles both with
+one rule.  Against a baseline *window* of ``n`` runs, each series gets a
+tolerance band around the window **median**::
+
+    threshold = max(rel · |median|, k · 1.4826 · MAD, abs_floor)
+
+where MAD is the median absolute deviation (1.4826 makes it a consistent
+sigma estimate for normal noise).  A two-run diff is the degenerate
+window of one — MAD is zero, so the relative tolerance carries the band.
+Counters that are identical run over run sit exactly on the median and
+always classify as unchanged; a genuine 2x wall-time regression clears
+any sane band.
+
+Wall-clock series (any name containing ``seconds``) additionally get
+``noise_floor_seconds`` as their absolute floor: a 25% relative band on a
+0.1 s workload is only 25 ms — well inside scheduler jitter on a shared
+CI runner — so sub-second deltas below the floor never gate.  Slowdowns
+of anything that takes real time still clear it by orders of magnitude.
+
+Direction
+---------
+
+Whether *up* is good depends on the series: ``*_seconds`` down is good,
+``*.speedup`` up is good.  :func:`direction_of` encodes the naming
+conventions of the metric registry (``docs/observability.md``); series
+with no known direction classify as unchanged/indeterminate and never
+trip the gate.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from .history import RunRecord
+
+#: Schema identifier stamped into diff documents.
+DIFF_SCHEMA = "repro.obs.diff/v1"
+
+#: Normal-consistency factor turning a MAD into a sigma estimate.
+MAD_SIGMA = 1.4826
+
+#: Series-name suffixes where a *decrease* is an improvement.
+LOWER_IS_BETTER = (
+    "seconds", "_seconds", ".sum", ".mean", ".max", ".count_dropped",
+    "failures", "retries", "fallbacks", "recreations", "corrupt_lines",
+    "degraded_pairs", "false_positives", "false_negatives", "lag_days",
+    "missing", "stale", "nodes_explored", "machine_hours", "executions",
+    "experiments_planned", "imbalance",
+)
+
+#: Series-name suffixes where an *increase* is an improvement.
+HIGHER_IS_BETTER = (
+    "speedup", "recall", "precision", "f1", "accuracy", "hits",
+    "deterministic_across_worker_counts", "exact",
+)
+
+
+def direction_of(name: str) -> int:
+    """The improvement direction of a series name.
+
+    Returns ``-1`` when lower is better, ``+1`` when higher is better,
+    ``0`` when unknown (the series still diffs, but never gates).
+    Higher-is-better suffixes win ties because they are the more specific
+    convention (``….speedup`` vs the generic ``…seconds``).
+    """
+    for suffix in HIGHER_IS_BETTER:
+        if name.endswith(suffix):
+            return 1
+    for suffix in LOWER_IS_BETTER:
+        if name.endswith(suffix):
+            return -1
+    return 0
+
+
+@dataclass(frozen=True)
+class DiffThresholds:
+    """The tolerance knobs of the comparator (see module docstring)."""
+
+    #: Relative tolerance around the baseline median.
+    rel: float = 0.25
+    #: MAD multiplier (``k`` in the threshold formula).
+    mad_scale: float = 4.0
+    #: Absolute floor below which deltas are always noise.
+    abs_floor: float = 1e-9
+    #: Absolute floor for wall-clock series (name contains ``seconds``):
+    #: deltas below this are scheduler jitter, never regressions.
+    noise_floor_seconds: float = 0.05
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+@dataclass
+class SeriesDiff:
+    """One series' comparison: baseline stats, candidate value, verdict."""
+
+    name: str
+    baseline: Optional[float]
+    candidate: Optional[float]
+    threshold: float = 0.0
+    direction: int = 0
+    window: int = 1
+    #: ``improved`` / ``regressed`` / ``unchanged`` / ``indeterminate`` /
+    #: ``added`` / ``removed``
+    classification: str = "unchanged"
+
+    @property
+    def delta(self) -> Optional[float]:
+        """``candidate - baseline`` (None when either side is missing)."""
+        if self.baseline is None or self.candidate is None:
+            return None
+        return self.candidate - self.baseline
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """``candidate / baseline`` (None when undefined)."""
+        if self.baseline is None or self.candidate is None:
+            return None
+        if self.baseline == 0.0:
+            return None
+        return self.candidate / self.baseline
+
+    def to_dict(self) -> dict:
+        """The series diff as a plain-JSON object."""
+        return {
+            "name": self.name,
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "delta": self.delta,
+            "ratio": self.ratio,
+            "threshold": self.threshold,
+            "direction": self.direction,
+            "window": self.window,
+            "classification": self.classification,
+        }
+
+
+def diff_series(name: str, baseline_values: Sequence[float],
+                candidate: Optional[float],
+                thresholds: DiffThresholds = DiffThresholds()) -> SeriesDiff:
+    """Classify one series against its baseline window.
+
+    ``baseline_values`` is every baseline observation of the series (one
+    per run in the window); ``candidate`` is the new run's value (or None
+    when the new run dropped the series).
+    """
+    direction = direction_of(name)
+    if not baseline_values:
+        return SeriesDiff(name, None, candidate, direction=direction,
+                          window=0, classification="added")
+    median = _median(baseline_values)
+    if candidate is None:
+        return SeriesDiff(name, median, None, direction=direction,
+                          window=len(baseline_values),
+                          classification="removed")
+    mad = _median([abs(v - median) for v in baseline_values])
+    abs_floor = thresholds.abs_floor
+    if "seconds" in name:
+        abs_floor = max(abs_floor, thresholds.noise_floor_seconds)
+    threshold = max(
+        thresholds.rel * abs(median),
+        thresholds.mad_scale * MAD_SIGMA * mad,
+        abs_floor,
+    )
+    delta = candidate - median
+    if abs(delta) <= threshold or not math.isfinite(delta):
+        classification = "unchanged"
+    elif direction == 0:
+        classification = "indeterminate"
+    elif delta * direction > 0:
+        classification = "improved"
+    else:
+        classification = "regressed"
+    return SeriesDiff(name, median, candidate, threshold=threshold,
+                      direction=direction, window=len(baseline_values),
+                      classification=classification)
+
+
+@dataclass
+class RunDiff:
+    """The full comparison of one candidate run against its baseline."""
+
+    baseline_name: str
+    candidate_name: str
+    series: List[SeriesDiff] = field(default_factory=list)
+    thresholds: DiffThresholds = field(default_factory=DiffThresholds)
+
+    def of(self, classification: str) -> List[SeriesDiff]:
+        """Every series with the given classification."""
+        return [s for s in self.series if s.classification == classification]
+
+    @property
+    def regressions(self) -> List[SeriesDiff]:
+        """The series that regressed (what the gate fails on)."""
+        return self.of("regressed")
+
+    @property
+    def improvements(self) -> List[SeriesDiff]:
+        """The series that improved."""
+        return self.of("improved")
+
+    def summary(self) -> Dict[str, int]:
+        """Classification → count over every compared series."""
+        counts: Dict[str, int] = {}
+        for s in self.series:
+            counts[s.classification] = counts.get(s.classification, 0) + 1
+        return counts
+
+    def gate_exit_code(self) -> int:
+        """The CI gate verdict: 0 when nothing regressed, else 2."""
+        return 2 if self.regressions else 0
+
+    def to_dict(self) -> dict:
+        """The diff as a ``repro.obs.diff/v1`` document."""
+        return {
+            "schema": DIFF_SCHEMA,
+            "baseline": self.baseline_name,
+            "candidate": self.candidate_name,
+            "thresholds": {
+                "rel": self.thresholds.rel,
+                "mad_scale": self.thresholds.mad_scale,
+                "abs_floor": self.thresholds.abs_floor,
+                "noise_floor_seconds": self.thresholds.noise_floor_seconds,
+            },
+            "summary": self.summary(),
+            "series": [s.to_dict() for s in self.series],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The diff document as JSON text."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def diff_records(baseline: Union[RunRecord, Sequence[RunRecord]],
+                 candidate: RunRecord,
+                 thresholds: DiffThresholds = DiffThresholds()) -> RunDiff:
+    """Diff a candidate record against one record or a window of records.
+
+    Every series appearing on either side is classified; series present
+    only in the candidate are ``added``, series the candidate dropped are
+    ``removed`` — both informational, neither gates.
+    """
+    if isinstance(baseline, RunRecord):
+        window: List[RunRecord] = [baseline]
+    else:
+        window = list(baseline)
+        if not window:
+            raise ValueError("baseline window is empty")
+    baseline_name = (window[0].name if len(window) == 1
+                     else f"{window[-1].name} (median of {len(window)} runs)")
+    names = sorted(
+        set(candidate.series)
+        | {n for record in window for n in record.series}
+    )
+    series = []
+    for name in names:
+        values = [r.series[name] for r in window if name in r.series]
+        series.append(diff_series(
+            name, values, candidate.series.get(name), thresholds,
+        ))
+    return RunDiff(
+        baseline_name=baseline_name,
+        candidate_name=candidate.name,
+        series=series,
+        thresholds=thresholds,
+    )
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+_MARKS = {"regressed": "✗", "improved": "✓", "indeterminate": "?",
+          "added": "+", "removed": "-", "unchanged": " "}
+
+
+def format_diff(diff: RunDiff, show_unchanged: bool = False) -> str:
+    """The diff as a table: one row per (interesting) series.
+
+    Unchanged series are summarized by count unless ``show_unchanged``.
+    """
+    lines = [f"diff: {diff.candidate_name!r} vs baseline "
+             f"{diff.baseline_name!r}"]
+    summary = diff.summary()
+    lines.append("  " + "  ".join(
+        f"{k}={summary[k]}" for k in sorted(summary)
+    ))
+    rows = [s for s in diff.series
+            if show_unchanged or s.classification != "unchanged"]
+    if rows:
+        width = max(len(s.name) for s in rows)
+        for s in rows:
+            mark = _MARKS.get(s.classification, "?")
+            base = "—" if s.baseline is None else f"{s.baseline:.6g}"
+            cand = "—" if s.candidate is None else f"{s.candidate:.6g}"
+            ratio = "" if s.ratio is None else f"  ({s.ratio:.2f}x)"
+            lines.append(
+                f"  {mark} {s.name:<{width}s}  {base:>12s} → {cand:>12s}"
+                f"{ratio}  [{s.classification}]"
+            )
+    if not show_unchanged and summary.get("unchanged"):
+        lines.append(f"  ({summary['unchanged']} series unchanged)")
+    return "\n".join(lines)
+
+
+def format_diff_report(doc: dict) -> str:
+    """Render a ``repro.obs.diff/v1`` document (for the report CLI)."""
+    thresholds = doc.get("thresholds", {})
+    diff = RunDiff(
+        baseline_name=doc.get("baseline", "?"),
+        candidate_name=doc.get("candidate", "?"),
+        series=[
+            SeriesDiff(
+                name=s["name"], baseline=s.get("baseline"),
+                candidate=s.get("candidate"),
+                threshold=s.get("threshold", 0.0),
+                direction=s.get("direction", 0),
+                window=s.get("window", 1),
+                classification=s.get("classification", "unchanged"),
+            )
+            for s in doc.get("series", [])
+        ],
+        thresholds=DiffThresholds(
+            rel=thresholds.get("rel", DiffThresholds.rel),
+            mad_scale=thresholds.get("mad_scale", DiffThresholds.mad_scale),
+            abs_floor=thresholds.get("abs_floor", DiffThresholds.abs_floor),
+            noise_floor_seconds=thresholds.get(
+                "noise_floor_seconds", DiffThresholds.noise_floor_seconds),
+        ),
+    )
+    return format_diff(diff)

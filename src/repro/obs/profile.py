@@ -1,0 +1,415 @@
+"""Deterministic span-tree profiling: self/total attribution + flame data.
+
+The ``repro.obs.trace/v2`` documents every run leaves behind are already
+a wall-time tree; this module turns one into profiler-grade views without
+re-running anything (so two profiles of the same trace are bit-identical):
+
+* :func:`profile_trace` — per-span-name **self/total attribution**
+  (:class:`TraceProfile`): total seconds (inclusive, summed over every
+  occurrence), self seconds (total minus child time), and call counts;
+* :func:`collapsed_stacks` — ``root;child;leaf <µs>`` lines, the
+  flamegraph.pl / speedscope "collapsed" input format, weighted by self
+  time in integer microseconds;
+* :func:`speedscope_document` — an evented
+  `speedscope <https://www.speedscope.app>`_ profile; child spans are laid
+  out back-to-back from their parent's open, so the layout is a pure
+  function of the trace.  :func:`validate_speedscope` checks a document
+  against the embedded :data:`SPEEDSCOPE_SCHEMA`;
+* :func:`fanout_skew` — p50/p95/max worker-imbalance statistics from the
+  ``parallel.task.queue_seconds`` / ``parallel.task.exec_seconds``
+  histograms a run's metrics snapshot carries.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from .trace import Span, Trace, read_trace
+
+#: Schema identifier stamped into profile documents.
+PROFILE_SCHEMA = "repro.obs.profile/v1"
+
+#: The speedscope file-format schema URL (stamped into exports).
+SPEEDSCOPE_SCHEMA_URL = "https://www.speedscope.app/file-format-schema.json"
+
+#: A structural JSON schema for the subset of the speedscope file format
+#: this module emits (evented profiles).  Used by
+#: :func:`validate_speedscope`; mirrors the published schema at
+#: :data:`SPEEDSCOPE_SCHEMA_URL`.
+SPEEDSCOPE_SCHEMA: dict = {
+    "type": "object",
+    "required": ["$schema", "shared", "profiles"],
+    "properties": {
+        "$schema": {"type": "string"},
+        "name": {"type": "string"},
+        "activeProfileIndex": {"type": "number"},
+        "exporter": {"type": "string"},
+        "shared": {
+            "type": "object",
+            "required": ["frames"],
+            "properties": {
+                "frames": {
+                    "type": "array",
+                    "items": {
+                        "type": "object",
+                        "required": ["name"],
+                        "properties": {"name": {"type": "string"}},
+                    },
+                },
+            },
+        },
+        "profiles": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["type", "name", "unit", "startValue",
+                             "endValue", "events"],
+                "properties": {
+                    "type": {"type": "string", "enum": ["evented"]},
+                    "name": {"type": "string"},
+                    "unit": {"type": "string",
+                             "enum": ["seconds", "milliseconds",
+                                      "microseconds", "nanoseconds"]},
+                    "startValue": {"type": "number"},
+                    "endValue": {"type": "number"},
+                    "events": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["type", "frame", "at"],
+                            "properties": {
+                                "type": {"type": "string",
+                                         "enum": ["O", "C"]},
+                                "frame": {"type": "number"},
+                                "at": {"type": "number"},
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+@dataclass
+class SpanStat:
+    """Aggregate timing of one span name across a trace."""
+
+    name: str
+    count: int = 0
+    total_seconds: float = 0.0
+    self_seconds: float = 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean inclusive time per occurrence (0.0 when unseen)."""
+        return self.total_seconds / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        """The stat as a plain-JSON object."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "self_seconds": self.self_seconds,
+        }
+
+
+def _self_seconds(span: Span) -> float:
+    """Span time not attributable to children (clamped at zero)."""
+    return max(0.0, span.seconds - sum(c.seconds for c in span.children))
+
+
+@dataclass
+class TraceProfile:
+    """Self/total attribution per span name for one trace."""
+
+    name: str
+    run_id: Optional[str] = None
+    total_seconds: float = 0.0
+    stats: Dict[str, SpanStat] = field(default_factory=dict)
+
+    def ranked(self, by: str = "self") -> List[SpanStat]:
+        """Stats sorted heaviest-first by ``self`` or ``total`` seconds."""
+        if by not in ("self", "total"):
+            raise ValueError("by must be 'self' or 'total'")
+        key = (lambda s: (-s.self_seconds, s.name)) if by == "self" else \
+            (lambda s: (-s.total_seconds, s.name))
+        return sorted(self.stats.values(), key=key)
+
+    def to_dict(self) -> dict:
+        """The profile as a ``repro.obs.profile/v1`` document."""
+        return {
+            "schema": PROFILE_SCHEMA,
+            "name": self.name,
+            "run_id": self.run_id,
+            "total_seconds": self.total_seconds,
+            "spans": [s.to_dict() for s in self.ranked("self")],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "TraceProfile":
+        """Rebuild a profile from its document form."""
+        if doc.get("schema") != PROFILE_SCHEMA:
+            raise ValueError(
+                f"not a profile document (schema={doc.get('schema')!r})"
+            )
+        profile = cls(
+            name=doc.get("name", "?"), run_id=doc.get("run_id"),
+            total_seconds=float(doc.get("total_seconds", 0.0)),
+        )
+        for stat in doc.get("spans", []):
+            profile.stats[stat["name"]] = SpanStat(
+                name=stat["name"], count=int(stat.get("count", 0)),
+                total_seconds=float(stat.get("total_seconds", 0.0)),
+                self_seconds=float(stat.get("self_seconds", 0.0)),
+            )
+        return profile
+
+    def format(self, top_k: int = 15) -> str:
+        """A ``self / total / count`` table, heaviest self time first."""
+        lines = [f"profile {self.name!r}: "
+                 f"{self.total_seconds * 1e3:.2f} ms total"
+                 + (f"  (run {self.run_id})" if self.run_id else "")]
+        shown = self.ranked("self")[:top_k]
+        if not shown:
+            return lines[0] + "\n  (no spans)"
+        width = max(len(s.name) for s in shown)
+        lines.append(f"  {'span':<{width}s}  {'self ms':>10s}  "
+                     f"{'total ms':>10s}  {'count':>6s}  {'self %':>6s}")
+        total = self.total_seconds or 1e-12
+        for s in shown:
+            lines.append(
+                f"  {s.name:<{width}s}  {s.self_seconds * 1e3:>10.2f}  "
+                f"{s.total_seconds * 1e3:>10.2f}  {s.count:>6d}  "
+                f"{100.0 * s.self_seconds / total:>6.1f}"
+            )
+        return "\n".join(lines)
+
+
+def profile_trace(source: Union[Trace, dict, str]) -> TraceProfile:
+    """Aggregate a trace (object, document, JSON text, or path) into a
+    :class:`TraceProfile` of per-span-name self/total attribution."""
+    trace = source if isinstance(source, Trace) else read_trace(source)
+    profile = TraceProfile(
+        name=trace.name, run_id=trace.run_id,
+        total_seconds=trace.total_seconds,
+    )
+    for span in trace.walk():
+        stat = profile.stats.setdefault(span.name, SpanStat(span.name))
+        stat.count += 1
+        stat.total_seconds += span.seconds
+        stat.self_seconds += _self_seconds(span)
+    return profile
+
+
+def format_profile_report(doc: dict) -> str:
+    """Render a ``repro.obs.profile/v1`` document (for the report CLI)."""
+    return TraceProfile.from_dict(doc).format()
+
+
+# ----------------------------------------------------------------------
+# collapsed stacks (flamegraph.pl / speedscope "collapsed" input)
+# ----------------------------------------------------------------------
+def collapsed_stacks(source: Union[Trace, dict, str]) -> str:
+    """The trace as collapsed-stack lines weighted by self time.
+
+    One line per unique root-to-span path: ``a;b;c 1234`` where the value
+    is the path's summed *self* time in integer microseconds.  Zero-weight
+    paths are kept only if they are leaves (so every span name appears).
+    """
+    trace = source if isinstance(source, Trace) else read_trace(source)
+    weights: Dict[Tuple[str, ...], int] = {}
+
+    def walk(span: Span, path: Tuple[str, ...]) -> None:
+        here = path + (span.name,)
+        micros = int(round(_self_seconds(span) * 1e6))
+        if micros > 0 or not span.children:
+            weights[here] = weights.get(here, 0) + micros
+        for child in span.children:
+            walk(child, here)
+
+    for span in trace.spans:
+        walk(span, ())
+    return "\n".join(
+        ";".join(path) + f" {weights[path]}" for path in sorted(weights)
+    )
+
+
+# ----------------------------------------------------------------------
+# speedscope export
+# ----------------------------------------------------------------------
+def speedscope_document(source: Union[Trace, dict, str]) -> dict:
+    """The trace as a speedscope *evented* profile document.
+
+    Layout is deterministic: every span opens at a cursor that starts at
+    its parent's open time, children are laid out back-to-back in tree
+    order, and a span closes at ``max(open + seconds, last child close)``
+    so nested timing noise can never produce unbalanced events.
+    """
+    trace = source if isinstance(source, Trace) else read_trace(source)
+    frames: List[dict] = []
+    frame_index: Dict[str, int] = {}
+
+    def frame_of(name: str) -> int:
+        if name not in frame_index:
+            frame_index[name] = len(frames)
+            frames.append({"name": name})
+        return frame_index[name]
+
+    events: List[dict] = []
+
+    def emit(span: Span, at: float) -> float:
+        frame = frame_of(span.name)
+        events.append({"type": "O", "frame": frame, "at": at})
+        cursor = at
+        for child in span.children:
+            cursor = emit(child, cursor)
+        close = max(at + span.seconds, cursor)
+        events.append({"type": "C", "frame": frame, "at": close})
+        return close
+
+    cursor = 0.0
+    for span in trace.spans:
+        cursor = emit(span, cursor)
+    return {
+        "$schema": SPEEDSCOPE_SCHEMA_URL,
+        "name": trace.name,
+        "exporter": "repro.obs.profile",
+        "activeProfileIndex": 0,
+        "shared": {"frames": frames},
+        "profiles": [{
+            "type": "evented",
+            "name": trace.name,
+            "unit": "seconds",
+            "startValue": 0.0,
+            "endValue": cursor,
+            "events": events,
+        }],
+    }
+
+
+def validate_speedscope(doc: dict) -> List[str]:
+    """Validate a document against :data:`SPEEDSCOPE_SCHEMA`.
+
+    Returns a list of violations (empty when the document conforms) —
+    each a ``path: problem`` string.  Beyond the structural schema, the
+    evented profiles are checked for balanced, monotonic open/close
+    events.
+    """
+    problems: List[str] = []
+    _validate_node(doc, SPEEDSCOPE_SCHEMA, "$", problems)
+    for p, profile in enumerate(doc.get("profiles", [])):
+        stack: List[int] = []
+        last = float("-inf")
+        for i, event in enumerate(profile.get("events", [])):
+            at = event.get("at", 0.0)
+            if at < last:
+                problems.append(
+                    f"$.profiles[{p}].events[{i}]: 'at' went backwards"
+                )
+            last = at
+            if event.get("type") == "O":
+                stack.append(event.get("frame"))
+            elif event.get("type") == "C":
+                if not stack or stack.pop() != event.get("frame"):
+                    problems.append(
+                        f"$.profiles[{p}].events[{i}]: unbalanced close"
+                    )
+        if stack:
+            problems.append(f"$.profiles[{p}]: {len(stack)} unclosed frame(s)")
+    return problems
+
+
+def _validate_node(value, schema: dict, path: str,
+                   problems: List[str]) -> None:
+    """Recursive structural check for the JSON-schema subset we use
+    (``type``, ``required``, ``properties``, ``items``, ``enum``)."""
+    expected = schema.get("type")
+    if expected == "object":
+        if not isinstance(value, dict):
+            problems.append(f"{path}: expected object, got "
+                            f"{type(value).__name__}")
+            return
+        for key in schema.get("required", []):
+            if key not in value:
+                problems.append(f"{path}: missing required key {key!r}")
+        for key, subschema in schema.get("properties", {}).items():
+            if key in value:
+                _validate_node(value[key], subschema, f"{path}.{key}",
+                               problems)
+    elif expected == "array":
+        if not isinstance(value, list):
+            problems.append(f"{path}: expected array, got "
+                            f"{type(value).__name__}")
+            return
+        items = schema.get("items")
+        if items:
+            for i, element in enumerate(value):
+                _validate_node(element, items, f"{path}[{i}]", problems)
+    elif expected == "string":
+        if not isinstance(value, str):
+            problems.append(f"{path}: expected string")
+        elif "enum" in schema and value not in schema["enum"]:
+            problems.append(f"{path}: {value!r} not in {schema['enum']}")
+    elif expected == "number":
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            problems.append(f"{path}: expected number")
+
+
+# ----------------------------------------------------------------------
+# fan-out skew from per-task histograms
+# ----------------------------------------------------------------------
+def histogram_percentile(hist: dict, q: float) -> float:
+    """The ``q``-quantile (0..1) of a bucketed histogram snapshot.
+
+    Deterministic upper-bound estimate: walks the cumulative bucket
+    counts and returns the first bucket's upper edge at or past the
+    target rank (the overflow bucket reports the observed max).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    count = hist.get("count", 0)
+    if not count:
+        return 0.0
+    target = q * count
+    cumulative = 0
+    for bound, bucket in zip(hist["bounds"], hist["bucket_counts"]):
+        cumulative += bucket
+        if cumulative >= target:
+            return float(bound)
+    return float(hist.get("max") or hist["bounds"][-1])
+
+
+def fanout_skew(metrics_doc: dict,
+                prefix: str = "parallel.task") -> Optional[dict]:
+    """Worker-imbalance statistics from a run's per-task histograms.
+
+    Reads the ``<prefix>.exec_seconds`` and ``<prefix>.queue_seconds``
+    histograms of a ``repro.obs.metrics/v1`` snapshot and reports, per
+    histogram, p50/p95/max/mean seconds — plus ``imbalance`` (max over
+    mean exec seconds, 1.0 = perfectly even tasks).  Returns None when
+    the run recorded no per-task histograms (serial runs).
+    """
+    histograms = metrics_doc.get("histograms", {})
+    out: dict = {}
+    for kind in ("exec", "queue"):
+        hist = histograms.get(f"{prefix}.{kind}_seconds")
+        if not hist or not hist.get("count"):
+            continue
+        mean = hist["sum"] / hist["count"]
+        out[kind] = {
+            "count": hist["count"],
+            "mean_seconds": mean,
+            "p50_seconds": histogram_percentile(hist, 0.50),
+            "p95_seconds": histogram_percentile(hist, 0.95),
+            "max_seconds": float(hist.get("max") or 0.0),
+        }
+    if "exec" not in out:
+        return None
+    mean = out["exec"]["mean_seconds"]
+    out["imbalance"] = (out["exec"]["max_seconds"] / mean) if mean else 1.0
+    return out

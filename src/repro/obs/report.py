@@ -1,18 +1,27 @@
-"""Render traces, metrics snapshots, and manifests for humans.
+"""Render any obs artefact for humans (or, via ``--format json``, tools).
 
 Backs the ``python -m repro.obs report`` CLI: given a trace file (v1 or
 v2, single trace or collection), prints each trace's span tree with wall
-times and a top-k table of its counters; given a metrics snapshot or a
-manifest, prints the corresponding table.  All functions return strings
-so tests and notebooks can use them directly.
+times and a top-k table of its counters; metrics snapshots, manifests,
+diff documents, profiles, scorecards, single history records, and whole
+``.jsonl`` history stores each get their matching table.  All functions
+return strings so tests and notebooks can use them directly;
+:func:`load_report_document` is the machine-readable side — it resolves a
+source to its canonical JSON document for ``--format json``.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import json
+from typing import List, Optional, Tuple
 
+from .diff import DIFF_SCHEMA, format_diff_report
+from .history import (HISTORY_SCHEMA, RunHistory, RunRecord,
+                      format_history_report)
 from .manifest import MANIFEST_SCHEMA, RunManifest
+from .profile import PROFILE_SCHEMA, format_profile_report
 from .registry import METRICS_SCHEMA
+from .scorecard import SCORECARD_SCHEMA, format_scorecard_report
 from .trace import Span, Trace, _load_document, read_traces
 
 #: Number of counters shown in the "top counters" table by default.
@@ -124,13 +133,65 @@ def format_manifest_report(manifest: RunManifest) -> str:
     return "\n".join(lines)
 
 
+def format_record_report(record: RunRecord) -> str:
+    """A one-screen summary of a single history record."""
+    sha = (record.git_sha or "?")[:10]
+    dirty = "*" if record.git_dirty else ""
+    lines = [f"run {record.run_id}  ({record.name})  git {sha}{dirty}"]
+    if record.series:
+        width = max(len(n) for n in record.series)
+        for name in sorted(record.series):
+            lines.append(f"  {name:<{width}s}  {record.series[name]:>14g}")
+    if record.documents:
+        lines.append(f"  documents: {', '.join(sorted(record.documents))}")
+    return "\n".join(lines)
+
+
 def report(source, top_k: int = DEFAULT_TOP_K) -> str:
-    """Render any obs artefact (trace, collection, metrics snapshot, or
-    manifest — dict, JSON text, or path) as human-readable text."""
+    """Render any obs artefact (trace, collection, metrics snapshot,
+    manifest, diff, profile, scorecard, history record, or ``.jsonl``
+    history store — dict, JSON text, or path) as human-readable text."""
+    if isinstance(source, str) and source.endswith(".jsonl"):
+        return format_history_report(RunHistory(source))
     doc = _load_document(source)
     schema: Optional[str] = doc.get("schema")
     if schema == METRICS_SCHEMA:
         return format_metrics_report(doc, top_k=top_k)
     if schema == MANIFEST_SCHEMA:
         return format_manifest_report(RunManifest.from_dict(doc))
+    if schema == DIFF_SCHEMA:
+        return format_diff_report(doc)
+    if schema == PROFILE_SCHEMA:
+        return format_profile_report(doc)
+    if schema == SCORECARD_SCHEMA:
+        return format_scorecard_report(doc)
+    if schema == HISTORY_SCHEMA:
+        return format_record_report(RunRecord.from_dict(doc))
     return format_trace_report(doc, top_k=top_k)
+
+
+def load_report_document(source) -> dict:
+    """The canonical JSON document behind a report source.
+
+    For ordinary artefacts this is the parsed document itself; a
+    ``.jsonl`` history store resolves to a wrapper listing its records.
+    Used by ``python -m repro.obs report --format json``.
+    """
+    if isinstance(source, str) and source.endswith(".jsonl"):
+        history = RunHistory(source)
+        return {
+            "schema": HISTORY_SCHEMA,
+            "store": history.path,
+            "records": [r.to_dict() for r in history.records()],
+            "corrupt_lines": history.corrupt_lines,
+        }
+    doc = _load_document(source)
+    if "schema" not in doc:
+        raise ValueError("document has no 'schema' key")
+    return doc
+
+
+def report_json(sources: List) -> str:
+    """Many sources as one JSON array document (stable key order)."""
+    return json.dumps([load_report_document(s) for s in sources],
+                      indent=2, sort_keys=True)

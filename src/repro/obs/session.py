@@ -52,14 +52,20 @@ class Session:
     meta:
         Free-form metadata attached to the trace document (device
         fingerprints, policy names).
+    history:
+        Optional path to (or :class:`~repro.obs.history.RunHistory` over)
+        an append-only run store; when set, :meth:`write` also appends a
+        summary record (see :meth:`append_history`).
     """
 
     def __init__(self, name: str,
                  config: Optional[dict] = None,
                  seeds: Optional[dict] = None,
                  workers: Optional[int] = None,
-                 meta: Optional[dict] = None):
+                 meta: Optional[dict] = None,
+                 history=None):
         self.name = name
+        self.history = history
         self.run_id = new_run_id()
         self.config = dict(config or {})
         self.seeds = dict(seeds or {})
@@ -67,6 +73,9 @@ class Session:
         self.meta = dict(meta or {})
         #: Headline numbers the caller wants pinned in the manifest.
         self.results: Dict[str, Any] = {}
+        #: Whole documents (e.g. a scorecard) embedded in the history
+        #: record so they round-trip through the store.
+        self.documents: Dict[str, Any] = {}
 
         self._root = Span(name=name)
         self._started: Optional[float] = None
@@ -165,4 +174,30 @@ class Session:
             handle.write(self.manifest.to_json(indent=2))
             handle.write("\n")
         self.event_log.write(paths["events"])
+        if self.history is not None:
+            self.append_history(self.history)
         return paths
+
+    def append_history(self, history) -> "RunRecord":
+        """Append this run's summary record to a history store.
+
+        ``history`` is a store path or a
+        :class:`~repro.obs.history.RunHistory`.  The record carries the
+        manifest's ``results.*`` series, the metric-delta summary, the
+        trace's top-level span times, and any :attr:`documents`.  Only
+        valid after the session has exited.
+        """
+        from .history import RunHistory, RunRecord
+
+        if self.trace is None:
+            raise RuntimeError("session has not finished; nothing to append")
+        if not isinstance(history, RunHistory):
+            history = RunHistory(history)
+        self.manifest.results = dict(self.results)
+        record = RunRecord.from_artifacts(
+            manifest=self.manifest.to_dict(),
+            metrics=self.metrics,
+            trace=self.trace,
+            documents=self.documents,
+        )
+        return history.append(record)

@@ -30,6 +30,22 @@ Worker count resolution order: explicit ``workers=`` keyword, then the
 the engine always resolves to serial so nested fan-outs (a tomography
 setting running trajectory batches) never oversubscribe.
 
+Minimum-work serial fallback
+----------------------------
+
+Process pools only pay off when the work dwarfs the fork/pickle/IPC tax;
+the perf baseline showed small fan-outs (tomography settings, trajectory
+batches) running *slower* at 4 workers than serially.  A multi-worker
+engine therefore **probes**: it runs the first task serially, estimates
+the map's total serial cost as ``probe_seconds * len(items)``, and only
+spins up the pool when that estimate clears ``min_parallel_seconds``
+(default 0.2 s; overridable per engine, via the
+``REPRO_MIN_PARALLEL_SECONDS`` environment variable, or disabled entirely
+with 0).  The decision is recorded as the ``parallel.mode`` gauge and the
+per-map ``parallel.map.mode`` span counter — 0 serial (workers resolved
+to 1), 1 serial fallback (pool skipped as not worth it), 2 pool.  Fault
+injection always forces the real pool so worker-death tests stay honest.
+
 Task functions must be module-level (picklable) and are called as
 ``fn(context, item)``; the ``context`` object is shipped to each worker
 once via the pool initializer rather than once per task.
@@ -76,6 +92,16 @@ from repro.resilience.retry import RetryPolicy
 #: Environment variable overriding the default worker count.
 WORKERS_ENV = "REPRO_WORKERS"
 
+#: Environment variable overriding the serial-fallback threshold.
+MIN_PARALLEL_ENV = "REPRO_MIN_PARALLEL_SECONDS"
+
+#: Default estimated-serial-cost threshold (seconds) below which a
+#: multi-worker map falls back to serial execution.
+DEFAULT_MIN_PARALLEL_SECONDS = 0.2
+
+#: ``parallel.mode`` gauge / ``parallel.map.mode`` counter encoding.
+MODE_CODES = {"serial": 0, "serial-fallback": 1, "pool": 2}
+
 #: Worker-process state, installed by the pool initializer.
 _WORKER_CONTEXT: Any = None
 _IN_WORKER = False
@@ -101,6 +127,27 @@ def resolve_workers(workers: Optional[int] = None) -> int:
                 f"{WORKERS_ENV}={env!r} is not an integer worker count"
             ) from None
     return max(1, int(workers))
+
+
+def resolve_min_parallel_seconds(value: Optional[float] = None) -> float:
+    """Resolve the serial-fallback threshold (seconds of estimated work).
+
+    Precedence: the explicit ``value`` if given, else the
+    ``REPRO_MIN_PARALLEL_SECONDS`` environment variable, else
+    :data:`DEFAULT_MIN_PARALLEL_SECONDS`.  ``0`` disables the heuristic
+    (every multi-worker map uses the pool unconditionally).
+    """
+    if value is None:
+        env = os.environ.get(MIN_PARALLEL_ENV, "").strip()
+        if not env:
+            return DEFAULT_MIN_PARALLEL_SECONDS
+        try:
+            value = float(env)
+        except ValueError:
+            raise ValueError(
+                f"{MIN_PARALLEL_ENV}={env!r} is not a number of seconds"
+            ) from None
+    return max(0.0, float(value))
 
 
 def _init_worker(context: Any) -> None:
@@ -170,11 +217,15 @@ class ParallelEngine:
 
     def __init__(self, workers: Optional[int] = None, name: str = "parallel",
                  retry: Optional[RetryPolicy] = None,
-                 faults: Optional[FaultInjector] = None):
+                 faults: Optional[FaultInjector] = None,
+                 min_parallel_seconds: Optional[float] = None):
         self.workers = resolve_workers(workers)
         self.name = name
         self.retry = retry
         self.faults = faults
+        self.min_parallel_seconds = resolve_min_parallel_seconds(
+            min_parallel_seconds
+        )
         self.counters: Dict[str, float] = {
             "parallel.workers": float(self.workers),
             "parallel.tasks": 0.0,
@@ -293,42 +344,96 @@ class ParallelEngine:
                     f"keys has {len(keys)} entries for {len(work)} items"
                 )
         registry = get_registry()
+        results: List[Any] = [None] * len(work)
         with obs_span(f"parallel.map[{self.name}]") as record:
             record.counters["parallel.map.workers"] = float(self.workers)
             record.counters["parallel.map.tasks"] = float(len(work))
             started = time.perf_counter()
             if self.workers == 1 or len(work) <= 1:
-                results = self._map_serial(
+                mode = "serial"
+                self._map_serial(
                     fn, work, context, keys, on_result, return_failures,
-                    record, registry,
+                    record, registry, range(len(work)), results,
                 )
             else:
-                try:
-                    results = self._map_pool(
+                mode, remaining = self._probe(
+                    fn, work, context, keys, on_result, return_failures,
+                    record, registry, results,
+                )
+                if mode == "serial-fallback":
+                    self._map_serial(
                         fn, work, context, keys, on_result, return_failures,
-                        record, registry,
+                        record, registry, remaining, results,
                     )
-                except BaseException:
-                    # Cleanup only: the pool cannot outlive a failed map.
-                    # The exception re-raises unmodified (task failures
-                    # were already annotated with their TaskFailure).
-                    self.close()
-                    raise
+                else:
+                    try:
+                        self._map_pool(
+                            fn, work, context, keys, on_result,
+                            return_failures, record, registry, remaining,
+                            results,
+                        )
+                    except BaseException:
+                        # Cleanup only: the pool cannot outlive a failed
+                        # map.  The exception re-raises unmodified (task
+                        # failures were already annotated with their
+                        # TaskFailure).
+                        self.close()
+                        raise
             wall = time.perf_counter() - started
             self.counters["parallel.tasks"] += float(len(work))
             self.counters["parallel.wall_seconds"] += wall
             record.counters["parallel.map.wall_seconds"] = wall
+            record.counters["parallel.map.mode"] = float(MODE_CODES[mode])
+            registry.set("parallel.mode", float(MODE_CODES[mode]))
         return results
+
+    def _probe(self, fn, work, context, keys, on_result, return_failures,
+               record, registry, results) -> Tuple[str, Sequence[int]]:
+        """Decide pool vs serial fallback for a multi-worker map.
+
+        Runs task 0 serially, extrapolates the map's serial cost from its
+        wall time, and skips the pool when the estimate stays under
+        :attr:`min_parallel_seconds` (see the module docstring).  Returns
+        ``(mode, remaining_indexes)``; with the heuristic disabled — or a
+        :class:`FaultInjector` present, which needs real workers to kill —
+        nothing is probed and every index goes to the pool.
+        """
+        if self.min_parallel_seconds <= 0.0 or self.faults is not None:
+            return "pool", range(len(work))
+        t0 = time.perf_counter()
+        self._map_serial(
+            fn, work, context, keys, on_result, return_failures,
+            record, registry, range(1), results,
+        )
+        probe_seconds = time.perf_counter() - t0
+        estimate = probe_seconds * len(work)
+        remaining = range(1, len(work))
+        if estimate < self.min_parallel_seconds:
+            log_event(
+                "parallel.serial_fallback", site=self._site,
+                tasks=len(work), probe_seconds=probe_seconds,
+                estimate_seconds=estimate,
+                threshold_seconds=self.min_parallel_seconds,
+            )
+            return "serial-fallback", remaining
+        return "pool", remaining
 
     # ------------------------------------------------------------------
     def _task_key(self, keys: Optional[Sequence[Any]], index: int) -> Any:
         return keys[index] if keys is not None else index
 
     def _map_serial(self, fn, work, context, keys, on_result,
-                    return_failures, record, registry) -> List[Any]:
-        results: List[Any] = [None] * len(work)
+                    return_failures, record, registry,
+                    indexes: Sequence[int], results: List[Any]) -> None:
+        """Run the tasks at ``indexes`` in-process, filling ``results``.
+
+        ``indexes`` are global item indices (the probe hands the pool the
+        tail of the list), so keys, ``on_result`` callbacks, and failure
+        records keep their full-list identity.
+        """
         max_attempts = self._max_attempts()
-        for i, item in enumerate(work):
+        for i in indexes:
+            item = work[i]
             key = self._task_key(keys, i)
             attempts = 0
             while True:
@@ -371,14 +476,17 @@ class ParallelEngine:
                     if on_result is not None:
                         on_result(i, value)
                     break
-        return results
 
     def _map_pool(self, fn, work, context, keys, on_result,
-                  return_failures, record, registry) -> List[Any]:
-        results: List[Any] = [None] * len(work)
+                  return_failures, record, registry,
+                  indexes: Sequence[int], results: List[Any]) -> None:
+        """Run the tasks at ``indexes`` over the pool, filling ``results``.
+
+        As with :meth:`_map_serial`, ``indexes`` are global item indices.
+        """
         failures: Dict[int, TaskFailure] = {}
-        attempts = [0] * len(work)
-        pending = set(range(len(work)))
+        attempts: Dict[int, int] = {i: 0 for i in indexes}
+        pending = set(indexes)
         max_attempts = self._max_attempts()
         pool_breaks = 0
         while pending:
@@ -483,7 +591,6 @@ class ParallelEngine:
                 time.sleep(round_delay)
         for index, failure in failures.items():
             results[index] = failure
-        return results
 
     # ------------------------------------------------------------------
     def counters_since(self, baseline: Dict[str, float]) -> Dict[str, float]:

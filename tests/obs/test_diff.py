@@ -1,0 +1,155 @@
+"""Noise-aware run diffing: classification, windows, gating, rendering."""
+
+import pytest
+
+from repro.obs.diff import (
+    DIFF_SCHEMA,
+    DiffThresholds,
+    RunDiff,
+    diff_records,
+    diff_series,
+    direction_of,
+    format_diff,
+    format_diff_report,
+)
+from repro.obs.history import RunRecord
+
+
+class TestDirectionOf:
+    def test_seconds_and_failures_are_lower_better(self):
+        assert direction_of("trace.total_seconds") == -1
+        assert direction_of("resilience.task_failures") == -1
+        assert direction_of("rb.experiment_seconds.max") == -1
+
+    def test_speedup_and_recall_are_higher_better(self):
+        assert direction_of("workloads.tomography.speedup") == 1
+        assert direction_of("scorecard.recall") == 1
+
+    def test_unknown_names_have_no_direction(self):
+        assert direction_of("campaign.experiments") == 0
+
+
+class TestDiffSeries:
+    def test_within_band_is_unchanged(self):
+        d = diff_series("x.seconds", [1.0], 1.1)
+        assert d.classification == "unchanged"
+
+    def test_large_increase_of_lower_better_regresses(self):
+        d = diff_series("x.seconds", [1.0], 2.0)
+        assert d.classification == "regressed"
+        assert d.ratio == pytest.approx(2.0)
+
+    def test_large_decrease_of_lower_better_improves(self):
+        assert diff_series("x.seconds", [1.0], 0.4).classification == \
+            "improved"
+
+    def test_direction_flips_for_higher_better(self):
+        assert diff_series("x.speedup", [1.0], 2.0).classification == \
+            "improved"
+        assert diff_series("x.speedup", [2.0], 1.0).classification == \
+            "regressed"
+
+    def test_unknown_direction_never_gates(self):
+        d = diff_series("mystery.metric", [1.0], 100.0)
+        assert d.classification == "indeterminate"
+
+    def test_added_and_removed(self):
+        assert diff_series("x.seconds", [], 1.0).classification == "added"
+        assert diff_series("x.seconds", [1.0], None).classification == \
+            "removed"
+
+    def test_mad_band_absorbs_window_noise(self):
+        # Window scatter ~0.1 around 1.0; a candidate inside the MAD band
+        # must not regress even with a tight relative tolerance.
+        window = [0.9, 1.0, 1.1, 0.95, 1.05]
+        thresholds = DiffThresholds(rel=0.01, mad_scale=4.0)
+        d = diff_series("x.seconds", window, 1.15, thresholds)
+        assert d.classification == "unchanged"
+
+    def test_subsecond_jitter_is_below_the_wall_clock_floor(self):
+        # 32 ms on a 0.12 s workload is 1.26x — past the relative band,
+        # but pure scheduler jitter; the seconds floor absorbs it.
+        d = diff_series("workloads.tomography.parallel_seconds",
+                        [0.124], 0.156)
+        assert d.classification == "unchanged"
+
+    def test_wall_clock_floor_only_applies_to_seconds_series(self):
+        d = diff_series("scorecard.recall", [1.0], 0.70)
+        assert d.classification == "regressed"
+
+    def test_wall_clock_floor_can_be_disabled(self):
+        thresholds = DiffThresholds(rel=0.0, mad_scale=0.0,
+                                    noise_floor_seconds=0.0)
+        d = diff_series("x.seconds", [0.124], 0.156, thresholds)
+        assert d.classification == "regressed"
+
+    def test_identical_counter_is_exactly_unchanged(self):
+        d = diff_series("campaign.experiments", [36.0, 36.0, 36.0], 36.0)
+        assert d.classification == "unchanged"
+        assert d.delta == 0.0
+
+
+def _record(run_id, series):
+    return RunRecord(run_id=run_id, name="bench", series=series)
+
+
+class TestDiffRecords:
+    def test_two_run_diff_classifies_all_series(self):
+        base = _record("r1", {"a.seconds": 1.0, "b.speedup": 2.0, "c": 5.0})
+        cand = _record("r2", {"a.seconds": 2.2, "b.speedup": 2.0, "d": 1.0})
+        diff = diff_records(base, cand)
+        by_name = {s.name: s.classification for s in diff.series}
+        assert by_name == {"a.seconds": "regressed", "b.speedup": "unchanged",
+                           "c": "removed", "d": "added"}
+
+    def test_empty_window_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            diff_records([], _record("r", {}))
+
+    def test_injected_2x_slowdown_gates_nonzero(self):
+        """Acceptance: a synthetic 2x slowdown against a 5-run window must
+        trip the gate; an identical re-run must not."""
+        window = [_record(f"r{i}", {"campaign.run_seconds.sum": v})
+                  for i, v in enumerate([10.0, 10.2, 9.9, 10.1, 10.0])]
+        slow = _record("slow", {"campaign.run_seconds.sum": 20.0})
+        diff = diff_records(window, slow)
+        assert [s.name for s in diff.regressions] == \
+            ["campaign.run_seconds.sum"]
+        assert diff.gate_exit_code() == 2
+
+        same = _record("same", {"campaign.run_seconds.sum": 10.05})
+        assert diff_records(window, same).gate_exit_code() == 0
+
+    def test_window_label_names_median(self):
+        window = [_record(f"r{i}", {"x": 1.0}) for i in range(3)]
+        diff = diff_records(window, _record("c", {"x": 1.0}))
+        assert "median of 3 runs" in diff.baseline_name
+
+    def test_improvements_listed(self):
+        diff = diff_records(_record("r1", {"x.seconds": 2.0}),
+                            _record("r2", {"x.seconds": 0.5}))
+        assert [s.name for s in diff.improvements] == ["x.seconds"]
+        assert diff.gate_exit_code() == 0
+
+
+class TestRendering:
+    def test_format_diff_marks_regressions(self):
+        diff = diff_records(_record("r1", {"x.seconds": 1.0}),
+                            _record("r2", {"x.seconds": 3.0}))
+        text = format_diff(diff)
+        assert "regressed" in text
+        assert "x.seconds" in text
+
+    def test_unchanged_hidden_by_default_shown_on_request(self):
+        diff = diff_records(_record("r1", {"x.seconds": 1.0}),
+                            _record("r2", {"x.seconds": 1.0}))
+        assert "x.seconds" not in format_diff(diff)
+        assert "x.seconds" in format_diff(diff, show_unchanged=True)
+
+    def test_document_round_trip(self):
+        diff = diff_records(_record("r1", {"x.seconds": 1.0}),
+                            _record("r2", {"x.seconds": 3.0}))
+        doc = diff.to_dict()
+        assert doc["schema"] == DIFF_SCHEMA
+        assert doc["summary"]["regressed"] == 1
+        assert "regressed" in format_diff_report(doc)

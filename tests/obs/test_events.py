@@ -1,6 +1,16 @@
 """Structured event logging: sinks, run-id stamping, JSONL round-trip."""
 
-from repro.obs.events import EventLog, event_sink, log_event, read_events
+import pytest
+
+from repro.obs.events import (
+    EventLog,
+    current_run_id,
+    event_sink,
+    install_sink,
+    log_event,
+    read_events,
+    remove_sink,
+)
 
 
 class TestEventLog:
@@ -46,6 +56,66 @@ class TestSinks:
             log_event("in")
         log_event("out")
         assert [e["event"] for e in sink] == ["in"]
+
+
+class TestSinkInstallRemoveEdgeCases:
+    def test_duplicate_install_delivers_twice(self):
+        sink = EventLog()
+        install_sink(sink)
+        install_sink(sink)
+        try:
+            log_event("e")
+        finally:
+            remove_sink(sink)
+            remove_sink(sink)
+        assert len(sink) == 2
+
+    def test_remove_drops_one_instance_at_a_time(self):
+        sink = EventLog()
+        install_sink(sink)
+        install_sink(sink)
+        remove_sink(sink)
+        try:
+            log_event("e")
+        finally:
+            remove_sink(sink)
+        assert len(sink) == 1
+
+    def test_remove_never_installed_is_noop(self):
+        remove_sink(EventLog())  # must not raise
+
+    def test_remove_twice_is_safe(self):
+        sink = EventLog()
+        install_sink(sink)
+        remove_sink(sink)
+        remove_sink(sink)  # must not raise
+        log_event("gone")
+        assert len(sink) == 0
+
+    def test_event_sink_accepts_provided_sink(self):
+        mine = EventLog(run_id="mine")
+        with event_sink(mine) as sink:
+            assert sink is mine
+            log_event("e")
+        assert len(mine) == 1
+
+    def test_sink_removed_on_exception(self):
+        sink = EventLog()
+        with pytest.raises(RuntimeError):
+            with event_sink(sink):
+                raise RuntimeError("boom")
+        log_event("after")
+        assert len(sink) == 0
+
+    def test_current_run_id_prefers_innermost(self):
+        assert current_run_id() is None
+        with event_sink(EventLog(run_id="outer")):
+            with event_sink(EventLog()):  # no run_id: skipped
+                assert current_run_id() == "outer"
+            with event_sink(EventLog(run_id="inner")):
+                assert current_run_id() == "inner"
+            assert current_run_id() == "outer"
+        assert current_run_id() is None
 
 
 class TestJsonlRoundTrip:

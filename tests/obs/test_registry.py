@@ -150,7 +150,10 @@ class TestProcessSafety:
 
     def test_queue_timing_recorded_in_pool_mode(self):
         with push_registry() as reg:
-            with ParallelEngine(workers=2, name="t") as engine:
+            # disable the serial-fallback heuristic: queue timings only
+            # exist when tasks genuinely cross the pool
+            with ParallelEngine(workers=2, name="t",
+                                min_parallel_seconds=0.0) as engine:
                 engine.map(_registry_task, list(range(4)))
         hist = reg.histogram("parallel.task.queue_seconds")
         assert hist.count == 4

@@ -1,0 +1,164 @@
+"""Scorecards: pair normalization, quality math, drift lag, round-trips."""
+
+import pytest
+
+from repro.obs.history import RunHistory, RunRecord
+from repro.obs.scorecard import (
+    SCORECARD_SCHEMA,
+    DetectionQuality,
+    DriftDay,
+    Scorecard,
+    campaign_scorecard,
+    detection_quality,
+    drift_scorecard,
+    format_scorecard_report,
+    normalize_pair,
+    normalize_pairs,
+    schedule_audit_scorecard,
+)
+
+
+class TestNormalizePair:
+    def test_frozensets_lists_and_tuples_agree(self):
+        expected = ((0, 1), (2, 3))
+        assert normalize_pair(frozenset([(2, 3), (0, 1)])) == expected
+        assert normalize_pair([[3, 2], [1, 0]]) == expected
+        assert normalize_pair(((0, 1), (2, 3))) == expected
+
+    def test_normalize_pairs_dedupes(self):
+        pairs = [frozenset([(0, 1), (2, 3)]), [[2, 3], [0, 1]]]
+        assert normalize_pairs(pairs) == (((0, 1), (2, 3)),)
+
+
+class TestDetectionQuality:
+    def test_counts_and_rates(self):
+        q = detection_quality(
+            detected=[((0, 1), (2, 3)), ((4, 5), (6, 7))],
+            truth=[((0, 1), (2, 3)), ((8, 9), (10, 11))],
+        )
+        assert (q.true_positives, q.false_positives, q.false_negatives) == \
+            (1, 1, 1)
+        assert q.recall == 0.5
+        assert q.precision == 0.5
+
+    def test_empty_sets_score_perfect(self):
+        q = DetectionQuality(0, 0, 0)
+        assert q.recall == 1.0
+        assert q.precision == 1.0
+
+    def test_to_metrics_prefix(self):
+        metrics = DetectionQuality(1, 0, 0).to_metrics("pairs")
+        assert metrics["pairs.recall"] == 1.0
+
+
+class TestCampaignScorecard:
+    def test_builds_metrics_and_details(self):
+        card = campaign_scorecard(
+            "fig3", detected_pairs=[((0, 1), (2, 3))],
+            truth_pairs=[((0, 1), (2, 3))], run_id="r1",
+            experiments=12, pairs_measured=6, stale_units=1,
+            extra_metrics={"machine_hours": 0.5},
+        )
+        assert card.kind == "campaign"
+        assert card.metrics["recall"] == 1.0
+        assert card.metrics["experiments"] == 12.0
+        assert card.metrics["coverage.stale"] == 1.0
+        assert card.metrics["machine_hours"] == 0.5
+        assert card.details["detected_pairs"] == [[[0, 1], [2, 3]]]
+
+
+class TestDriftScorecard:
+    TRUTH = [((0, 1), (2, 3)), ((4, 5), (6, 7))]
+
+    def test_perfect_tracking_has_zero_lag(self):
+        days = [DriftDay.build(d, self.TRUTH, self.TRUTH) for d in range(4)]
+        card = drift_scorecard("drift", days)
+        assert card.metrics["recall"] == 1.0
+        assert card.metrics["drift_lag_days"] == 0.0
+        assert card.metrics["stable_days_fraction"] == 1.0
+
+    def test_lag_is_longest_consecutive_miss_streak(self):
+        # Pair B missed on days 1 and 2 (streak 2), detected again on 3.
+        days = [
+            DriftDay.build(0, self.TRUTH, self.TRUTH),
+            DriftDay.build(1, self.TRUTH[:1], self.TRUTH),
+            DriftDay.build(2, self.TRUTH[:1], self.TRUTH),
+            DriftDay.build(3, self.TRUTH, self.TRUTH),
+        ]
+        card = drift_scorecard("drift", days)
+        assert card.metrics["drift_lag_days"] == 2.0
+        assert card.metrics["stable_days_fraction"] == 0.5
+        assert card.metrics["recall"] == pytest.approx(6 / 8)
+        assert [d["missed"] for d in card.details["per_day"]] == [0, 1, 1, 0]
+
+    def test_empty_days_raise(self):
+        with pytest.raises(ValueError):
+            drift_scorecard("drift", [])
+
+
+class TestScheduleAuditScorecard:
+    def test_rate_and_fallbacks(self):
+        card = schedule_audit_scorecard("sched", serializations_taken=2,
+                                        serializations_warranted=4,
+                                        fallbacks=1)
+        assert card.metrics["serialization_rate"] == 0.5
+        assert card.metrics["fallbacks"] == 1.0
+
+    def test_no_candidates_is_full_rate(self):
+        card = schedule_audit_scorecard("sched", serializations_taken=0,
+                                        serializations_warranted=0)
+        assert card.metrics["serialization_rate"] == 1.0
+
+
+class TestDocumentRoundTrip:
+    def test_to_from_dict_exact(self):
+        card = campaign_scorecard("c", [((0, 1), (2, 3))],
+                                  [((0, 1), (2, 3))], run_id="r9")
+        back = Scorecard.from_dict(card.to_dict())
+        assert back == card
+        assert card.to_dict()["schema"] == SCORECARD_SCHEMA
+
+    def test_from_dict_rejects_foreign_schema(self):
+        with pytest.raises(ValueError, match="not a scorecard"):
+            Scorecard.from_dict({"schema": "x/v1"})
+
+    def test_series_prefixes_metrics(self):
+        card = schedule_audit_scorecard("s", serializations_taken=1,
+                                        serializations_warranted=1)
+        assert card.series()["scorecard.serialization_rate"] == 1.0
+
+    def test_format_renders_metrics(self):
+        card = drift_scorecard("d", [DriftDay.build(0, [], [])])
+        text = format_scorecard_report(card.to_dict())
+        assert "drift_lag_days" in text
+
+    def test_round_trips_through_history_store(self, tmp_path):
+        """Acceptance: a scorecard document survives the history store."""
+        card = drift_scorecard(
+            "fig4", [DriftDay.build(0, [((0, 1), (2, 3))],
+                                    [((0, 1), (2, 3))])], run_id="r1")
+        store = RunHistory(str(tmp_path / "h.jsonl"))
+        store.append(RunRecord(run_id="r1", name="fig4",
+                               series=card.series(),
+                               documents={"scorecard": card.to_dict()}))
+        record = store.records()[-1]
+        back = Scorecard.from_dict(record.documents["scorecard"])
+        assert back == card
+        assert record.series["scorecard.recall"] == 1.0
+
+
+class TestFig4DriftScorecard:
+    def test_fast_fig4_run_scores_high_recall(self):
+        """Acceptance: the fig4 drift experiment recovers the planted
+        high-crosstalk pairs with >= 0.9 recall."""
+        from repro.experiments.fig4_daily_drift import (
+            fig4_scorecard,
+            run_fig4,
+        )
+        from repro.rb.executor import RBConfig
+
+        rows = run_fig4(days=2, rb_config=RBConfig.fast())
+        card = fig4_scorecard(rows)
+        assert card.kind == "drift"
+        assert card.metrics["recall"] >= 0.9
+        assert card.metrics["days"] == 2.0

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.obs.registry import push_registry
 from repro.parallel import (
     ParallelEngine,
     WORKERS_ENV,
@@ -12,6 +13,11 @@ from repro.parallel import (
     stable_seed_sequence,
 )
 from repro.parallel import engine as engine_mod
+from repro.parallel.engine import (
+    MIN_PARALLEL_ENV,
+    MODE_CODES,
+    resolve_min_parallel_seconds,
+)
 
 
 # Task functions must be module-level so the process pool can pickle them.
@@ -96,7 +102,10 @@ class TestEngineMap:
     def test_parallel_matches_serial(self):
         items = list(range(6))
         serial = ParallelEngine(1).map(_offset, items, context=10)
-        pooled = ParallelEngine(3).map(_offset, items, context=10)
+        # min_parallel_seconds=0.0 disables the serial-fallback heuristic
+        # so the comparison genuinely exercises the pool.
+        pooled = ParallelEngine(3, min_parallel_seconds=0.0).map(
+            _offset, items, context=10)
         assert serial == pooled == [10 + i for i in items]
 
     def test_single_item_stays_serial(self):
@@ -105,14 +114,15 @@ class TestEngineMap:
 
     def test_exception_propagates_from_pool(self):
         with pytest.raises(ValueError, match="task 2"):
-            ParallelEngine(2).map(_boom, [1, 2, 3])
+            ParallelEngine(2, min_parallel_seconds=0.0).map(_boom, [1, 2, 3])
 
     def test_exception_propagates_serially(self):
         with pytest.raises(ValueError, match="task 2"):
             ParallelEngine(1).map(_boom, [1, 2, 3])
 
     def test_nested_fanout_serializes(self):
-        assert ParallelEngine(2).map(_nested_workers, [0, 1]) == [1, 1]
+        engine = ParallelEngine(2, min_parallel_seconds=0.0)
+        assert engine.map(_nested_workers, [0, 1]) == [1, 1]
 
     def test_counters_since(self):
         engine = ParallelEngine(1)
@@ -123,3 +133,68 @@ class TestEngineMap:
         # workers is a level, not an accumulator
         assert delta["parallel.workers"] == 1.0
         assert delta["parallel.serial_seconds_estimate"] >= 0.0
+
+
+class TestResolveMinParallelSeconds:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(MIN_PARALLEL_ENV, raising=False)
+        assert resolve_min_parallel_seconds() == \
+            engine_mod.DEFAULT_MIN_PARALLEL_SECONDS
+
+    def test_keyword_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(MIN_PARALLEL_ENV, "5.0")
+        assert resolve_min_parallel_seconds(1.5) == 1.5
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(MIN_PARALLEL_ENV, "0.7")
+        assert resolve_min_parallel_seconds() == 0.7
+
+    def test_env_must_be_numeric(self, monkeypatch):
+        monkeypatch.setenv(MIN_PARALLEL_ENV, "lots")
+        with pytest.raises(ValueError, match=MIN_PARALLEL_ENV):
+            resolve_min_parallel_seconds()
+
+    def test_negative_clamps_to_disabled(self):
+        assert resolve_min_parallel_seconds(-1.0) == 0.0
+
+
+class TestSerialFallback:
+    """Tiny fan-outs must skip the pool; the mode gauge must say which
+    path ran."""
+
+    def test_small_work_falls_back_to_serial(self):
+        with push_registry() as reg:
+            engine = ParallelEngine(4)  # default threshold, trivial tasks
+            assert engine.map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert reg.gauge("parallel.mode").snapshot() == \
+            float(MODE_CODES["serial-fallback"])
+
+    def test_disabled_heuristic_uses_pool(self):
+        with push_registry() as reg:
+            with ParallelEngine(2, min_parallel_seconds=0.0) as engine:
+                assert engine.map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert reg.gauge("parallel.mode").snapshot() == \
+            float(MODE_CODES["pool"])
+
+    def test_serial_engine_reports_serial_mode(self):
+        with push_registry() as reg:
+            assert ParallelEngine(1).map(_square, [2]) == [4]
+        assert reg.gauge("parallel.mode").snapshot() == \
+            float(MODE_CODES["serial"])
+
+    def test_fallback_preserves_keys_and_callbacks(self):
+        seen = {}
+        engine = ParallelEngine(4)  # heuristic active
+        results = engine.map(_square, [1, 2, 3], keys=["a", "b", "c"],
+                             on_result=lambda i, v: seen.setdefault(i, v))
+        assert results == [1, 4, 9]
+        assert seen == {0: 1, 1: 4, 2: 9}
+
+    def test_fallback_failure_keeps_global_index(self):
+        from repro.resilience import TaskFailure
+
+        engine = ParallelEngine(4)  # probe succeeds, tail fails serially
+        results = engine.map(_boom, [1, 2, 3], return_failures=True)
+        assert results[0] == 1 and results[2] == 3
+        assert isinstance(results[1], TaskFailure)
+        assert results[1].task_index == 1

@@ -94,7 +94,9 @@ class TestFailureIdentity:
         assert failure.site == "t.task"
 
     def test_pool_failure_preserves_worker_traceback(self):
-        with ParallelEngine(2, name="t") as engine:
+        # force the real pool (the serial-fallback heuristic would keep
+        # these trivial tasks in-process)
+        with ParallelEngine(2, name="t", min_parallel_seconds=0.0) as engine:
             with pytest.raises(ValueError) as info:
                 engine.map(_boom_on_two, [1, 2, 3])
         assert "_boom_on_two" in info.value.task_failure.traceback_text
