@@ -32,20 +32,30 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.dag import CircuitDag
 from repro.core.characterization.report import CrosstalkReport
 from repro.device.calibration import Calibration
 from repro.device.topology import normalize_edge
+from repro.smt.budget import Budget
 from repro.smt.model import Decision, DiffConstraint, Option, ScheduleModel
+from repro.smt.portfolio import PortfolioSolver
 from repro.smt.solver import OptimizingSolver, Solution
+from repro.smt.windows import WindowedSolver
 from repro.transpiler.barriers import reorder_and_barrier, strip_barriers
 from repro.transpiler.schedule import Schedule
 
 _MIN_ERROR = 1e-6
 _OVERLAP = "overlap"
+
+#: Valid ``strategy=`` values for :class:`XtalkScheduler`.
+STRATEGIES = ("auto", "monolithic", "windowed", "portfolio")
+
+#: ``schedule.strategy`` gauge encoding (the *resolved* strategy — auto
+#: reports as whichever mode it picked).
+STRATEGY_CODES = {"monolithic": 0, "windowed": 1, "portfolio": 2}
 
 
 @dataclass
@@ -56,6 +66,37 @@ class CandidatePair:
     gate_j: int
     conditional_i: float  # E(gi | gj)
     conditional_j: float  # E(gj | gi)
+
+
+class XtalkPartialCost:
+    """The ω Σ log g.ε objective part, monotone in overlap decisions.
+
+    A module-level callable class (not a closure) so solve requests
+    carrying it pickle cleanly into portfolio pool workers.  It holds only
+    plain floats extracted from the calibration/report at build time — no
+    reference back to the scheduler.
+    """
+
+    def __init__(self, omega: float, base: float,
+                 independent: Dict[int, float],
+                 pairs: Tuple[CandidatePair, ...]):
+        self.omega = omega
+        self.base = base
+        self.independent = independent
+        self.pairs = pairs
+
+    def __call__(self, assignment: Tuple[int, ...]) -> float:
+        if self.omega == 0.0:
+            return 0.0
+        eps = dict(self.independent)
+        for k, choice in enumerate(assignment):
+            if choice == 2:  # overlap option index
+                pair = self.pairs[k]
+                eps[pair.gate_i] = max(eps[pair.gate_i], pair.conditional_i)
+                eps[pair.gate_j] = max(eps[pair.gate_j], pair.conditional_j)
+        return self.base + self.omega * sum(
+            math.log(max(e, _MIN_ERROR)) for e in eps.values()
+        )
 
 
 @dataclass
@@ -77,6 +118,22 @@ class ScheduledCircuit:
     option_labels: Tuple[str, ...]
     compile_seconds: float
     fallback_reason: Optional[str] = None
+    #: The *resolved* solve strategy ("monolithic", "windowed", or
+    #: "portfolio" — ``strategy="auto"`` reports whichever it picked).
+    strategy: str = "monolithic"
+
+    def warm_start_hint(self) -> Dict[str, str]:
+        """This schedule as a warm-start hint for the next epoch's solve.
+
+        Maps decision names (``pair_{i}_{j}``) to the option labels this
+        schedule chose; feed it to ``XtalkScheduler(warm_start=...)`` when
+        re-scheduling the same circuit against refreshed calibration data
+        so local search and the portfolio's warm entrants start from it.
+        """
+        return {
+            f"pair_{pair.gate_i}_{pair.gate_j}": label
+            for pair, label in zip(self.candidate_pairs, self.option_labels)
+        }
 
     @property
     def serialized_pairs(self) -> Tuple[Tuple[int, int], ...]:
@@ -124,6 +181,7 @@ class ScheduledCircuit:
             serializations_warranted=counts["warranted"],
             fallbacks=counts["fallbacks"],
             run_id=current_run_id(),
+            strategy=self.strategy,
         )
 
 
@@ -135,13 +193,21 @@ class XtalkScheduler:
                  max_nodes: int = 200_000, time_limit: Optional[float] = None,
                  minimal_barriers: bool = True, isa: str = "barrier",
                  max_solve_seconds: Optional[float] = None,
-                 fallback: str = "incumbent"):
+                 fallback: str = "incumbent",
+                 strategy: str = "auto",
+                 warm_start: Optional[Union[Mapping[str, str],
+                                            "ScheduledCircuit"]] = None,
+                 portfolio_workers: Optional[int] = None):
         if not 0.0 <= omega <= 1.0:
             raise ValueError("omega must be in [0, 1]")
         if isa not in ("barrier", "pulse"):
             raise ValueError("isa must be 'barrier' or 'pulse'")
         if fallback not in ("incumbent", "par"):
             raise ValueError("fallback must be 'incumbent' or 'par'")
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {STRATEGIES}, got {strategy!r}"
+            )
         self.calibration = calibration
         self.report = report
         self.omega = omega
@@ -157,6 +223,23 @@ class XtalkScheduler:
         #: (``resilience.fallback``) rather than raised.
         self.max_solve_seconds = max_solve_seconds
         self.fallback = fallback
+        #: How the model is solved.  ``"monolithic"`` is the historical
+        #: single-model solve (exact below ``exact_decision_limit``
+        #: decisions, greedy above); ``"windowed"`` decomposes the
+        #: decision list into budget-shared exact windows
+        #: (:class:`~repro.smt.windows.WindowedSolver`); ``"portfolio"``
+        #: races backends (:class:`~repro.smt.portfolio.PortfolioSolver`);
+        #: ``"auto"`` (default) stays monolithic within the exact limit
+        #: and switches to windowed above it.
+        self.strategy = strategy
+        #: Warm start for the solve: a mapping of decision name to option
+        #: label, or a previous :class:`ScheduledCircuit` (typically the
+        #: same circuit scheduled against the previous calibration epoch),
+        #: whose choices seed local search and the portfolio's warm
+        #: entrants.
+        self.warm_start = warm_start
+        #: Worker cap for the portfolio race (None: ``REPRO_WORKERS``).
+        self.portfolio_workers = portfolio_workers
         #: True (default): iterative realization that only barriers pairs
         #: still overlapping under the hardware re-schedule.  False: one
         #: barrier per serialized pair (the naive realization; kept for the
@@ -188,14 +271,23 @@ class XtalkScheduler:
         self._add_decoherence_objective(model, circuit, dag, var_of, durations)
         cost_fn = self._make_partial_cost(circuit, pairs)
 
+        # One Budget owns the clock for every layer of the solve — the
+        # façade, nested incumbents, windows, and portfolio entrants all
+        # share it via first-caller-wins arming, so the effective limit
+        # can never be extended by nesting.  ``max_solve_seconds`` (the
+        # resilience budget) wins over the legacy ``time_limit``.
         effective_limit = (self.max_solve_seconds
-                           if self.max_solve_seconds is not None
-                           else self.time_limit)
+                          if self.max_solve_seconds is not None
+                          else self.time_limit)
+        budget = Budget(effective_limit)
+        resolved, backend = self._select_backend(model)
         solver = OptimizingSolver(
             model, cost_fn,
             exact_decision_limit=self.exact_decision_limit,
             max_nodes=self.max_nodes,
-            time_limit=effective_limit,
+            budget=budget,
+            backend=backend,
+            hint=self._warm_hint(),
         )
         fallback_reason: Optional[str] = None
         try:
@@ -204,7 +296,8 @@ class XtalkScheduler:
             reason = f"solver_error:{type(error).__name__}"
             self._note_fallback(reason, pairs)
             return self._record_audit(
-                self._par_fallback(circuit, pairs, started, reason)
+                self._par_fallback(circuit, pairs, started, reason,
+                                   strategy=resolved)
             )
         if (solution.interrupt == "deadline"
                 and self.max_solve_seconds is not None):
@@ -213,6 +306,7 @@ class XtalkScheduler:
             if self.fallback == "par":
                 return self._record_audit(self._par_fallback(
                     circuit, pairs, started, fallback_reason,
+                    strategy=resolved,
                 ))
             # fallback == "incumbent": the interrupted solution is still a
             # valid schedule (every constraint holds); realize it.
@@ -247,7 +341,43 @@ class XtalkScheduler:
             option_labels=labels,
             compile_seconds=time.perf_counter() - started,
             fallback_reason=fallback_reason,
+            strategy=resolved,
         ))
+
+    # ------------------------------------------------------------------
+    # strategy resolution
+    # ------------------------------------------------------------------
+    def _select_backend(self, model: ScheduleModel):
+        """Resolve the strategy knob against the built model.
+
+        Returns ``(resolved_name, backend)`` where ``backend`` is None for
+        the monolithic path (the façade's historical exact/greedy
+        auto-switch).  ``"auto"`` stays monolithic while the model is
+        within the exact-decision limit — identical to the historical
+        behavior — and switches to windowed decomposition above it, where
+        monolithic would have silently degraded to a pure greedy dive.
+        """
+        if self.strategy == "monolithic":
+            return "monolithic", None
+        if self.strategy == "windowed":
+            return "windowed", WindowedSolver(cap=self.exact_decision_limit)
+        if self.strategy == "portfolio":
+            return "portfolio", PortfolioSolver(
+                workers=self.portfolio_workers,
+                window_cap=self.exact_decision_limit,
+            )
+        # auto
+        if len(model.decisions) <= self.exact_decision_limit:
+            return "monolithic", None
+        return "windowed", WindowedSolver(cap=self.exact_decision_limit)
+
+    def _warm_hint(self) -> Optional[Mapping[str, str]]:
+        """The warm start normalized to a decision-name -> label mapping."""
+        if self.warm_start is None:
+            return None
+        if isinstance(self.warm_start, ScheduledCircuit):
+            return self.warm_start.warm_start_hint()
+        return dict(self.warm_start)
 
     # ------------------------------------------------------------------
     # decision audit
@@ -267,9 +397,14 @@ class XtalkScheduler:
         registry = get_registry()
         registry.inc("schedule.pairs_candidate", counts["warranted"])
         registry.inc("schedule.pairs_serialized", counts["taken"])
+        registry.set(
+            "schedule.strategy",
+            STRATEGY_CODES.get(scheduled.strategy, -1),
+        )
         log_event(
             "schedule.audit", component="xtalk_sched",
-            fallback_reason=scheduled.fallback_reason, **counts,
+            fallback_reason=scheduled.fallback_reason,
+            strategy=scheduled.strategy, **counts,
         )
         return scheduled
 
@@ -289,7 +424,8 @@ class XtalkScheduler:
 
     def _par_fallback(self, circuit: QuantumCircuit,
                       pairs: Sequence[CandidatePair], started: float,
-                      reason: str) -> ScheduledCircuit:
+                      reason: str,
+                      strategy: str = "monolithic") -> ScheduledCircuit:
         """ParSched degradation: submit the circuit unchanged.
 
         Every candidate pair is labeled ``overlap`` (maximum parallelism
@@ -319,6 +455,7 @@ class XtalkScheduler:
             option_labels=tuple(_OVERLAP for _ in pairs),
             compile_seconds=time.perf_counter() - started,
             fallback_reason=reason,
+            strategy=strategy,
         )
 
     # ------------------------------------------------------------------
@@ -399,9 +536,12 @@ class XtalkScheduler:
                 edge_j = normalize_edge(circuit[j].qubits)
                 if edge_i == edge_j:
                     continue
-                if not dag.concurrent(i, j):
-                    continue
+                # Cheap dictionary test first: at device scale most edge
+                # pairs are not high-crosstalk, and ``dag.concurrent``
+                # walks cached ancestor/descendant sets.
                 if not self.report.is_high_pair(edge_i, edge_j):
+                    continue
+                if not dag.concurrent(i, j):
                     continue
                 pairs.append(
                     CandidatePair(
@@ -462,8 +602,8 @@ class XtalkScheduler:
 
     # ------------------------------------------------------------------
     def _make_partial_cost(self, circuit: QuantumCircuit,
-                           pairs: Sequence[CandidatePair]):
-        """The ω Σ log g.ε part, monotone in overlap decisions."""
+                           pairs: Sequence[CandidatePair]) -> XtalkPartialCost:
+        """Build the :class:`XtalkPartialCost` callable for this circuit."""
         omega = self.omega
         independent: Dict[int, float] = {}
         for pair in pairs:
@@ -486,18 +626,4 @@ class XtalkScheduler:
                     err = self.calibration.cnot_error_of(*edge)
                 base += math.log(max(err, _MIN_ERROR))
         base *= omega
-
-        def cost(assignment: Tuple[int, ...]) -> float:
-            if omega == 0.0:
-                return 0.0
-            eps = dict(independent)
-            for k, choice in enumerate(assignment):
-                if choice == 2:  # overlap option index
-                    pair = pairs[k]
-                    eps[pair.gate_i] = max(eps[pair.gate_i], pair.conditional_i)
-                    eps[pair.gate_j] = max(eps[pair.gate_j], pair.conditional_j)
-            return base + omega * sum(
-                math.log(max(e, _MIN_ERROR)) for e in eps.values()
-            )
-
-        return cost
+        return XtalkPartialCost(omega, base, independent, tuple(pairs))

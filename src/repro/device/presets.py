@@ -21,7 +21,7 @@ from typing import Dict, List, Tuple
 from repro.device.calibration import synthesize_calibration
 from repro.device.crosstalk import CrosstalkModel, CrosstalkPair
 from repro.device.device import Device
-from repro.device.topology import CouplingMap
+from repro.device.topology import CouplingMap, heavy_hex_coupling_map
 
 # Rows 0-4 / 5-9 / 10-14 / 15-19 with seven vertical links (the published
 # Poughkeepsie layout; also used for Johannesburg, whose drawing in the
@@ -110,3 +110,73 @@ def ibmq_boeblingen() -> Device:
 def all_devices() -> Tuple[Device, Device, Device]:
     """The paper's three evaluation systems."""
     return (ibmq_poughkeepsie(), ibmq_johannesburg(), ibmq_boeblingen())
+
+
+# ----------------------------------------------------------------------
+# heavy-hex stress devices (beyond the paper: 65q/127q scheduling scale)
+# ----------------------------------------------------------------------
+def _spread_crosstalk_pairs(coupling: CouplingMap, count: int,
+                            stride: int = 7) -> List[CrosstalkPair]:
+    """``count`` planted high-crosstalk pairs spread across the lattice.
+
+    Walks the sorted 1-hop gate-pair list with a fixed stride, keeping
+    only pairs whose edges are not yet used, so the planted set is
+    deterministic, edge-disjoint, and device-wide rather than clustered.
+    Crosstalk factors cycle through paper-plausible magnitudes (4–9x,
+    the Figure 3 range).
+    """
+    one_hop = sorted(
+        tuple(sorted(pair)) for pair in coupling.one_hop_gate_pairs()
+    )
+    factors = ((6.0, 5.0), (8.0, 4.0), (5.0, 7.0), (9.0, 5.0), (4.0, 6.0))
+    pairs: List[CrosstalkPair] = []
+    used: set = set()
+    position = 0
+    while len(pairs) < count and position < len(one_hop) * stride:
+        edge_a, edge_b = one_hop[position % len(one_hop)]
+        position += stride
+        if edge_a in used or edge_b in used:
+            continue
+        fa, fb = factors[len(pairs) % len(factors)]
+        pairs.append(CrosstalkPair(edge_a, edge_b, factor_a=fa, factor_b=fb))
+        used.add(edge_a)
+        used.add(edge_b)
+    if len(pairs) < count:  # pragma: no cover - ample pairs at these sizes
+        raise ValueError(
+            f"could not plant {count} edge-disjoint pairs on this lattice"
+        )
+    return pairs
+
+
+def ibm_hummingbird_65q() -> Device:
+    """A 65-qubit heavy-hex device (the Hummingbird r2 generation,
+    e.g. ``ibmq_manhattan``): 5 rows x 11 columns, 72 coupling edges.
+
+    A scheduling stress target, not a paper evaluation system: 10 planted
+    high-crosstalk pairs spread over the lattice give device-scale models
+    enough decisions to overflow the exact solver and exercise the
+    windowed/portfolio strategies.
+    """
+    coupling = heavy_hex_coupling_map(5, 11)
+    calibration = synthesize_calibration(coupling, seed=65)
+    pairs = _spread_crosstalk_pairs(coupling, count=10)
+    crosstalk = CrosstalkModel(coupling, pairs, seed=650)
+    return Device("ibm_hummingbird_65q", coupling, calibration, crosstalk,
+                  seed=65)
+
+
+def ibm_eagle_127q() -> Device:
+    """A 127-qubit heavy-hex device (the Eagle r1 generation,
+    e.g. ``ibm_washington``): 7 rows x 15 columns, 144 coupling edges.
+
+    The largest scheduling stress target: 16 planted high-crosstalk pairs
+    make supremacy-style workloads produce decision counts far beyond the
+    exact limit, so ``strategy="auto"`` must decompose to finish under a
+    real ``max_solve_seconds`` budget.
+    """
+    coupling = heavy_hex_coupling_map(7, 15)
+    calibration = synthesize_calibration(coupling, seed=127)
+    pairs = _spread_crosstalk_pairs(coupling, count=16)
+    crosstalk = CrosstalkModel(coupling, pairs, seed=1270)
+    return Device("ibm_eagle_127q", coupling, calibration, crosstalk,
+                  seed=127)

@@ -125,3 +125,68 @@ def grid_coupling_map(rows: int, cols: int) -> CouplingMap:
 def line_coupling_map(num_qubits: int) -> CouplingMap:
     """A 1D chain — the smallest topology exercising SWAP routing."""
     return CouplingMap(num_qubits, [(i, i + 1) for i in range(num_qubits - 1)])
+
+
+def heavy_hex_coupling_map(rows: int, cols: int,
+                           trim_corners: bool = True) -> CouplingMap:
+    """IBM's heavy-hexagon lattice (Falcon/Hummingbird/Eagle topologies).
+
+    ``rows`` horizontal chains of ``cols`` qubits each, joined by *bridge*
+    qubits: between rows ``r`` and ``r+1`` a bridge sits at every column
+    ``c`` with ``c % 4 == 0`` (``r`` even) or ``c % 4 == 2`` (``r`` odd),
+    connecting ``(r, c)`` to ``(r+1, c)``.  The alternating phase gives
+    the heavy-hex unit cell: every qubit has degree ≤ 3, two-qubit gates
+    sit on low-degree vertices, and spectator crosstalk is confined to
+    1-hop neighbourhoods — the regime the paper's locality result relies
+    on.
+
+    ``trim_corners`` (default, matching IBM's deployed chips) drops the
+    first row's last qubit and the last row's first qubit; neither is a
+    bridge anchor (the phase pattern avoids those columns), so the lattice
+    stays connected.  Qubits are numbered row-major — each row's chain
+    left to right, then the bridges below it — so ids are stable and the
+    published sizes come out exactly:
+
+    * ``heavy_hex_coupling_map(5, 11)`` → 65 qubits, 72 edges (Hummingbird,
+      e.g. ``ibmq_manhattan``);
+    * ``heavy_hex_coupling_map(7, 15)`` → 127 qubits, 144 edges (Eagle,
+      e.g. ``ibm_washington``).
+    """
+    if rows < 2:
+        raise ValueError("heavy-hex needs at least 2 rows")
+    if cols < 3:
+        raise ValueError("heavy-hex needs at least 3 columns")
+    if trim_corners and rows % 2 == 0:
+        raise ValueError(
+            "trim_corners requires an odd row count (even-row lattices "
+            "anchor a bridge on the trimmed corner)"
+        )
+    skipped = {(0, cols - 1), (rows - 1, 0)} if trim_corners else set()
+
+    index: Dict[Tuple[str, int, int], int] = {}
+    next_id = 0
+    for r in range(rows):
+        for c in range(cols):
+            if (r, c) in skipped:
+                continue
+            index[("q", r, c)] = next_id
+            next_id += 1
+        if r + 1 < rows:
+            phase = 0 if r % 2 == 0 else 2
+            for c in range(phase, cols, 4):
+                index[("b", r, c)] = next_id
+                next_id += 1
+
+    edges: List[Tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols - 1):
+            if (r, c) in skipped or (r, c + 1) in skipped:
+                continue
+            edges.append((index[("q", r, c)], index[("q", r, c + 1)]))
+        if r + 1 < rows:
+            phase = 0 if r % 2 == 0 else 2
+            for c in range(phase, cols, 4):
+                bridge = index[("b", r, c)]
+                edges.append((index[("q", r, c)], bridge))
+                edges.append((bridge, index[("q", r + 1, c)]))
+    return CouplingMap(next_id, edges)

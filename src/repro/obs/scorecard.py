@@ -276,6 +276,7 @@ def schedule_audit_scorecard(name: str, *, serializations_taken: int,
                              serializations_warranted: int,
                              fallbacks: int = 0,
                              run_id: Optional[str] = None,
+                             strategy: Optional[str] = None,
                              extra_metrics: Optional[Dict[str, float]] = None,
                              ) -> Scorecard:
     """Audit the scheduler's serialization decisions for one workload.
@@ -286,6 +287,13 @@ def schedule_audit_scorecard(name: str, *, serializations_taken: int,
     is the solver's appetite — a drop to zero on a workload that used to
     serialize is exactly the silent physics regression this exists to
     catch.
+
+    ``strategy`` names how the schedule was produced (``"monolithic"``,
+    ``"windowed"``, ``"portfolio"``): decomposed and raced schedules are
+    graded by exactly the same taken/warranted arithmetic as monolithic
+    ones, so the strategy rides along as detail (and a ``strategy_code``
+    metric so history diffs see strategy flips), never as a different
+    grading rule.
     """
     warranted = max(0, serializations_warranted)
     taken = max(0, serializations_taken)
@@ -295,10 +303,16 @@ def schedule_audit_scorecard(name: str, *, serializations_taken: int,
         "serialization_rate": (taken / warranted) if warranted else 1.0,
         "fallbacks": float(fallbacks),
     }
+    details: Dict[str, Any] = {}
+    if strategy is not None:
+        details["strategy"] = strategy
+        codes = {"monolithic": 0.0, "windowed": 1.0, "portfolio": 2.0}
+        if strategy in codes:
+            metrics["strategy_code"] = codes[strategy]
     if extra_metrics:
         metrics.update({k: float(v) for k, v in extra_metrics.items()})
     return Scorecard(kind="schedule", name=name, run_id=run_id,
-                     metrics=metrics, details={})
+                     metrics=metrics, details=details)
 
 
 def format_scorecard_report(doc: dict) -> str:

@@ -1,0 +1,199 @@
+"""Deterministic portfolio races: run competing strategies, pick one winner.
+
+A *race* runs several entrants at the same problem and keeps a single
+winner.  The naive version — first to return wins — is wall-clock
+dependent and therefore irreproducible: the winner would change with
+worker count, machine load, even scheduler jitter.
+:func:`race_to_first_good` replaces wall-clock order with **canonical-key
+order**:
+
+* entrants are sorted by their key (a stable string the caller chooses);
+* the winner is the *first entrant in key order* whose result is "good"
+  (caller-defined predicate);
+* when nothing is good, the winner is the best by ``(score, key)``.
+
+Under this rule the winner is a pure function of the entrant results, so
+it is invariant to worker count and repetition.  It also licenses the one
+optimization a deterministic race allows: the serial path may stop at the
+first good entrant in key order, because no later entrant could have
+beaten it.  The pool path runs everything concurrently and applies the
+same selection, so ``REPRO_WORKERS=1`` and ``=4`` agree bitwise on the
+winner.
+
+Entrant failures are not fatal: a raised exception marks that entrant
+not-good with an infinite score, and the race reports it in its outcome
+record.  Only a race in which *every* entrant fails raises.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import (
+    Any, Callable, Dict, List, Optional, Sequence, Tuple,
+)
+
+from repro.obs.events import log_event
+from repro.obs.trace import span as obs_span
+from repro.parallel.engine import ParallelEngine, resolve_workers
+from repro.resilience.errors import TaskFailure
+
+
+@dataclass(frozen=True)
+class RaceOutcome:
+    """One entrant's result: what it returned and how it was judged."""
+
+    key: str
+    value: Any  #: the runner's return value, or None when failed/skipped
+    good: bool
+    score: float
+    ran: bool  #: False when the serial path early-exited before this entrant
+    error: Optional[str] = None  #: repr of the failure, when the entrant raised
+
+
+@dataclass(frozen=True)
+class RaceResult:
+    """The race verdict: a winner plus the full outcome record."""
+
+    winner: Any
+    winner_key: str
+    outcomes: Tuple[RaceOutcome, ...]
+    mode: str  #: "serial-early-exit", "serial", or "pool"
+    seconds: float
+
+    @property
+    def winner_good(self) -> bool:
+        for outcome in self.outcomes:
+            if outcome.key == self.winner_key:
+                return outcome.good
+        return False  # pragma: no cover - winner always has an outcome
+
+
+def _judge(key: str, value: Any, is_good, score) -> RaceOutcome:
+    good = bool(is_good(value))
+    try:
+        points = float(score(value))
+    except Exception:
+        points = math.inf
+    if math.isnan(points):
+        points = math.inf
+    return RaceOutcome(key=key, value=value, good=good, score=points, ran=True)
+
+
+def _failed(key: str, error: Any, ran: bool = True) -> RaceOutcome:
+    return RaceOutcome(
+        key=key, value=None, good=False, score=math.inf, ran=ran,
+        error=repr(error) if error is not None else None,
+    )
+
+
+def _select(outcomes: Sequence[RaceOutcome]) -> RaceOutcome:
+    """First good entrant in key order, else best by ``(score, key)``."""
+    for outcome in outcomes:  # outcomes arrive in canonical key order
+        if outcome.good:
+            return outcome
+    ranked = [o for o in outcomes if o.ran and o.value is not None]
+    if not ranked:
+        raise RuntimeError("every race entrant failed")
+    return min(ranked, key=lambda o: (o.score, o.key))
+
+
+def race_to_first_good(
+    entrants: Sequence[Tuple[str, Any]],
+    runner: Callable[[Any, Any], Any],
+    context: Any = None,
+    *,
+    is_good: Callable[[Any], bool],
+    score: Callable[[Any], float],
+    workers: Optional[int] = None,
+    engine: Optional[ParallelEngine] = None,
+    name: str = "race",
+) -> RaceResult:
+    """Race ``runner(context, payload)`` over ``entrants`` deterministically.
+
+    ``entrants`` is a sequence of ``(key, payload)``; keys must be unique
+    strings and define the canonical order.  ``runner`` must be a
+    module-level function (picklable) when more than one worker is in
+    play, as must ``context`` and every payload.
+
+    The winner is the first entrant in sorted-key order judged good by
+    ``is_good``, else the lowest ``(score(value), key)`` among those that
+    produced a value.  Serial execution early-exits at the first good
+    entrant; pool execution runs everything — the winner is identical
+    either way.
+    """
+    items = sorted(entrants, key=lambda pair: pair[0])
+    keys = [key for key, _ in items]
+    if len(set(keys)) != len(keys):
+        raise ValueError("race entrant keys must be unique")
+    if not items:
+        raise ValueError("race needs at least one entrant")
+    effective = resolve_workers(engine.workers if engine is not None else workers)
+    started = time.perf_counter()
+    outcomes: List[RaceOutcome] = []
+    with obs_span(f"parallel.race[{name}]") as record:
+        record.counters["parallel.race.entrants"] = float(len(items))
+        record.counters["parallel.race.workers"] = float(effective)
+        if effective == 1 or len(items) == 1:
+            mode = "serial"
+            for key, payload in items:
+                try:
+                    value = runner(context, payload)
+                except Exception as error:
+                    outcomes.append(_failed(key, error))
+                    continue
+                outcome = _judge(key, value, is_good, score)
+                outcomes.append(outcome)
+                if outcome.good:
+                    # No later key can beat an earlier good one.
+                    mode = "serial-early-exit"
+                    for skipped_key, _ in items[len(outcomes):]:
+                        outcomes.append(RaceOutcome(
+                            key=skipped_key, value=None, good=False,
+                            score=math.inf, ran=False,
+                        ))
+                    break
+        else:
+            mode = "pool"
+            own_engine = engine is None
+            pool = engine if engine is not None else ParallelEngine(
+                workers=effective, name=name,
+            )
+            try:
+                values = pool.map(
+                    runner, [payload for _, payload in items],
+                    context, keys=keys, return_failures=True,
+                )
+            finally:
+                if own_engine:
+                    pool.close()
+            for key, value in zip(keys, values):
+                if isinstance(value, TaskFailure):
+                    outcomes.append(_failed(key, value.cause or value))
+                else:
+                    outcomes.append(_judge(key, value, is_good, score))
+        winner = _select(outcomes)
+        seconds = time.perf_counter() - started
+        record.counters["parallel.race.good"] = float(
+            sum(1 for o in outcomes if o.good))
+        record.counters["parallel.race.failed"] = float(
+            sum(1 for o in outcomes if o.error is not None))
+        record.counters["parallel.race.seconds"] = seconds
+        log_event(
+            "parallel.race",
+            name=name,
+            winner=winner.key,
+            mode=mode,
+            entrants=len(items),
+            good=sum(1 for o in outcomes if o.good),
+            failed=sum(1 for o in outcomes if o.error is not None),
+            seconds=seconds,
+        )
+    return RaceResult(
+        winner=winner.value,
+        winner_key=winner.key,
+        outcomes=tuple(outcomes),
+        mode=mode,
+        seconds=seconds,
+    )

@@ -28,7 +28,18 @@ from repro.smt.model import (
     ScheduleModel,
 )
 from repro.smt.feasibility import difference_feasible
+from repro.smt.budget import Budget
+from repro.smt.backends import (
+    ExactBnB,
+    GreedyDive,
+    LocalSearch,
+    SolveRequest,
+    SolveResult,
+    SolverBackend,
+)
 from repro.smt.solver import OptimizingSolver, Solution
+from repro.smt.windows import WindowedSolver, WindowPlan, plan_windows
+from repro.smt.portfolio import PortfolioSolver
 from repro.smt.smtlib import model_to_smtlib, assignment_to_smtlib_asserts
 
 __all__ = [
@@ -37,6 +48,17 @@ __all__ = [
     "Decision",
     "ScheduleModel",
     "difference_feasible",
+    "Budget",
+    "SolverBackend",
+    "SolveRequest",
+    "SolveResult",
+    "ExactBnB",
+    "GreedyDive",
+    "LocalSearch",
+    "WindowedSolver",
+    "WindowPlan",
+    "plan_windows",
+    "PortfolioSolver",
     "OptimizingSolver",
     "Solution",
     "model_to_smtlib",

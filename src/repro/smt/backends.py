@@ -1,0 +1,477 @@
+"""Interchangeable solver backends behind one request/result contract.
+
+:class:`~repro.smt.solver.OptimizingSolver` historically owned two search
+strategies as private methods (exact branch-and-bound and a greedy fast
+dive).  Device-scale scheduling needs more — windowed decomposition, local
+search, warm-started variants, and portfolio races over all of them — so
+the strategies live here as :class:`SolverBackend` implementations sharing
+a :class:`SolveRequest`/:class:`Solution` contract that carries the model,
+the monotone partial-cost callback, the (single, shared)
+:class:`~repro.smt.budget.Budget`, an optional incumbent to beat, and an
+optional warm-start hint.
+
+Backends are small, configuration-only objects: they hold no model state,
+so they pickle cleanly and can be shipped to pool workers by the portfolio
+race (:func:`repro.parallel.race.race_to_first_good`).  All of them are
+deterministic — same request, same answer, on any worker.
+
+* :class:`ExactBnB` — depth-first branch-and-bound with LP bounding,
+  seeded by a greedy incumbent (or ``request.incumbent``); exact within
+  ``max_nodes`` / budget.
+* :class:`GreedyDive` — one pass of best-bound decisions, no
+  backtracking; the historical large-instance mode.
+* :class:`LocalSearch` — starts from the warm-start hint (or a greedy
+  dive) and hill-climbs single-decision flips until a fixpoint, the
+  budget expires, or ``max_rounds`` passes run dry.
+
+The windowed-decomposition backend lives in :mod:`repro.smt.windows`
+(it layers on top of the primitives here).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from repro.smt.budget import Budget
+from repro.smt.feasibility import difference_feasible
+from repro.smt.model import Decision, DiffConstraint, ScheduleModel
+
+PartialCost = Callable[[Tuple[int, ...]], float]
+
+
+def zero_cost(assignment: Tuple[int, ...]) -> float:
+    """The default (constant-free) partial cost; module-level so requests
+    built without a callback still pickle."""
+    return 0.0
+
+
+@dataclass
+class Solution:
+    """Solver output.
+
+    ``interrupt`` records why the search was cut short, if it was:
+    ``"deadline"`` (the budget expired) or ``"nodes"`` (the ``max_nodes``
+    cap).  An interrupted solution is still *valid* — it satisfies every
+    constraint — just not proven optimal; callers like
+    :class:`~repro.core.scheduling.xtalk.XtalkScheduler` use the field to
+    decide whether to keep the incumbent or fall back entirely.
+    """
+
+    assignment: Tuple[int, ...]
+    times: Tuple[float, ...]
+    objective: float
+    constant_part: float
+    linear_part: float
+    nodes_explored: int
+    exact: bool
+    interrupt: Optional[str] = None
+
+    def option_labels(self, model: ScheduleModel) -> Tuple[str, ...]:
+        return tuple(
+            decision.options[choice].label
+            for decision, choice in zip(model.decisions, self.assignment)
+        )
+
+
+@dataclass
+class SolveRequest:
+    """Everything a backend needs to produce a :class:`Solution`.
+
+    One request is built per logical solve and shared by every backend
+    that works on it (the exact search's internal greedy incumbent, every
+    portfolio entrant, every decomposition window), so the ``budget``
+    clock is armed exactly once no matter how many layers run.
+    """
+
+    model: ScheduleModel
+    partial_cost: PartialCost = zero_cost
+    budget: Budget = field(default_factory=Budget)
+    exact_decision_limit: int = 14
+    max_nodes: int = 200_000
+    #: A known-good solution to beat (seeds B&B pruning).
+    incumbent: Optional[Solution] = None
+    #: Warm-start hint: decision name -> option label (e.g. from the
+    #: previous calibration epoch's schedule).  Backends that honour it
+    #: fall back per-decision when a hinted option is missing/infeasible.
+    hint: Optional[Mapping[str, str]] = None
+
+    def cost(self, assignment: Sequence[int]) -> float:
+        return self.partial_cost(tuple(assignment))
+
+
+@dataclass
+class SolveResult:
+    """A backend's answer plus attribution, for race bookkeeping."""
+
+    solution: Solution
+    backend: str
+    seconds: float
+
+
+# ----------------------------------------------------------------------
+# shared primitives
+# ----------------------------------------------------------------------
+def lp_minimize(model: ScheduleModel,
+                constraints: Sequence[DiffConstraint]
+                ) -> Optional[Tuple[float, np.ndarray]]:
+    """Minimize the model's linear objective subject to ``constraints``.
+
+    Returns ``(value, x)`` or None when infeasible.  With an all-zero
+    objective the ASAP solution from the feasibility check is used
+    directly (no LP call).
+    """
+    asap = difference_feasible(model.num_vars, constraints)
+    if asap is None:
+        return None
+    objective = model.objective
+    if not any(abs(c) > 0.0 for c in objective.values()):
+        return model.objective_offset, np.asarray(asap)
+
+    n = model.num_vars
+    c = np.zeros(n)
+    for var, coeff in objective.items():
+        c[var] = coeff
+    rows = []
+    rhs = []
+    bounds_lo = np.zeros(n)
+    for con in constraints:
+        if con.var_lo is None:
+            bounds_lo[con.var_hi] = max(bounds_lo[con.var_hi], con.offset)
+            continue
+        # x_hi - x_lo >= off  ->  -x_hi + x_lo <= -off
+        row = np.zeros(n)
+        row[con.var_hi] = -1.0
+        row[con.var_lo] = 1.0
+        rows.append(row)
+        rhs.append(-con.offset)
+    a_ub = np.vstack(rows) if rows else None
+    b_ub = np.asarray(rhs) if rows else None
+    result = optimize.linprog(
+        c, A_ub=a_ub, b_ub=b_ub,
+        bounds=list(zip(bounds_lo, [None] * n)),
+        method="highs",
+    )
+    if not result.success:
+        # Infeasibility should have been caught by Bellman-Ford; treat
+        # any other failure as infeasible to stay conservative.
+        return None
+    return float(result.fun) + model.objective_offset, result.x
+
+
+def first_feasible(model: ScheduleModel, assignment: Sequence[int],
+                   decision: Decision) -> int:
+    """The lowest-index feasible option, found without LP scoring."""
+    base = list(assignment)
+    for k in range(len(decision.options)):
+        feasible = difference_feasible(
+            model.num_vars, model.constraints_for(base + [k]),
+        )
+        if feasible is not None:
+            return k
+    raise RuntimeError(
+        f"decision {decision.name!r} has no feasible option given "
+        "earlier choices"
+    )
+
+
+def evaluate(request: SolveRequest, assignment: Sequence[int],
+             *, exact: bool = False,
+             interrupt: Optional[str] = None,
+             nodes: Optional[int] = None) -> Optional[Solution]:
+    """LP-score a complete assignment into a :class:`Solution` (or None
+    when the assignment is infeasible)."""
+    model = request.model
+    lp = lp_minimize(model, model.constraints_for(assignment))
+    if lp is None:
+        return None
+    constant = request.cost(assignment)
+    return Solution(
+        assignment=tuple(assignment),
+        times=tuple(float(v) for v in lp[1]),
+        objective=constant + lp[0],
+        constant_part=constant,
+        linear_part=lp[0],
+        nodes_explored=len(assignment) if nodes is None else nodes,
+        exact=exact,
+        interrupt=interrupt,
+    )
+
+
+def assignment_from_hint(request: SolveRequest) -> Optional[List[int]]:
+    """Build a complete, feasible assignment from ``request.hint``.
+
+    Hinted options are taken when present and feasible given the prefix;
+    every other decision falls back to its first feasible option.  Returns
+    None when no hint was supplied at all.
+    """
+    hint = request.hint
+    if not hint:
+        return None
+    model = request.model
+    assignment: List[int] = []
+    for decision in model.decisions:
+        choice: Optional[int] = None
+        label = hint.get(decision.name)
+        if label is not None:
+            for k, option in enumerate(decision.options):
+                if option.label == label:
+                    feasible = difference_feasible(
+                        model.num_vars,
+                        model.constraints_for(assignment + [k]),
+                    )
+                    if feasible is not None:
+                        choice = k
+                    break
+        if choice is None:
+            choice = first_feasible(model, assignment, decision)
+        assignment.append(choice)
+    return assignment
+
+
+# ----------------------------------------------------------------------
+# backends
+# ----------------------------------------------------------------------
+class SolverBackend:
+    """Base class: a named, deterministic, picklable solve strategy."""
+
+    #: Stable backend identifier; doubles as the canonical race key.
+    name = "backend"
+
+    def solve(self, request: SolveRequest) -> Solution:
+        raise NotImplementedError
+
+    def run(self, request: SolveRequest) -> SolveResult:
+        """:meth:`solve` wrapped with wall-time attribution."""
+        started = time.perf_counter()
+        solution = self.solve(request)
+        return SolveResult(
+            solution=solution,
+            backend=self.name,
+            seconds=time.perf_counter() - started,
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class GreedyDive(SolverBackend):
+    """One best-bound pass over the decisions, no backtracking.
+
+    When the budget expires mid-dive, the remaining decisions are taken
+    by first-feasibility (no LP scoring) — still a valid schedule, just
+    no longer cost-guided — and the result is marked
+    ``interrupt="deadline"``.
+    """
+
+    name = "greedy"
+
+    def solve(self, request: SolveRequest) -> Solution:
+        model = request.model
+        budget = request.budget
+        armed = budget.arm()
+        interrupt: Optional[str] = None
+        assignment: List[int] = []
+        try:
+            for decision in model.decisions:
+                if budget.expired():
+                    interrupt = "deadline"
+                    assignment.append(
+                        first_feasible(model, assignment, decision)
+                    )
+                    continue
+                best_k = None
+                best_score = float("inf")
+                for k in range(len(decision.options)):
+                    candidate = assignment + [k]
+                    lp = lp_minimize(model, model.constraints_for(candidate))
+                    if lp is None:
+                        continue
+                    score = request.cost(candidate) + lp[0]
+                    if score < best_score - 1e-12:
+                        best_score = score
+                        best_k = k
+                if best_k is None:
+                    raise RuntimeError(
+                        f"decision {decision.name!r} has no feasible option "
+                        "given earlier choices"
+                    )
+                assignment.append(best_k)
+        finally:
+            if armed:
+                budget.disarm()
+        solution = evaluate(
+            request, assignment,
+            exact=len(model.decisions) == 0 and interrupt is None,
+            interrupt=interrupt,
+        )
+        if solution is None:  # pragma: no cover - guarded per step
+            raise RuntimeError("greedy produced an infeasible assignment")
+        return solution
+
+
+class ExactBnB(SolverBackend):
+    """Depth-first branch-and-bound with LP bounding.
+
+    Exact (``solution.exact``) unless the node cap or the budget cuts the
+    search short, in which case the best incumbent found so far is
+    returned with the interrupt reason recorded.
+    """
+
+    name = "exact"
+
+    def solve(self, request: SolveRequest) -> Solution:
+        model = request.model
+        budget = request.budget
+        armed = budget.arm()
+        state = {"nodes": 0, "interrupted": False, "reason": None}
+        try:
+            # Incumbent first: dramatically improves pruning.  The caller
+            # may supply one (warm start / race seeding); otherwise dive.
+            incumbent = request.incumbent
+            if incumbent is None:
+                incumbent = GreedyDive().solve(request)
+            best = [incumbent.objective, incumbent]
+            if incumbent.interrupt is not None:
+                state["interrupted"] = True
+                state["reason"] = incumbent.interrupt
+
+            def recurse(prefix: List[int]) -> None:
+                if state["interrupted"]:
+                    return
+                state["nodes"] += 1
+                if state["nodes"] > request.max_nodes:
+                    state["interrupted"] = True
+                    state["reason"] = "nodes"
+                    return
+                if budget.expired():
+                    state["interrupted"] = True
+                    state["reason"] = "deadline"
+                    return
+                constraints = model.constraints_for(prefix)
+                lp = lp_minimize(model, constraints)
+                if lp is None:
+                    return  # infeasible branch
+                constant = request.cost(prefix)
+                bound = constant + lp[0]
+                if bound >= best[0] - 1e-12:
+                    return
+                if len(prefix) == len(model.decisions):
+                    best[0] = bound
+                    best[1] = Solution(
+                        assignment=tuple(prefix),
+                        times=tuple(float(v) for v in lp[1]),
+                        objective=bound,
+                        constant_part=constant,
+                        linear_part=lp[0],
+                        nodes_explored=state["nodes"],
+                        exact=True,
+                    )
+                    return
+                decision = model.decisions[len(prefix)]
+                # Explore options in ascending immediate-cost order.
+                scored = sorted(
+                    range(len(decision.options)),
+                    key=lambda k: request.cost(prefix + [k]),
+                )
+                for k in scored:
+                    prefix.append(k)
+                    recurse(prefix)
+                    prefix.pop()
+
+            recurse([])
+        finally:
+            if armed:
+                budget.disarm()
+        solution = best[1]
+        return Solution(
+            assignment=solution.assignment,
+            times=solution.times,
+            objective=solution.objective,
+            constant_part=solution.constant_part,
+            linear_part=solution.linear_part,
+            nodes_explored=state["nodes"],
+            exact=not state["interrupted"],
+            interrupt=state["reason"],
+        )
+
+
+class LocalSearch(SolverBackend):
+    """Hill-climbing over single-decision flips.
+
+    Starts from the warm-start hint when the request carries one (the
+    previous calibration epoch's schedule), else from a greedy dive, then
+    repeatedly re-decides each decision to its best option given all the
+    others until a full pass improves nothing, the budget expires, or
+    ``max_rounds`` passes complete.  ``nodes_explored`` counts LP
+    evaluations.
+    """
+
+    name = "local_search"
+
+    def __init__(self, max_rounds: int = 8):
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        self.max_rounds = max_rounds
+
+    def __repr__(self) -> str:
+        return f"LocalSearch(max_rounds={self.max_rounds})"
+
+    def solve(self, request: SolveRequest) -> Solution:
+        model = request.model
+        budget = request.budget
+        armed = budget.arm()
+        interrupt: Optional[str] = None
+        evals = 0
+        try:
+            start = assignment_from_hint(request)
+            if start is not None:
+                current = evaluate(request, start)
+            else:
+                current = None
+            if current is None:
+                dive = GreedyDive().solve(request)
+                current = dive
+                if dive.interrupt is not None:
+                    interrupt = dive.interrupt
+            assignment = list(current.assignment)
+            objective = current.objective
+            for _ in range(self.max_rounds):
+                improved = False
+                for k, decision in enumerate(model.decisions):
+                    if budget.expired():
+                        interrupt = "deadline"
+                        break
+                    held = assignment[k]
+                    for option in range(len(decision.options)):
+                        if option == held:
+                            continue
+                        assignment[k] = option
+                        candidate = evaluate(request, assignment)
+                        evals += 1
+                        if (candidate is not None
+                                and candidate.objective < objective - 1e-12):
+                            objective = candidate.objective
+                            current = candidate
+                            held = option
+                            improved = True
+                        assignment[k] = held
+                if interrupt == "deadline" or not improved:
+                    break
+        finally:
+            if armed:
+                budget.disarm()
+        return Solution(
+            assignment=current.assignment,
+            times=current.times,
+            objective=current.objective,
+            constant_part=current.constant_part,
+            linear_part=current.linear_part,
+            nodes_explored=max(evals, current.nodes_explored),
+            exact=len(model.decisions) == 0 and interrupt is None,
+            interrupt=interrupt,
+        )

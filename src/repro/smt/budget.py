@@ -1,0 +1,89 @@
+"""The solver's single owned time budget.
+
+Historically two seams could arm a solve deadline: ``OptimizingSolver``'s
+legacy ``time_limit`` and the scheduler's ``max_solve_seconds``.  Each kept
+its own ``_deadline`` float, so a nested solve (the exact search seeding
+itself with a greedy incumbent, or a portfolio racing several backends)
+could re-arm an already-running clock and silently extend the budget.
+
+:class:`Budget` owns the clock instead.  One instance is created per
+logical solve (the scheduler creates it; standalone solver use creates it
+from ``time_limit``), every layer shares that instance, and :meth:`arm`
+is first-caller-wins: arming an armed budget is a no-op, so nested layers
+can never extend it.  An unlimited budget (``seconds=None``) never arms
+and never expires.
+
+Deadlines are ``time.monotonic``-based.  On Linux ``CLOCK_MONOTONIC`` is
+system-wide, so a pickled armed budget keeps meaning the same instant
+inside pool workers — the portfolio race relies on this to give every
+raced backend the *same* clock rather than a fresh one per process.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Budget:
+    """A solve-time budget with first-caller-wins arming.
+
+    ``Budget(None)`` is unlimited: :meth:`arm` returns False and
+    :meth:`expired` is always False, so budget checks cost one attribute
+    read on the unlimited path.
+    """
+
+    __slots__ = ("seconds", "_deadline")
+
+    def __init__(self, seconds: Optional[float] = None):
+        if seconds is not None and seconds < 0.0:
+            raise ValueError("budget seconds must be >= 0")
+        self.seconds = seconds
+        self._deadline: Optional[float] = None
+
+    def __repr__(self) -> str:
+        state = "unlimited" if self.seconds is None else (
+            "armed" if self._deadline is not None else "unarmed"
+        )
+        return f"Budget(seconds={self.seconds}, {state})"
+
+    # ------------------------------------------------------------------
+    @property
+    def limited(self) -> bool:
+        return self.seconds is not None
+
+    @property
+    def armed(self) -> bool:
+        return self._deadline is not None
+
+    def arm(self) -> bool:
+        """Start the clock if limited and not already running.
+
+        Returns True when *this call* armed it — the caller then owns
+        :meth:`disarm`.  Nested callers get False and must leave the
+        clock alone, which is exactly what makes double-arming harmless.
+        """
+        if self.seconds is not None and self._deadline is None:
+            self._deadline = time.monotonic() + self.seconds
+            return True
+        return False
+
+    def disarm(self) -> None:
+        """Stop the clock (the owner's cleanup; idempotent)."""
+        self._deadline = None
+
+    def expired(self) -> bool:
+        return self._deadline is not None and time.monotonic() > self._deadline
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left on an armed clock; None when unlimited/unarmed."""
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - time.monotonic())
+
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        return (self.seconds, self._deadline)
+
+    def __setstate__(self, state):
+        self.seconds, self._deadline = state

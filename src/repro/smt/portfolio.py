@@ -1,0 +1,157 @@
+"""Portfolio solving: race several backends, keep the best schedule.
+
+No single strategy dominates at every scale — exact B&B wins small
+models, windowed decomposition wins device-scale ones, local search wins
+when a warm start from the previous calibration epoch is nearly right.
+:class:`PortfolioSolver` runs a portfolio of backends over one shared
+:class:`~repro.smt.backends.SolveRequest` (one model, one budget, one
+warm-start hint) through :func:`repro.parallel.race.race_to_first_good`
+and returns the winner's solution.
+
+Entrant keys encode the preference order — ``00-exact`` beats
+``10-windowed`` beats warm local search beats cold — so when several
+entrants finish cleanly the most trustworthy one wins, deterministically
+and independent of worker count.  "Good" means the entrant finished
+without an interrupt (no deadline, no node-cap truncation); when nothing
+is good (tiny budgets), the lowest objective wins, so the portfolio
+degrades exactly like its best member.
+
+The shared budget is armed here, before any entrant runs: in-process
+entrants then see first-caller-wins no-ops, and pool workers receive the
+armed deadline through pickling (monotonic clocks are system-wide on
+Linux), so racing N backends never multiplies the time budget by N.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.obs.events import log_event
+from repro.obs.registry import get_registry
+from repro.obs.trace import span as obs_span
+from repro.parallel.race import RaceResult, race_to_first_good
+from repro.smt.backends import (
+    ExactBnB,
+    GreedyDive,
+    LocalSearch,
+    Solution,
+    SolveRequest,
+    SolveResult,
+    SolverBackend,
+)
+from repro.smt.windows import WindowedSolver
+
+#: An entrant is ``(backend, use_hint)``; stripping the hint gives the
+#: cold-start variant of a warm-startable backend.
+Entrant = Tuple[SolverBackend, bool]
+
+
+def solve_entrant(request: SolveRequest, payload: Entrant) -> SolveResult:
+    """Module-level race runner (picklable for the pool path)."""
+    backend, use_hint = payload
+    if not use_hint and request.hint is not None:
+        request = replace(request, hint=None)
+    return backend.run(request)
+
+
+def _result_good(result: SolveResult) -> bool:
+    return result.solution.interrupt is None
+
+
+def _result_score(result: SolveResult) -> float:
+    return result.solution.objective
+
+
+class PortfolioSolver(SolverBackend):
+    """Race a portfolio of backends; the canonical-key winner's solution.
+
+    ``entrants`` overrides the default portfolio (keyed ``(key, backend,
+    use_hint)`` triples).  The default portfolio adapts to the request:
+    exact B&B joins only when the model is within
+    ``exact_decision_limit``; a warm-started local search joins only when
+    the request carries a hint.  ``workers`` caps the race's parallelism
+    (default: ``REPRO_WORKERS`` resolution).
+
+    After :meth:`solve`, :attr:`last_race` holds the full
+    :class:`~repro.parallel.race.RaceResult` for audit trails.
+    """
+
+    name = "portfolio"
+
+    def __init__(self,
+                 entrants: Optional[Sequence[Tuple[str, SolverBackend, bool]]]
+                 = None,
+                 workers: Optional[int] = None,
+                 window_cap: Optional[int] = None):
+        self.entrants = list(entrants) if entrants is not None else None
+        self.workers = workers
+        self.window_cap = window_cap
+        self.last_race: Optional[RaceResult] = None
+
+    def __repr__(self) -> str:
+        custom = len(self.entrants) if self.entrants is not None else "default"
+        return f"PortfolioSolver(entrants={custom}, workers={self.workers})"
+
+    # ------------------------------------------------------------------
+    def _default_entrants(self, request: SolveRequest
+                          ) -> List[Tuple[str, SolverBackend, bool]]:
+        """The adaptive default portfolio, in preference-key order."""
+        entrants: List[Tuple[str, SolverBackend, bool]] = []
+        if len(request.model.decisions) <= request.exact_decision_limit:
+            entrants.append(("00-exact", ExactBnB(), False))
+        entrants.append((
+            "10-windowed",
+            WindowedSolver(cap=self.window_cap),
+            False,
+        ))
+        if request.hint:
+            entrants.append(("20-local-warm", LocalSearch(), True))
+        entrants.append(("30-local", LocalSearch(), False))
+        entrants.append(("40-greedy", GreedyDive(), False))
+        return entrants
+
+    # ------------------------------------------------------------------
+    def solve(self, request: SolveRequest) -> Solution:
+        triples = (self.entrants if self.entrants is not None
+                   else self._default_entrants(request))
+        budget = request.budget
+        armed = budget.arm()
+        started = time.perf_counter()
+        try:
+            with obs_span("smt.portfolio") as record:
+                race = race_to_first_good(
+                    [(key, (backend, use_hint))
+                     for key, backend, use_hint in triples],
+                    solve_entrant,
+                    request,
+                    is_good=_result_good,
+                    score=_result_score,
+                    workers=self.workers,
+                    name="portfolio",
+                )
+                seconds = time.perf_counter() - started
+                record.counters.update({
+                    "smt.portfolio.entrants": float(len(triples)),
+                    "smt.portfolio.good": float(
+                        sum(1 for o in race.outcomes if o.good)),
+                    "smt.portfolio.seconds": seconds,
+                })
+        finally:
+            if armed:
+                budget.disarm()
+        self.last_race = race
+        registry = get_registry()
+        registry.inc("smt.portfolio.races")
+        log_event(
+            "smt.portfolio.race",
+            winner=race.winner_key,
+            backend=race.winner.backend,
+            mode=race.mode,
+            entrants=len(triples),
+            good=sum(1 for o in race.outcomes if o.good),
+            seconds=race.seconds,
+            objective=race.winner.solution.objective,
+        )
+        return race.winner.solution

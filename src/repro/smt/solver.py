@@ -1,4 +1,4 @@
-"""Branch-and-bound optimizer over decisions + difference constraints + LP.
+"""Façade over the interchangeable solver backends.
 
 The solver minimizes::
 
@@ -14,142 +14,97 @@ the minimal lifetimes).  Both monotonicities make the node lower bound
 ``partial_cost(prefix) + LP(prefix constraints)`` admissible, so the
 depth-first search is exact.
 
-For instances with many decisions (the supremacy scalability study) the
-solver switches to a greedy dive: decisions are taken one at a time,
-choosing the option with the best bound — the same mechanism, without
-backtracking.
+The search strategies themselves live in :mod:`repro.smt.backends`
+(:class:`~repro.smt.backends.ExactBnB`,
+:class:`~repro.smt.backends.GreedyDive`,
+:class:`~repro.smt.backends.LocalSearch`) behind the
+:class:`~repro.smt.backends.SolveRequest` contract; this class keeps the
+historical constructor, the ``solve()`` auto-switch (exact below
+``exact_decision_limit`` decisions, greedy above), and the ``smt.solve``
+observability envelope, so existing callers — including the resilience
+deadline/fallback paths — see identical behavior.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
-from scipy import optimize
 
 from repro.obs.events import log_event
 from repro.obs.registry import get_registry
 from repro.obs.trace import span as obs_span
-from repro.smt.feasibility import difference_feasible
+from repro.smt.backends import (
+    ExactBnB,
+    GreedyDive,
+    PartialCost,
+    Solution,
+    SolveRequest,
+    SolverBackend,
+    lp_minimize,
+    zero_cost,
+)
+from repro.smt.budget import Budget
 from repro.smt.model import DiffConstraint, ScheduleModel
 
-PartialCost = Callable[[Tuple[int, ...]], float]
-
-
-@dataclass
-class Solution:
-    """Solver output.
-
-    ``interrupt`` records why the search was cut short, if it was:
-    ``"deadline"`` (the ``time_limit`` budget expired) or ``"nodes"``
-    (the ``max_nodes`` cap).  An interrupted solution is still *valid* —
-    it satisfies every constraint — just not proven optimal; callers like
-    :class:`~repro.core.scheduling.xtalk.XtalkScheduler` use the field to
-    decide whether to keep the incumbent or fall back entirely.
-    """
-
-    assignment: Tuple[int, ...]
-    times: Tuple[float, ...]
-    objective: float
-    constant_part: float
-    linear_part: float
-    nodes_explored: int
-    exact: bool
-    interrupt: Optional[str] = None
-
-    def option_labels(self, model: ScheduleModel) -> Tuple[str, ...]:
-        return tuple(
-            decision.options[choice].label
-            for decision, choice in zip(model.decisions, self.assignment)
-        )
+__all__ = ["OptimizingSolver", "Solution", "PartialCost"]
 
 
 class OptimizingSolver:
-    """Exact (small) / greedy (large) optimizer for a :class:`ScheduleModel`."""
+    """Exact (small) / greedy (large) optimizer for a :class:`ScheduleModel`.
+
+    ``budget`` (a shared :class:`~repro.smt.budget.Budget`) is the
+    preferred way to bound solve time; the legacy ``time_limit`` float is
+    kept for compatibility and wraps itself in an owned budget.  When both
+    are given the explicit budget wins — the scheduler relies on this to
+    hand every layer one clock.  ``backend`` pins a specific
+    :class:`~repro.smt.backends.SolverBackend`, bypassing the
+    decision-count auto-switch in :meth:`solve`.
+    """
 
     def __init__(self, model: ScheduleModel, partial_cost: Optional[PartialCost] = None,
                  exact_decision_limit: int = 14, max_nodes: int = 200_000,
-                 time_limit: Optional[float] = None):
+                 time_limit: Optional[float] = None,
+                 budget: Optional[Budget] = None,
+                 backend: Optional[SolverBackend] = None,
+                 hint=None):
         self.model = model
-        self.partial_cost = partial_cost or (lambda assignment: 0.0)
+        self.partial_cost = partial_cost or zero_cost
         self.exact_decision_limit = exact_decision_limit
         self.max_nodes = max_nodes
         self.time_limit = time_limit
-        self._nodes = 0
-        self._deadline: Optional[float] = None
-        self._interrupted = False
-        self._interrupt_reason: Optional[str] = None
+        self.budget = budget if budget is not None else Budget(time_limit)
+        self.backend = backend
+        #: Warm-start hint (decision name -> option label), forwarded to
+        #: backends that honour it (LocalSearch, portfolio warm entrants).
+        self.hint = hint
 
     # ------------------------------------------------------------------
-    # time budget
-    # ------------------------------------------------------------------
-    def _arm_deadline(self) -> bool:
-        """Start the ``time_limit`` clock if set and not already running.
-
-        Returns True when this call armed it (the caller then owns
-        clearing it), so :meth:`solve_exact` and the greedy incumbent it
-        seeds share one budget instead of restarting the clock.
-        """
-        if self.time_limit is not None and self._deadline is None:
-            self._deadline = time.monotonic() + self.time_limit
-            return True
-        return False
-
-    def _deadline_passed(self) -> bool:
-        return self._deadline is not None and time.monotonic() > self._deadline
-
-    # ------------------------------------------------------------------
-    # LP over difference constraints
-    # ------------------------------------------------------------------
-    def _lp_minimize(self, constraints: Sequence[DiffConstraint]) -> Optional[Tuple[float, np.ndarray]]:
-        """Minimize the linear objective subject to ``constraints``.
-
-        Returns ``(value, x)`` or None when infeasible.  With an all-zero
-        objective the ASAP solution from the feasibility check is used
-        directly (no LP call).
-        """
-        asap = difference_feasible(self.model.num_vars, constraints)
-        if asap is None:
-            return None
-        objective = self.model.objective
-        if not any(abs(c) > 0.0 for c in objective.values()):
-            return self.model.objective_offset, np.asarray(asap)
-
-        n = self.model.num_vars
-        c = np.zeros(n)
-        for var, coeff in objective.items():
-            c[var] = coeff
-        rows = []
-        rhs = []
-        bounds_lo = np.zeros(n)
-        for con in constraints:
-            if con.var_lo is None:
-                bounds_lo[con.var_hi] = max(bounds_lo[con.var_hi], con.offset)
-                continue
-            # x_hi - x_lo >= off  ->  -x_hi + x_lo <= -off
-            row = np.zeros(n)
-            row[con.var_hi] = -1.0
-            row[con.var_lo] = 1.0
-            rows.append(row)
-            rhs.append(-con.offset)
-        a_ub = np.vstack(rows) if rows else None
-        b_ub = np.asarray(rhs) if rows else None
-        result = optimize.linprog(
-            c, A_ub=a_ub, b_ub=b_ub,
-            bounds=list(zip(bounds_lo, [None] * n)),
-            method="highs",
+    def request(self, incumbent: Optional[Solution] = None) -> SolveRequest:
+        """The :class:`SolveRequest` this solver hands its backends."""
+        return SolveRequest(
+            model=self.model,
+            partial_cost=self.partial_cost,
+            budget=self.budget,
+            exact_decision_limit=self.exact_decision_limit,
+            max_nodes=self.max_nodes,
+            incumbent=incumbent,
+            hint=self.hint,
         )
-        if not result.success:
-            # Infeasibility should have been caught by Bellman-Ford; treat
-            # any other failure as infeasible to stay conservative.
-            return None
-        return float(result.fun) + self.model.objective_offset, result.x
+
+    # ------------------------------------------------------------------
+    # LP over difference constraints (kept as a method: tests and the
+    # brute-force reference call it directly)
+    # ------------------------------------------------------------------
+    def _lp_minimize(self, constraints: Sequence[DiffConstraint]
+                     ) -> Optional[Tuple[float, np.ndarray]]:
+        return lp_minimize(self.model, constraints)
 
     # ------------------------------------------------------------------
     def solve(self) -> Solution:
-        """Exact B&B when the decision count is small, else greedy dive.
+        """Exact B&B when the decision count is small, else greedy dive
+        (or the pinned ``backend`` when one was supplied).
 
         Opens an ``smt.solve`` observability span (nested under whatever
         pass or session is active) carrying solve time, node count, and
@@ -160,7 +115,9 @@ class OptimizingSolver:
         model = self.model
         with obs_span("smt.solve") as record:
             started = time.perf_counter()
-            if len(model.decisions) <= self.exact_decision_limit:
+            if self.backend is not None:
+                solution = self.backend.solve(self.request())
+            elif len(model.decisions) <= self.exact_decision_limit:
                 solution = self.solve_exact()
             else:
                 solution = self.solve_greedy()
@@ -195,135 +152,7 @@ class OptimizingSolver:
 
     # ------------------------------------------------------------------
     def solve_exact(self) -> Solution:
-        self._nodes = 0
-        self._interrupted = False
-        self._interrupt_reason = None
-        armed = self._arm_deadline()
-        # Greedy incumbent first: dramatically improves pruning.
-        incumbent = self.solve_greedy()
-        best = [incumbent.objective, incumbent]
-        if incumbent.interrupt is not None:
-            self._interrupted = True
-            self._interrupt_reason = incumbent.interrupt
+        return ExactBnB().solve(self.request())
 
-        def recurse(prefix: List[int]) -> None:
-            if self._interrupted:
-                return
-            self._nodes += 1
-            if self._nodes > self.max_nodes:
-                self._interrupted = True
-                self._interrupt_reason = "nodes"
-                return
-            if self._deadline_passed():
-                self._interrupted = True
-                self._interrupt_reason = "deadline"
-                return
-            constraints = self.model.constraints_for(prefix)
-            lp = self._lp_minimize(constraints)
-            if lp is None:
-                return  # infeasible branch
-            constant = self.partial_cost(tuple(prefix))
-            bound = constant + lp[0]
-            if bound >= best[0] - 1e-12:
-                return
-            if len(prefix) == len(self.model.decisions):
-                best[0] = bound
-                best[1] = Solution(
-                    assignment=tuple(prefix),
-                    times=tuple(float(v) for v in lp[1]),
-                    objective=bound,
-                    constant_part=constant,
-                    linear_part=lp[0],
-                    nodes_explored=self._nodes,
-                    exact=True,
-                )
-                return
-            decision = self.model.decisions[len(prefix)]
-            # Explore options in ascending immediate-cost order.
-            scored = sorted(
-                range(len(decision.options)),
-                key=lambda k: self.partial_cost(tuple(prefix + [k])),
-            )
-            for k in scored:
-                prefix.append(k)
-                recurse(prefix)
-                prefix.pop()
-
-        recurse([])
-        if armed:
-            self._deadline = None
-        solution = best[1]
-        solution = Solution(
-            assignment=solution.assignment,
-            times=solution.times,
-            objective=solution.objective,
-            constant_part=solution.constant_part,
-            linear_part=solution.linear_part,
-            nodes_explored=self._nodes,
-            exact=not self._interrupted,
-            interrupt=self._interrupt_reason,
-        )
-        return solution
-
-    # ------------------------------------------------------------------
     def solve_greedy(self) -> Solution:
-        armed = self._arm_deadline()
-        interrupt: Optional[str] = None
-        assignment: List[int] = []
-        try:
-            for decision in self.model.decisions:
-                if self._deadline_passed():
-                    # Budget spent: stop scoring options with LPs and dive
-                    # to the first feasible completion — still a valid
-                    # schedule, just no longer cost-guided.
-                    interrupt = "deadline"
-                    assignment.append(self._first_feasible(assignment, decision))
-                    continue
-                best_k = None
-                best_score = float("inf")
-                for k in range(len(decision.options)):
-                    candidate = assignment + [k]
-                    lp = self._lp_minimize(self.model.constraints_for(candidate))
-                    if lp is None:
-                        continue
-                    score = self.partial_cost(tuple(candidate)) + lp[0]
-                    if score < best_score - 1e-12:
-                        best_score = score
-                        best_k = k
-                if best_k is None:
-                    raise RuntimeError(
-                        f"decision {decision.name!r} has no feasible option given "
-                        "earlier choices"
-                    )
-                assignment.append(best_k)
-        finally:
-            if armed:
-                self._deadline = None
-        lp = self._lp_minimize(self.model.constraints_for(assignment))
-        if lp is None:  # pragma: no cover - guarded by per-step feasibility
-            raise RuntimeError("greedy produced an infeasible assignment")
-        constant = self.partial_cost(tuple(assignment))
-        return Solution(
-            assignment=tuple(assignment),
-            times=tuple(float(v) for v in lp[1]),
-            objective=constant + lp[0],
-            constant_part=constant,
-            linear_part=lp[0],
-            nodes_explored=len(assignment),
-            exact=len(self.model.decisions) == 0 and interrupt is None,
-            interrupt=interrupt,
-        )
-
-    def _first_feasible(self, assignment: List[int], decision) -> int:
-        """The lowest-index feasible option, found without LP scoring."""
-        for k in range(len(decision.options)):
-            feasible = difference_feasible(
-                self.model.num_vars,
-                self.model.constraints_for(assignment + [k]),
-            )
-            if feasible is not None:
-                return k
-        raise RuntimeError(
-            f"decision {decision.name!r} has no feasible option given "
-            "earlier choices"
-        )
+        return GreedyDive().solve(self.request())

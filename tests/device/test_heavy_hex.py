@@ -1,0 +1,111 @@
+"""Heavy-hex lattice generator and the 65q/127q stress presets."""
+
+import pytest
+
+from repro.device.presets import ibm_eagle_127q, ibm_hummingbird_65q
+from repro.device.topology import heavy_hex_coupling_map
+
+
+class TestLatticeCounts:
+    """Published sizes: Hummingbird 65q/72 edges, Eagle 127q/144 edges."""
+
+    @pytest.mark.parametrize("rows,cols,qubits,edges", [
+        (5, 11, 65, 72),    # Hummingbird r2 (ibmq_manhattan)
+        (7, 15, 127, 144),  # Eagle r1 (ibm_washington)
+    ])
+    def test_published_sizes(self, rows, cols, qubits, edges):
+        cm = heavy_hex_coupling_map(rows, cols)
+        assert cm.num_qubits == qubits
+        assert len(cm.edges) == edges
+
+    def test_untrimmed_keeps_corners(self):
+        trimmed = heavy_hex_coupling_map(5, 11)
+        full = heavy_hex_coupling_map(5, 11, trim_corners=False)
+        assert full.num_qubits == trimmed.num_qubits + 2
+
+    def test_degree_at_most_three(self):
+        cm = heavy_hex_coupling_map(7, 15)
+        assert max(dict(cm.graph.degree).values()) <= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rows"):
+            heavy_hex_coupling_map(1, 11)
+        with pytest.raises(ValueError, match="columns"):
+            heavy_hex_coupling_map(5, 2)
+        with pytest.raises(ValueError, match="odd row count"):
+            heavy_hex_coupling_map(4, 11)
+
+    def test_even_rows_allowed_without_trim(self):
+        cm = heavy_hex_coupling_map(4, 11, trim_corners=False)
+        assert cm.num_qubits == 4 * 11 + 3 * 3
+
+
+class TestOneHopPairs:
+    @pytest.mark.parametrize("rows,cols", [(5, 11), (7, 15)])
+    def test_one_hop_pairs_exist_and_are_one_hop(self, rows, cols):
+        cm = heavy_hex_coupling_map(rows, cols)
+        pairs = cm.one_hop_gate_pairs()
+        assert pairs
+        for pair in pairs[:25]:
+            assert cm.gate_distance(*tuple(pair)) == 1
+
+    def test_one_hop_counts_deterministic(self):
+        assert len(heavy_hex_coupling_map(5, 11).one_hop_gate_pairs()) == \
+            len(heavy_hex_coupling_map(5, 11).one_hop_gate_pairs())
+
+
+class TestDistanceQueries:
+    def test_chain_neighbours_distance_one(self):
+        cm = heavy_hex_coupling_map(5, 11)
+        a, b = cm.edges[0]
+        assert cm.qubit_distance(a, b) == 1
+
+    def test_row_chain_distances(self):
+        # First row (row-major ids 0..cols-2 after trimming its last qubit)
+        cm = heavy_hex_coupling_map(5, 11)
+        assert cm.qubit_distance(0, 5) == 5
+
+    def test_cross_device_distance_symmetric_and_bounded(self):
+        cm = heavy_hex_coupling_map(7, 15)
+        far = cm.num_qubits - 1
+        assert cm.qubit_distance(0, far) == cm.qubit_distance(far, 0)
+        # Diameter stays graph-like: well under qubit count, over row length
+        assert 10 <= cm.qubit_distance(0, far) <= 40
+
+    def test_gate_distance_zero_means_shared_qubit(self):
+        cm = heavy_hex_coupling_map(5, 11)
+        edges = cm.edges
+        shared = next(
+            (e1, e2) for i, e1 in enumerate(edges) for e2 in edges[i + 1:]
+            if set(e1) & set(e2)
+        )
+        assert cm.gate_distance(*shared) == 0
+
+
+class TestStressPresets:
+    @pytest.mark.parametrize("factory,qubits,pairs", [
+        (ibm_hummingbird_65q, 65, 10),
+        (ibm_eagle_127q, 127, 16),
+    ])
+    def test_presets_build_with_ground_truth(self, factory, qubits, pairs):
+        device = factory()
+        assert device.coupling.num_qubits == qubits
+        assert len(device.crosstalk.pairs) == pairs
+        # Every planted pair must be at exactly 1 hop (the locality
+        # regime) — CrosstalkModel validates this, but assert explicitly.
+        for pair in device.crosstalk.pairs:
+            assert device.coupling.gate_distance(pair.edge_a, pair.edge_b) == 1
+
+    def test_planted_pairs_edge_disjoint(self):
+        device = ibm_eagle_127q()
+        seen = set()
+        for pair in device.crosstalk.pairs:
+            assert pair.edge_a not in seen
+            assert pair.edge_b not in seen
+            seen.update((pair.edge_a, pair.edge_b))
+
+    def test_presets_deterministic(self):
+        a, b = ibm_hummingbird_65q(), ibm_hummingbird_65q()
+        assert a.coupling.edges == b.coupling.edges
+        assert [(p.edge_a, p.edge_b) for p in a.crosstalk.pairs] == \
+            [(p.edge_a, p.edge_b) for p in b.crosstalk.pairs]

@@ -1,0 +1,140 @@
+"""Race determinism: the winner is a pure function of entrant results."""
+
+import math
+
+import pytest
+
+from repro.obs.events import event_sink
+from repro.parallel.race import race_to_first_good
+
+
+def run_entrant(context, payload):
+    """Module-level runner (picklable).  ``payload`` is a spec dict."""
+    if payload.get("raise"):
+        raise RuntimeError(f"entrant {payload['id']} failed")
+    return payload
+
+
+def _is_good(value):
+    return value.get("good", False)
+
+
+def _score(value):
+    return value.get("score", math.inf)
+
+
+ENTRANTS = [
+    ("b-slow-good", {"id": "b", "good": True, "score": 5.0}),
+    ("a-fast-bad", {"id": "a", "good": False, "score": 1.0}),
+    ("c-crash", {"id": "c", "raise": True}),
+]
+
+
+class TestWinnerSelection:
+    def test_first_good_in_key_order_wins(self):
+        result = race_to_first_good(
+            ENTRANTS, run_entrant, is_good=_is_good, score=_score, workers=1)
+        assert result.winner_key == "b-slow-good"
+        assert result.winner_good
+
+    def test_no_good_falls_back_to_best_score(self):
+        entrants = [
+            ("x", {"id": "x", "good": False, "score": 3.0}),
+            ("y", {"id": "y", "good": False, "score": 1.0}),
+        ]
+        result = race_to_first_good(
+            entrants, run_entrant, is_good=_is_good, score=_score, workers=1)
+        assert result.winner_key == "y"
+        assert not result.winner_good
+
+    def test_score_tie_breaks_on_key(self):
+        entrants = [
+            ("m", {"id": "m", "good": False, "score": 2.0}),
+            ("k", {"id": "k", "good": False, "score": 2.0}),
+        ]
+        result = race_to_first_good(
+            entrants, run_entrant, is_good=_is_good, score=_score, workers=1)
+        assert result.winner_key == "k"
+
+    def test_serial_early_exit_skips_later_entrants(self):
+        entrants = [
+            ("1-good", {"id": "1", "good": True, "score": 1.0}),
+            ("2-never-runs", {"id": "2", "good": True, "score": 0.0}),
+        ]
+        result = race_to_first_good(
+            entrants, run_entrant, is_good=_is_good, score=_score, workers=1)
+        assert result.winner_key == "1-good"
+        assert result.mode == "serial-early-exit"
+        skipped = {o.key: o for o in result.outcomes}["2-never-runs"]
+        assert not skipped.ran
+
+    def test_failed_entrant_not_fatal(self):
+        entrants = [
+            ("0-crash", {"id": "0", "raise": True}),
+            ("1-good", {"id": "1", "good": True, "score": 2.0}),
+        ]
+        result = race_to_first_good(
+            entrants, run_entrant, is_good=_is_good, score=_score, workers=1)
+        assert result.winner_key == "1-good"
+        failed = {o.key: o for o in result.outcomes}["0-crash"]
+        assert failed.error is not None
+        assert not failed.good
+
+    def test_all_failed_raises(self):
+        entrants = [("only", {"id": "only", "raise": True})]
+        with pytest.raises(RuntimeError, match="every race entrant failed"):
+            race_to_first_good(
+                entrants, run_entrant, is_good=_is_good, score=_score,
+                workers=1)
+
+    def test_duplicate_keys_rejected(self):
+        entrants = [("k", {"id": 1}), ("k", {"id": 2})]
+        with pytest.raises(ValueError, match="unique"):
+            race_to_first_good(
+                entrants, run_entrant, is_good=_is_good, score=_score)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            race_to_first_good(
+                [], run_entrant, is_good=_is_good, score=_score)
+
+
+class TestWorkerInvariance:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_winner_invariant_across_worker_counts(self, workers):
+        result = race_to_first_good(
+            ENTRANTS, run_entrant,
+            is_good=_is_good, score=_score, workers=workers)
+        assert result.winner_key == "b-slow-good"
+        assert result.winner == {"id": "b", "good": True, "score": 5.0}
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_no_good_winner_invariant(self, workers):
+        entrants = [
+            (f"e{i}", {"id": f"e{i}", "good": False, "score": float(9 - i)})
+            for i in range(5)
+        ]
+        result = race_to_first_good(
+            entrants, run_entrant,
+            is_good=_is_good, score=_score, workers=workers)
+        assert result.winner_key == "e4"  # lowest score
+
+    def test_pool_runs_everything(self):
+        result = race_to_first_good(
+            ENTRANTS, run_entrant,
+            is_good=_is_good, score=_score, workers=2)
+        assert result.mode == "pool"
+        assert all(o.ran for o in result.outcomes)
+
+
+class TestRaceObservability:
+    def test_race_event_logged(self):
+        with event_sink() as sink:
+            race_to_first_good(
+                ENTRANTS, run_entrant,
+                is_good=_is_good, score=_score, workers=1, name="unit")
+        events = sink.of("parallel.race")
+        assert len(events) == 1
+        assert events[0]["name"] == "unit"
+        assert events[0]["winner"] == "b-slow-good"
+        assert events[0]["entrants"] == 3

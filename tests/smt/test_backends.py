@@ -1,0 +1,231 @@
+"""Backend protocol tests: exact/greedy/local-search, windows, portfolio."""
+
+import itertools
+import pickle
+
+import pytest
+
+from repro.smt.backends import (
+    ExactBnB,
+    GreedyDive,
+    LocalSearch,
+    SolveRequest,
+    assignment_from_hint,
+    lp_minimize,
+)
+from repro.smt.budget import Budget
+from repro.smt.model import Decision, DiffConstraint, Option, ScheduleModel
+from repro.smt.portfolio import PortfolioSolver
+from repro.smt.windows import WindowedSolver, plan_windows
+
+
+def brute_force(model, partial_cost):
+    best = float("inf")
+    option_counts = [len(d.options) for d in model.decisions]
+    for assignment in itertools.product(*(range(c) for c in option_counts)):
+        lp = lp_minimize(model, model.constraints_for(list(assignment)))
+        if lp is None:
+            continue
+        best = min(best, partial_cost(tuple(assignment)) + lp[0])
+    return best
+
+
+def chain_model(num_decisions=6, penalty=1.5):
+    """A chain of gates with one serialize-or-overlap decision per link.
+
+    Overlapping link ``k`` costs ``penalty * (k % 3)`` immediately, so
+    optima are non-trivial and vary across decisions.
+    """
+    model = ScheduleModel(num_decisions + 1)
+    for v in range(num_decisions):
+        model.add_constraint(DiffConstraint(v + 1, v, 1.0))
+    for k in range(num_decisions):
+        model.add_decision(Decision(f"d{k}", (
+            Option("serialize", (DiffConstraint(k + 1, k, 3.0),)),
+            Option("overlap", ()),
+        ), payload=k))
+    model.add_objective_term(num_decisions, 1.0)
+
+    def cost(assignment):
+        return sum(penalty * (k % 3)
+                   for k, choice in enumerate(assignment) if choice == 1)
+
+    return model, cost
+
+
+class TestBackendContract:
+    def test_run_wraps_solution_with_attribution(self):
+        model, cost = chain_model(3)
+        result = GreedyDive().run(SolveRequest(model, cost))
+        assert result.backend == "greedy"
+        assert result.seconds >= 0.0
+        assert len(result.solution.assignment) == 3
+
+    def test_exact_matches_brute_force(self):
+        model, cost = chain_model(5)
+        solution = ExactBnB().solve(SolveRequest(model, cost))
+        assert solution.exact
+        assert solution.objective == pytest.approx(brute_force(model, cost))
+
+    def test_incumbent_seeds_exact(self):
+        model, cost = chain_model(4)
+        greedy = GreedyDive().solve(SolveRequest(model, cost))
+        seeded = ExactBnB().solve(SolveRequest(model, cost, incumbent=greedy))
+        assert seeded.objective == pytest.approx(brute_force(model, cost))
+
+    def test_request_pickles(self):
+        model, _ = chain_model(3)
+        request = SolveRequest(model, budget=Budget(5.0))
+        clone = pickle.loads(pickle.dumps(request))
+        assert len(clone.model.decisions) == 3
+        assert clone.budget.seconds == 5.0
+
+
+class TestLocalSearch:
+    def test_reaches_optimum_on_chain(self):
+        model, cost = chain_model(5)
+        solution = LocalSearch().solve(SolveRequest(model, cost))
+        assert solution.objective == pytest.approx(brute_force(model, cost))
+
+    def test_hint_start_used(self):
+        model, cost = chain_model(4)
+        exact = ExactBnB().solve(SolveRequest(model, cost))
+        labels = exact.option_labels(model)
+        hint = {d.name: label for d, label in zip(model.decisions, labels)}
+        solution = LocalSearch().solve(SolveRequest(model, cost, hint=hint))
+        assert solution.objective == pytest.approx(exact.objective)
+
+    def test_partial_and_infeasible_hint_falls_back(self):
+        model, cost = chain_model(4)
+        hint = {"d1": "overlap", "d2": "no_such_label"}
+        assignment = assignment_from_hint(SolveRequest(model, cost, hint=hint))
+        assert len(assignment) == 4
+        assert assignment[1] == 1  # the honoured hint
+
+    def test_deterministic(self):
+        model, cost = chain_model(6)
+        a = LocalSearch().solve(SolveRequest(model, cost))
+        b = LocalSearch().solve(SolveRequest(model, cost))
+        assert a.assignment == b.assignment
+
+    def test_budget_zero_still_returns_valid_assignment(self):
+        model, cost = chain_model(5)
+        budget = Budget(0.0)
+        solution = LocalSearch().solve(SolveRequest(model, cost, budget=budget))
+        assert solution.interrupt == "deadline"
+        assert len(solution.assignment) == 5
+
+    def test_max_rounds_validated(self):
+        with pytest.raises(ValueError, match="max_rounds"):
+            LocalSearch(max_rounds=0)
+
+
+class TestPlanWindows:
+    def test_contiguous_cover_with_cap(self):
+        model, _ = chain_model(10)
+        plan = plan_windows(model, cap=4)
+        assert plan.windows[0][0] == 0
+        assert plan.windows[-1][1] == 10
+        for (a_start, a_stop), (b_start, b_stop) in zip(
+                plan.windows, plan.windows[1:]):
+            assert a_stop == b_start
+        assert plan.max_window <= 4
+
+    def test_single_window_when_cap_covers_all(self):
+        model, _ = chain_model(5)
+        plan = plan_windows(model, cap=50)
+        assert plan.windows == ((0, 5),)
+
+    def test_deterministic(self):
+        model, _ = chain_model(12)
+        assert plan_windows(model, cap=5) == plan_windows(model, cap=5)
+
+    def test_disjoint_boundary_preferred(self):
+        # Two independent clusters of decisions over disjoint variables;
+        # the planner should cut between them rather than mid-cluster.
+        model = ScheduleModel(4)
+        for k, (a, b) in enumerate([(0, 1), (0, 1), (2, 3), (2, 3)]):
+            model.add_decision(Decision(f"d{k}", (
+                Option("ab", (DiffConstraint(b, a, 1.0),)),
+                Option("free", ()),
+            )))
+        plan = plan_windows(model, cap=3)
+        assert (0, 2) in plan.windows  # slid back from 3 to the seam at 2
+
+    def test_cap_validated(self):
+        model, _ = chain_model(3)
+        with pytest.raises(ValueError, match="cap"):
+            plan_windows(model, cap=0)
+
+
+class TestWindowedSolver:
+    def test_single_window_is_exact(self):
+        model, cost = chain_model(5)
+        solution = WindowedSolver(cap=20).solve(SolveRequest(model, cost))
+        assert solution.exact
+        assert solution.objective == pytest.approx(brute_force(model, cost))
+
+    def test_small_windows_within_5pct_of_exact(self):
+        model, cost = chain_model(8)
+        exact = brute_force(model, cost)
+        for cap in (1, 2, 3):
+            win = WindowedSolver(cap=cap).solve(SolveRequest(model, cost))
+            assert not win.exact or cap >= 8
+            assert abs(win.objective - exact) <= 0.05 * abs(exact) + 1e-9
+
+    def test_budget_exhaustion_interrupts_but_completes(self):
+        model, cost = chain_model(8)
+        budget = Budget(0.0)
+        solution = WindowedSolver(cap=2).solve(
+            SolveRequest(model, cost, budget=budget))
+        assert solution.interrupt == "deadline"
+        assert len(solution.assignment) == 8
+        assert not budget.armed  # windowed owner disarmed
+
+    def test_deterministic(self):
+        model, cost = chain_model(9)
+        a = WindowedSolver(cap=3).solve(SolveRequest(model, cost))
+        b = WindowedSolver(cap=3).solve(SolveRequest(model, cost))
+        assert a.assignment == b.assignment
+        assert a.objective == b.objective
+
+
+class TestPortfolioSolver:
+    def test_exact_entrant_wins_small_models(self):
+        model, cost = chain_model(5)
+        portfolio = PortfolioSolver()
+        solution = portfolio.solve(SolveRequest(model, cost))
+        assert portfolio.last_race.winner_key == "00-exact"
+        assert solution.objective == pytest.approx(brute_force(model, cost))
+
+    def test_windowed_wins_beyond_exact_limit(self):
+        model, cost = chain_model(6)
+        portfolio = PortfolioSolver()
+        request = SolveRequest(model, cost, exact_decision_limit=2)
+        solution = portfolio.solve(request)
+        assert portfolio.last_race.winner_key == "10-windowed"
+        assert len(solution.assignment) == 6
+
+    def test_warm_entrant_joins_with_hint(self):
+        model, cost = chain_model(4)
+        hint = {d.name: "overlap" for d in model.decisions}
+        portfolio = PortfolioSolver()
+        portfolio.solve(SolveRequest(model, cost, hint=hint))
+        keys = [o.key for o in portfolio.last_race.outcomes]
+        assert "20-local-warm" in keys
+
+    def test_zero_budget_degrades_without_raising(self):
+        model, cost = chain_model(6)
+        budget = Budget(0.0)
+        portfolio = PortfolioSolver()
+        solution = portfolio.solve(SolveRequest(model, cost, budget=budget))
+        assert solution.interrupt == "deadline"
+        assert len(solution.assignment) == 6
+        assert not budget.armed
+
+    def test_repeated_runs_identical(self):
+        model, cost = chain_model(6)
+        a = PortfolioSolver().solve(SolveRequest(model, cost))
+        b = PortfolioSolver().solve(SolveRequest(model, cost))
+        assert a.assignment == b.assignment
+        assert a.objective == b.objective
