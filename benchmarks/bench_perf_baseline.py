@@ -9,15 +9,24 @@ one entry per workload::
         "campaign_one_hop_packed": {"serial_seconds": ..., "parallel_seconds":
             ..., "workers": 4, "speedup": ...}, ...}}}
 
-The headline workload is the ONE_HOP_PACKED characterization campaign.  Its
-*serial* leg is the pre-optimization configuration — the scalar exact
-estimator (``estimate="exact-scalar"``) with one worker; the *parallel* leg
-is the shipped configuration — the vectorized estimator fanned over the
-process pool.  The speedup therefore reports what this change delivers
-end-to-end: vectorization plus fan-out.  On single-core containers the pool
-contributes nothing (there is nothing to fan out over), and the vectorized
-estimator carries the speedup; ``cpu_count`` is recorded so readers can
-tell which regime produced the numbers.
+Every workload's *serial* leg is the pre-optimization configuration and
+its *parallel* leg the shipped configuration, so the speedup reports what
+the perf work delivers end-to-end:
+
+* campaign — scalar exact estimator with per-experiment sequence
+  regeneration (``estimate="exact-scalar"``, ``share_sequences=False``)
+  @ 1 worker, vs the vectorized estimator with sweep-shared sequences
+  @ N workers;
+* trajectory_backend / tomography — the ``engine="scalar"`` trajectory
+  simulator @ 1 worker, vs the batched engine @ N workers.
+
+Determinism spot-checks always compare the *shipped* configuration at 1
+worker against N workers (bitwise), never serial-leg vs parallel-leg —
+those are different configurations and agree only statistically.  On
+single-core containers the pool contributes nothing (there is nothing to
+fan out over), and vectorization + amortization carry the speedup;
+``cpu_count`` is recorded so readers can tell which regime produced the
+numbers.
 
 Run directly (not through pytest)::
 
@@ -25,7 +34,7 @@ Run directly (not through pytest)::
     PYTHONPATH=src python benchmarks/bench_perf_baseline.py --check 1.2
     PYTHONPATH=src python benchmarks/bench_perf_baseline.py --gate 5
 
-``--check X`` exits nonzero if the campaign workload's parallel leg is
+``--check X`` exits nonzero if any workload's parallel leg is
 slower than ``X`` times its serial leg — the CI perf-smoke gate,
 implemented as a :mod:`repro.obs.diff` against a synthetic budget
 baseline.  ``--gate N`` diffs this run against the last *N* history
@@ -92,7 +101,8 @@ def bench_campaign(workers: int, fast: bool) -> dict:
     rb = RBConfig.fast() if fast else RBConfig()
     clifford_group(2)  # build once, outside both timed legs
 
-    serial_cfg = dataclasses.replace(rb, estimate="exact-scalar")
+    serial_cfg = dataclasses.replace(rb, estimate="exact-scalar",
+                                     share_sequences=False)
     serial_campaign = CharacterizationCampaign(device, rb_config=serial_cfg,
                                                seed=3)
     _, serial_seconds = _timed(lambda: serial_campaign.run(
@@ -116,8 +126,9 @@ def bench_campaign(workers: int, fast: bool) -> dict:
         "speedup": serial_seconds / parallel_seconds,
         "experiments": pooled.plan.num_experiments,
         "deterministic_across_worker_counts": deterministic,
-        "notes": "serial = exact-scalar estimator @ 1 worker (pre-change); "
-                 "parallel = vectorized estimator @ N workers (shipped)",
+        "notes": "serial = exact-scalar estimator, unshared sequences @ 1 "
+                 "worker (pre-change); parallel = vectorized estimator, "
+                 "shared sequences @ N workers (shipped)",
     }
 
 
@@ -128,12 +139,17 @@ def bench_trajectories(workers: int, fast: bool) -> dict:
     bench = swap_benchmark(device.coupling, 0, 8)
     prepared = prepare_circuit("ParSched", bench.circuit, device, report)
     backend = NoisyBackend(device, day=0, seed=11)
+    scalar_backend = NoisyBackend(device, day=0, seed=11,
+                                  sim_engine="scalar")
     trajectories = 96 if fast else 480
 
-    serial, serial_seconds = _timed(lambda: backend.run(
+    _, serial_seconds = _timed(lambda: scalar_backend.run(
         prepared, shots=1024, trajectories=trajectories, workers=1))
     pooled, parallel_seconds = _timed(lambda: backend.run(
         prepared, shots=1024, trajectories=trajectories, workers=workers))
+    # Determinism spot-check on the shipped configuration only.
+    single = backend.run(prepared, shots=1024, trajectories=trajectories,
+                         workers=1)
     return {
         "serial_seconds": serial_seconds,
         "parallel_seconds": parallel_seconds,
@@ -141,8 +157,10 @@ def bench_trajectories(workers: int, fast: bool) -> dict:
         "speedup": serial_seconds / parallel_seconds,
         "trajectories": trajectories,
         "deterministic_across_worker_counts": bool(
-            (serial.probabilities == pooled.probabilities).all()
+            (single.probabilities == pooled.probabilities).all()
         ),
+        "notes": "serial = scalar trajectory engine @ 1 worker (pre-change); "
+                 "parallel = batched engine @ N workers (shipped)",
     }
 
 
@@ -153,18 +171,24 @@ def bench_tomography(workers: int, fast: bool) -> dict:
     bench = swap_benchmark(device.coupling, 0, 8)
     prepared = prepare_circuit("XtalkSched", bench.circuit, device, report)
     backend = NoisyBackend(device, day=0)
+    scalar_backend = NoisyBackend(device, day=0, sim_engine="scalar")
     config = ExperimentConfig(shots=1024, trajectories=32 if fast else 160)
 
-    serial, serial_seconds = _timed(lambda: tomography_error(
-        backend, prepared, bench.meeting_pair, config, workers=1))
+    _, serial_seconds = _timed(lambda: tomography_error(
+        scalar_backend, prepared, bench.meeting_pair, config, workers=1))
     pooled, parallel_seconds = _timed(lambda: tomography_error(
         backend, prepared, bench.meeting_pair, config, workers=workers))
+    # Determinism spot-check on the shipped configuration only.
+    single = tomography_error(backend, prepared, bench.meeting_pair, config,
+                              workers=1)
     return {
         "serial_seconds": serial_seconds,
         "parallel_seconds": parallel_seconds,
         "workers": workers,
         "speedup": serial_seconds / parallel_seconds,
-        "deterministic_across_worker_counts": serial == pooled,
+        "deterministic_across_worker_counts": single == pooled,
+        "notes": "serial = scalar trajectory engine @ 1 worker (pre-change); "
+                 "parallel = batched engine @ N workers (shipped)",
     }
 
 
@@ -219,6 +243,11 @@ def main(argv=None) -> int:
     parser.add_argument("--check", type=float, default=None, metavar="X",
                         help="exit nonzero if any workload's parallel leg "
                              "is slower than X times its serial leg")
+    parser.add_argument("--floor", action="append", default=[],
+                        metavar="NAME=X",
+                        help="exit nonzero if workload NAME's speedup is "
+                             "below X (repeatable; e.g. "
+                             "--floor campaign_one_hop_packed=3)")
     parser.add_argument("--gate", type=int, default=None, metavar="N",
                         help="diff this run against the last N history "
                              "records and exit nonzero on regressions")
@@ -262,6 +291,19 @@ def main(argv=None) -> int:
     for name, entry in workloads.items():
         if not entry.get("deterministic_across_worker_counts", True):
             failures.append(f"{name}: results differ across worker counts")
+
+    for spec in args.floor:
+        name, _, floor_text = spec.partition("=")
+        if not floor_text or name not in workloads:
+            failures.append(f"--floor {spec!r}: unknown workload or missing "
+                            f"value (workloads: {', '.join(WORKLOADS)})")
+            continue
+        floor = float(floor_text)
+        speedup = workloads[name]["speedup"]
+        if speedup < floor:
+            failures.append(
+                f"{name}: speedup {speedup:.2f}x below floor {floor:.2f}x"
+            )
 
     if args.check is not None:
         _warn_if_dirty(record, "this run")

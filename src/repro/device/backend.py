@@ -21,6 +21,8 @@ experiments, which run through :meth:`NoisyBackend.schedule_of` +
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -31,28 +33,86 @@ from repro.device.device import Device
 from repro.device.topology import normalize_edge
 from repro.obs.registry import get_registry
 from repro.obs.trace import span as obs_span
-from repro.parallel import ParallelEngine, stable_seed_sequence
+from repro.parallel import ParallelEngine, SharedPayload, stable_seed_sequence
 from repro.resilience.faults import FaultInjector
 from repro.resilience.retry import RetryPolicy
 from repro.sim.channels import ReadoutModel, decay_probabilities
-from repro.sim.trajectory import NoisyOp, TrajectorySimulator
+from repro.sim.trajectory import (
+    ENGINE_CODES,
+    BatchedTrajectorySimulator,
+    NoisyOp,
+)
 from repro.transpiler.schedule import Schedule
 from repro.transpiler.scheduling import hardware_schedule
 
-#: Trajectories per parallel chunk.  Fixed (never derived from the worker
-#: count) so the chunk boundaries — and therefore each chunk's spawned seed
-#: and the order-preserving merge — are identical whether the chunks run
-#: serially or across a pool, making the output distribution bitwise
-#: reproducible for every worker count.
-_TRAJECTORY_CHUNK = 16
+#: Environment variable selecting the trajectory engine ("batched" or
+#: "scalar"); the batched engine is the default.
+SIM_ENGINE_ENV = "REPRO_SIM_ENGINE"
+
+#: Smallest and largest trajectory-chunk sizes the planner will emit.
+MIN_TRAJECTORY_CHUNK = 16
+MAX_TRAJECTORY_CHUNK = 256
+
+#: Amplitude budget per batched chunk: a chunk of ``B`` trajectories on
+#: ``n`` qubits evolves a ``B * 2**n`` complex array, so the planner sizes
+#: ``B`` to keep that array near ~32 MiB (2**21 amplitudes).
+_CHUNK_AMPLITUDE_BUDGET = 1 << 21
+
+
+def resolve_sim_engine(engine: Optional[str] = None) -> str:
+    """Resolve the trajectory engine: explicit argument, then the
+    ``REPRO_SIM_ENGINE`` environment variable, then ``"batched"``."""
+    if engine is None:
+        engine = os.environ.get(SIM_ENGINE_ENV, "").strip() or "batched"
+    if engine not in ENGINE_CODES:
+        raise ValueError(
+            f"unknown sim engine {engine!r}; pick from {sorted(ENGINE_CODES)}"
+        )
+    return engine
+
+
+def plan_trajectory_chunks(trajectories: int,
+                           num_qubits: int) -> List[Tuple[int, int]]:
+    """Deterministic chunk plan: ``[(first_trajectory, count), ...]``.
+
+    Keyed only on ``(trajectories, num_qubits)`` — never the worker count —
+    so chunk boundaries, each chunk's per-trajectory seed window, and the
+    order-preserving merge are identical whether the chunks run serially
+    or across any pool, keeping the output distribution bitwise
+    reproducible for every worker count.  The chunk size scales down with
+    qubit count to bound the batched engine's ``B * 2**n`` working set,
+    and a budget that fits one chunk yields a single-entry plan (which the
+    backend runs inline, skipping pool spin-up entirely).
+    """
+    if trajectories <= 0:
+        raise ValueError("need at least one trajectory")
+    chunk = max(
+        MIN_TRAJECTORY_CHUNK,
+        min(MAX_TRAJECTORY_CHUNK, _CHUNK_AMPLITUDE_BUDGET >> num_qubits),
+    )
+    if trajectories <= chunk:
+        return [(0, trajectories)]
+    plan = [(start, chunk) for start in range(0, trajectories - chunk + 1, chunk)]
+    done = plan[-1][0] + chunk
+    if done < trajectories:
+        plan.append((done, trajectories - done))
+    return plan
 
 
 def _trajectory_chunk_task(context, item):
-    """Accumulate one chunk of trajectories (module-level for pickling)."""
-    events, measured_sim_qubits, num_qubits = context
-    count, seed_seq = item
-    sim = TrajectorySimulator(num_qubits, seed=seed_seq)
-    return sim.accumulate(events, measured_sim_qubits, count)
+    """Accumulate one chunk of trajectories (module-level for pickling).
+
+    ``item`` is a ``(first_trajectory, count)`` window from
+    :func:`plan_trajectory_chunks`; the simulator derives each
+    trajectory's RNG stream from its global index, so the window's
+    contribution is independent of which worker runs it.
+    """
+    events, measured_sim_qubits, num_qubits, root, engine = context
+    start, count = item
+    sim = BatchedTrajectorySimulator(num_qubits, seed=root, engine=engine)
+    return sim.accumulate(
+        events, measured_sim_qubits, count, first_trajectory=start
+    )
 
 
 @dataclass
@@ -87,13 +147,17 @@ class NoisyBackend:
     def __init__(self, device: Device, day: int = 0, seed: Optional[int] = None,
                  workers: Optional[int] = None,
                  retry: Optional[RetryPolicy] = None,
-                 faults: Optional[FaultInjector] = None):
+                 faults: Optional[FaultInjector] = None,
+                 sim_engine: Optional[str] = None):
         self.device = device
         self.day = day
         self._seed = seed if seed is not None else device.seed * 7919 + day
         self.workers = workers
         self.retry = retry
         self.faults = faults
+        #: Trajectory engine, resolved via :func:`resolve_sim_engine`
+        #: (``"batched"`` unless overridden here or by ``REPRO_SIM_ENGINE``).
+        self.sim_engine = resolve_sim_engine(sim_engine)
         #: ``parallel.*`` counters accumulated across every run (workers is
         #: a level, not an accumulator).
         self.counters: Dict[str, float] = {}
@@ -214,10 +278,12 @@ class NoisyBackend:
         re-scheduling.  Error rates still derive from the schedule's actual
         overlaps.
 
-        Trajectories are split into fixed chunks of ``_TRAJECTORY_CHUNK``,
-        each chunk simulated with its own RNG spawned from a stable root
-        seed, and the partial accumulators merged in chunk order — so the
-        probabilities do not depend on ``workers``.
+        Trajectories are split by :func:`plan_trajectory_chunks` (keyed on
+        budget and qubit count, never worker count), every trajectory's
+        RNG stream derives from its global index under a stable root seed,
+        and the partial accumulators merge in chunk order — so the
+        probabilities do not depend on ``workers``.  A budget that fits
+        one chunk runs inline with no pool at all.
 
         Job submission is the ``"backend.job"`` fault site: an injected
         rejection or timeout raises
@@ -253,34 +319,56 @@ class NoisyBackend:
         measured_sim_qubits = [qubit_map[q] for q in measured_device_qubits]
 
         seed_val = seed if seed is not None else self._seed
-        chunk_counts = [_TRAJECTORY_CHUNK] * (trajectories // _TRAJECTORY_CHUNK)
-        if trajectories % _TRAJECTORY_CHUNK:
-            chunk_counts.append(trajectories % _TRAJECTORY_CHUNK)
+        plan = plan_trajectory_chunks(trajectories, len(qubit_map))
         root = stable_seed_sequence("backend.trajectories", seed_val)
-        children = root.spawn(len(chunk_counts))
 
-        context = (events, measured_sim_qubits, len(qubit_map))
+        registry = get_registry()
+        registry.set("sim.engine", float(ENGINE_CODES[self.sim_engine]))
+        context = (events, measured_sim_qubits, len(qubit_map), root,
+                   self.sim_engine)
         with obs_span("backend.run_schedule") as record:
             record.counters["backend.trajectories"] = float(trajectories)
-            record.counters["backend.chunks"] = float(len(chunk_counts))
-            with ParallelEngine(
-                workers if workers is not None else self.workers,
-                name="backend.trajectories",
-            ) as engine:
-                partials = engine.map(
-                    _trajectory_chunk_task, list(zip(chunk_counts, children)),
-                    context,
+            record.counters["backend.chunks"] = float(len(plan))
+            if len(plan) == 1:
+                # A one-chunk plan needs no fan-out: run inline, skipping
+                # pool spin-up *and* the serial-fallback probe.
+                started = time.perf_counter()
+                partials = [_trajectory_chunk_task(context, plan[0])]
+                wall = time.perf_counter() - started
+                registry.set("parallel.mode", 0.0)
+                self.counters["parallel.tasks"] = (
+                    self.counters.get("parallel.tasks", 0.0) + 1.0
                 )
+                self.counters["parallel.wall_seconds"] = (
+                    self.counters.get("parallel.wall_seconds", 0.0) + wall
+                )
+                self.counters["parallel.serial_seconds_estimate"] = (
+                    self.counters.get("parallel.serial_seconds_estimate", 0.0)
+                    + wall
+                )
+                self.counters.setdefault("parallel.workers", 1.0)
+            else:
+                with SharedPayload(
+                    context, name="backend.trajectories"
+                ) as payload:
+                    with ParallelEngine(
+                        workers if workers is not None else self.workers,
+                        name="backend.trajectories",
+                    ) as engine:
+                        partials = engine.map(
+                            _trajectory_chunk_task, plan, payload,
+                        )
+                for name, value in engine.counters.items():
+                    if name == "parallel.workers":
+                        self.counters[name] = value
+                    else:
+                        self.counters[name] = (
+                            self.counters.get(name, 0.0) + value
+                        )
             total = np.zeros(2 ** len(measured_sim_qubits))
             for partial in partials:
                 total += partial
             probs = total / trajectories
-            for name, value in engine.counters.items():
-                if name == "parallel.workers":
-                    self.counters[name] = value
-                else:
-                    self.counters[name] = self.counters.get(name, 0.0) + value
-        registry = get_registry()
         registry.inc("backend.runs")
         registry.inc("backend.trajectories", trajectories)
         registry.observe("backend.run_seconds", record.seconds)

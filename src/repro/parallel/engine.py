@@ -48,7 +48,13 @@ injection always forces the real pool so worker-death tests stay honest.
 
 Task functions must be module-level (picklable) and are called as
 ``fn(context, item)``; the ``context`` object is shipped to each worker
-once via the pool initializer rather than once per task.
+once via the pool initializer rather than once per task.  Wrapping a
+large read-only context in :class:`~repro.parallel.payload.SharedPayload`
+shrinks even that one shipment to a key token — fork-started workers
+resolve the key against the inherited module-global store
+(copy-on-write, zero pickling) and the engine unwraps the payload before
+every ``fn`` call, so task functions never see the wrapper.  Savings are
+recorded under ``parallel.payload.*``.
 
 Resilience
 ----------
@@ -85,6 +91,7 @@ import os
 from repro.obs.events import log_event
 from repro.obs.registry import MetricsRegistry, get_registry
 from repro.obs.trace import span as obs_span
+from repro.parallel.payload import SharedPayload, unwrap_payload
 from repro.resilience.errors import RemoteTaskError, TaskFailure, WorkerCrashError
 from repro.resilience.faults import FaultDirective, FaultInjector, execute_directive
 from repro.resilience.retry import RetryPolicy
@@ -191,7 +198,9 @@ def _run_task(fn: Callable[[Any, Any], Any], index: int, item: Any,
     try:
         if directive is not None:
             execute_directive(directive, process_exit=_IN_WORKER)
-        payload: Tuple[Any, ...] = ("ok", fn(_WORKER_CONTEXT, item))
+        payload: Tuple[Any, ...] = (
+            "ok", fn(unwrap_payload(_WORKER_CONTEXT), item)
+        )
     except Exception as error:
         payload = ("error", _shippable_error(error), traceback.format_exc())
     seconds = time.perf_counter() - started
@@ -431,6 +440,7 @@ class ParallelEngine:
         tail of the list), so keys, ``on_result`` callbacks, and failure
         records keep their full-list identity.
         """
+        context = unwrap_payload(context)
         max_attempts = self._max_attempts()
         for i in indexes:
             item = work[i]

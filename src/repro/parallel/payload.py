@@ -1,0 +1,130 @@
+"""Fork-inherited shared payloads: (near-)zero-copy task context fan-out.
+
+The pre-change fan-out shipped each map's ``context`` — compiled event
+streams, calibration tables, whole device models — by value: pickled into
+the pool initializer args and inflated once per worker process.  For the
+trajectory and tomography hot paths that pickle dwarfs the per-task
+message, so the fork/IPC tax scaled with context size rather than task
+count.
+
+:class:`SharedPayload` keeps the large object in a parent-process module
+global (:data:`_STORE`) and pickles as just a key token.  On platforms
+whose :mod:`multiprocessing` start method is ``fork`` (Linux, the only
+platform CI runs), pool workers inherit :data:`_STORE` copy-on-write at
+fork time, so the worker-side lookup is a dict hit against already-mapped
+memory — zero copies, zero inflation.  On spawn-based platforms the
+payload degrades gracefully by shipping its value alongside the key, so
+callers never need to branch on start method.
+
+Bookkeeping lands in the process registry:
+
+* ``parallel.payload.bytes`` — gauge, pickled size of the most recently
+  registered payload;
+* ``parallel.payload.count`` — counter, payloads registered;
+* ``parallel.payload.saved_bytes`` — counter, bytes *not* shipped because
+  a payload crossed a process boundary as a bare key.
+
+:class:`~repro.parallel.engine.ParallelEngine` unwraps payloads
+transparently (see :func:`unwrap_payload`): task functions always receive
+the raw context value, whether the map ran serially, via probe fallback,
+or on the pool.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import pickle
+from typing import Any, Dict
+
+from repro.obs.registry import get_registry
+
+#: Parent-process payload store, inherited by fork-started pool workers.
+_STORE: Dict[str, Any] = {}
+
+#: Monotonic suffix making payload keys unique within a process.
+_COUNTER = itertools.count()
+
+
+def fork_inherits_globals() -> bool:
+    """Whether pool workers inherit this module's globals (fork start)."""
+    try:
+        return multiprocessing.get_start_method() == "fork"
+    except Exception:  # pragma: no cover - exotic mp configurations
+        return False
+
+
+def payload_nbytes(value: Any) -> int:
+    """Pickled size of ``value`` in bytes (0 when unpicklable)."""
+    try:
+        return len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 0
+
+
+class SharedPayload:
+    """A large read-only task context registered for zero-copy fan-out.
+
+    Construct once per fan-out with the full context value; pass the
+    payload object itself as the engine's ``context``.  Pickling the
+    payload ships only ``(key, nbytes)`` when workers inherit the store
+    via fork, and falls back to shipping the value on spawn platforms.
+    Call :meth:`release` (or use the payload as a context manager) when
+    the fan-out is done to drop the parent-side reference.
+    """
+
+    __slots__ = ("key", "nbytes", "_fallback")
+
+    def __init__(self, value: Any, name: str = "payload"):
+        self.key = f"{name}.{os.getpid()}.{next(_COUNTER)}"
+        self.nbytes = payload_nbytes(value)
+        self._fallback = None
+        _STORE[self.key] = value
+        registry = get_registry()
+        registry.inc("parallel.payload.count")
+        registry.set("parallel.payload.bytes", float(self.nbytes))
+
+    @property
+    def value(self) -> Any:
+        """The registered context: a store hit in the parent and in
+        fork-started workers, the shipped fallback on spawn platforms."""
+        if self.key in _STORE:
+            return _STORE[self.key]
+        return self._fallback
+
+    def release(self) -> None:
+        """Drop the parent-side store entry (idempotent)."""
+        _STORE.pop(self.key, None)
+
+    def __enter__(self) -> "SharedPayload":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        if fork_inherits_globals():
+            get_registry().inc(
+                "parallel.payload.saved_bytes", float(self.nbytes)
+            )
+            return (self.key, self.nbytes, None)
+        return (self.key, self.nbytes, _STORE.get(self.key))
+
+    def __setstate__(self, state) -> None:
+        self.key, self.nbytes, self._fallback = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SharedPayload(key={self.key!r}, nbytes={self.nbytes})"
+
+
+def unwrap_payload(context: Any) -> Any:
+    """``context.value`` for a :class:`SharedPayload`, else ``context``.
+
+    The engine calls this at every task site so task functions stay
+    payload-agnostic.
+    """
+    if isinstance(context, SharedPayload):
+        return context.value
+    return context

@@ -38,7 +38,11 @@ from repro.obs.registry import get_registry
 from repro.parallel.seeding import stable_rng
 from repro.rb.clifford import clifford_group
 from repro.rb.fitting import RBFit, fit_rb_decay
-from repro.rb.sequences import RBSequence, generate_rb_sequence
+from repro.rb.sequences import (
+    RBSequence,
+    generate_rb_sequence,
+    shared_rb_sequence,
+)
 from repro.sim.channels import decay_probabilities
 from repro.sim.stabilizer import StabilizerSimulator
 from repro.sim.unitaries import two_qubit_pauli_labels
@@ -117,6 +121,50 @@ _WALSH = {
     ),
 }
 
+#: Memoized suffix symplectic matrices, keyed by a shared sequence's
+#: ``cache_token`` (plus the decoherence flag, which changes the flattened
+#: gate list).  Shared sequences recur across every experiment of a pair
+#: sweep — and across the fresh per-task executors a campaign pool builds —
+#: so their 2n x 2n GF(2) suffix products are computed once per process.
+_SUFFIX_CACHE: Dict[Tuple, List[np.ndarray]] = {}
+_SUFFIX_CACHE_LIMIT = 16384
+
+
+def _suffix_matrices(n: int, gates: List[Tuple[str, Tuple[int, ...], int]],
+                     token, include_decoherence: bool) -> List[np.ndarray]:
+    """Suffix symplectic matrices for one target's flattened gate list.
+
+    ``suffix[t]`` maps the (x|z) bits of a Pauli injected *after* gate
+    ``t-1`` to its final x bits: the x-part of a pushed Pauli is linear in
+    the input bits over GF(2), phases never matter for survival, so the
+    whole suffix reduces to a 2n x 2n bit matrix composed by matmul.
+    Results are memoized under ``token`` when the sequence came from
+    :func:`~repro.rb.sequences.shared_rb_sequence`.
+    """
+    from repro.rb.clifford import _gate_tableau
+
+    key = None
+    if token is not None:
+        key = (token, include_decoherence)
+        cached = _SUFFIX_CACHE.get(key)
+        if cached is not None:
+            return cached
+    suffix_mats: List[Optional[np.ndarray]] = [None] * (len(gates) + 1)
+    suffix_mats[len(gates)] = np.eye(2 * n, dtype=np.uint8)
+    for t in range(len(gates) - 1, -1, -1):
+        name, qs, _ = gates[t]
+        if name == "__idle__":
+            suffix_mats[t] = suffix_mats[t + 1]
+        else:
+            gate_mat = _gate_tableau(n, name, qs).mat
+            suffix_mats[t] = (gate_mat @ suffix_mats[t + 1]) % 2
+    if key is not None:
+        if len(_SUFFIX_CACHE) >= _SUFFIX_CACHE_LIMIT:
+            _SUFFIX_CACHE.clear()
+        _SUFFIX_CACHE[key] = suffix_mats
+    return suffix_mats
+
+
 Target = Tuple[int, ...]  # one benchmarked gate: (q,) or a coupling edge
 
 
@@ -161,6 +209,16 @@ class RBConfig:
     * ``"sampled"`` — reference implementation: Monte-Carlo error
       realizations simulated gate by gate on the stabilizer simulator
       (``samples_per_sequence`` realizations per sequence).
+
+    ``share_sequences`` (default on) draws each experiment's random
+    Cliffords from :func:`~repro.rb.sequences.shared_rb_sequence` — one
+    stably generated sequence per (length, repeat index, slot, sweep)
+    reused across every experiment of the pair sweep — instead of
+    regenerating from the per-experiment stream.  Survival statistics are
+    unchanged (sequences are still uniform random Cliffords); only the
+    generation cost is amortized.  Turn it off to reproduce the
+    historical independent-sequences protocol (the perf benchmark's
+    serial leg does, as the honest pre-change configuration).
     """
 
     lengths: Tuple[int, ...] = (2, 4, 8, 16, 28, 40)
@@ -168,6 +226,7 @@ class RBConfig:
     samples_per_sequence: int = 12  # used by the "sampled" estimator only
     estimate: str = "exact"
     shots: Optional[int] = None  # None = exact survival (no shot noise)
+    share_sequences: bool = True
     #: Charge T1/T2 for the time a unit idles waiting for the longest unit
     #: of an aligned layer.  Off by default: on hardware, simultaneous RB
     #: sequences free-run without alignment barriers, and decoherence during
@@ -295,17 +354,31 @@ class RBExecutor:
 
         cfg = self.config
         rng = self._experiment_rng(targets)
+        sorted_targets = sorted(targets)
+        seed_class = (self._fingerprint, self.day, self.base_seed)
         survivals: Dict[Target, List[List[float]]] = {
             t: [[] for _ in cfg.lengths] for t in targets
         }
         for li, length in enumerate(cfg.lengths):
-            for _ in range(cfg.num_sequences):
-                seqs = {
-                    t: generate_rb_sequence(
-                        clifford_group(len(t)), length, rng
-                    )
-                    for t in targets
-                }
+            for si in range(cfg.num_sequences):
+                if cfg.share_sequences:
+                    # Amortized path: one stably generated sequence per
+                    # (n, length, repeat, slot) reused across the sweep;
+                    # the experiment stream is only consumed for shot noise.
+                    seqs = {
+                        t: shared_rb_sequence(
+                            len(t), length, si, sorted_targets.index(t),
+                            seed_class,
+                        )
+                        for t in targets
+                    }
+                else:
+                    seqs = {
+                        t: generate_rb_sequence(
+                            clifford_group(len(t)), length, rng
+                        )
+                        for t in targets
+                    }
                 means = self._run_sequences(targets, seqs, rng)
                 for t in targets:
                     value = means[t]
@@ -452,8 +525,6 @@ class RBExecutor:
         :func:`_walsh_factors`.  The scalar reference lives in
         :meth:`_run_sequences_exact_scalar`.
         """
-        from repro.rb.clifford import _gate_tableau
-
         cfg = self.config
         cal = self.device.calibration(self.day)
         layers, depth, cx_error, unit_duration, layer_duration = \
@@ -471,19 +542,9 @@ class RBExecutor:
                     gates.append((name, qs, k))
                 if cfg.include_decoherence:
                     gates.append(("__idle__", idle_span, k))
-            # The x-part of a pushed Pauli is *linear* in the input (x|z)
-            # bits over GF(2): out_bits = in_bits @ M where M is the
-            # tableau's symplectic matrix.  Phases never matter here, so
-            # suffixes reduce to 2n x 2n GF(2) matrices composed by matmul.
-            suffix_mats = [None] * (len(gates) + 1)
-            suffix_mats[len(gates)] = np.eye(2 * n, dtype=np.uint8)
-            for t in range(len(gates) - 1, -1, -1):
-                name, qs, _ = gates[t]
-                if name == "__idle__":
-                    suffix_mats[t] = suffix_mats[t + 1]
-                else:
-                    gate_mat = _gate_tableau(n, name, qs).mat
-                    suffix_mats[t] = (gate_mat @ suffix_mats[t + 1]) % 2
+            suffix_mats = _suffix_matrices(
+                n, gates, seqs[e].cache_token, cfg.include_decoherence
+            )
 
             # Partition error sites into support classes; each class
             # becomes one batched characteristic-function product.

@@ -24,6 +24,7 @@ upper bound, as the paper notes (Section 8.1).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -82,7 +83,12 @@ class InterleavedRB:
                  seed: Optional[int] = None):
         self.device = device
         self.day = day
-        self.config = config or RBConfig()
+        # The interleaved decay necessarily builds bespoke sequences (the
+        # CNOT is spliced in), so the reference decay must match the
+        # per-protocol generation — sweep-shared sequences would compare
+        # decays drawn from different sequence populations.
+        config = config or RBConfig()
+        self.config = dataclasses.replace(config, share_sequences=False)
         self._seed = seed if seed is not None else device.seed * 31 + day
         self._group = clifford_group(2)
 

@@ -5,26 +5,45 @@ followed by the group inverse of their product, so an ideal execution is
 the identity and the survival probability (returning to |0..0>) decays as
 ``A f**m + B`` under noise.  Sequences are built on local qubits 0..n-1 and
 mapped onto device qubits when executed.
+
+Two generation entry points:
+
+* :func:`generate_rb_sequence` — sample from a caller-supplied stream
+  (the historical per-experiment path);
+* :func:`shared_rb_sequence` — sample from a stable stream keyed on
+  ``(num_qubits, length, seq_index, slot, seed_class)`` and memoize the
+  result in a module-level cache, so a characterization sweep that runs
+  hundreds of experiments with the same sizing generates each sequence
+  *once* and reuses it everywhere (including across the fresh per-task
+  executors a campaign pool creates within one worker process).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.rb.clifford import CliffordElement, CliffordGroup
+from repro.parallel.seeding import stable_rng
+from repro.rb.clifford import CliffordElement, CliffordGroup, clifford_group
 
 GateList = Tuple[Tuple[str, Tuple[int, ...]], ...]
 
 
 @dataclass(frozen=True)
 class RBSequence:
-    """One random sequence: the sampled Cliffords plus the closing inverse."""
+    """One random sequence: the sampled Cliffords plus the closing inverse.
+
+    ``cache_token`` is set (to the stable generation key) only on
+    sequences produced by :func:`shared_rb_sequence`; downstream
+    estimators use it to memoize per-sequence derived structures (suffix
+    symplectic matrices).  It never participates in equality.
+    """
 
     elements: Tuple[CliffordElement, ...]
     inverse: CliffordElement
+    cache_token: Optional[Tuple] = field(default=None, compare=False)
 
     @property
     def length(self) -> int:
@@ -63,3 +82,35 @@ def generate_rb_sequence(group: CliffordGroup, length: int,
         product = product.compose(el.tableau)
     inverse = group.inverse_element(product)
     return RBSequence(elements, inverse)
+
+
+#: Memoized shared sequences; bounded so pathological sweeps (many seed
+#: classes in one process) cannot grow without limit.
+_SHARED_SEQUENCES: Dict[Tuple, RBSequence] = {}
+_SHARED_SEQUENCES_LIMIT = 8192
+
+
+def shared_rb_sequence(num_qubits: int, length: int, seq_index: int,
+                       slot: int, seed_class: Tuple) -> RBSequence:
+    """A memoized random sequence keyed by experiment *shape*, not target.
+
+    ``seq_index`` is the sequence's position within an experiment's
+    ``num_sequences`` repeats, ``slot`` the target's position within the
+    experiment (so the two halves of an SRB pair draw different
+    sequences), and ``seed_class`` the sweep identity (device fingerprint,
+    day, executor base seed).  Every experiment of a sweep that asks for
+    the same key gets the *same* — stably generated — sequence, which is
+    what lets a pair sweep over hundreds of edges amortize generation:
+    the targets themselves are deliberately absent from the key.
+    """
+    key = (num_qubits, length, seq_index, slot, seed_class)
+    seq = _SHARED_SEQUENCES.get(key)
+    if seq is None:
+        rng = stable_rng("rb.sequence", num_qubits, length, seq_index, slot,
+                         list(seed_class))
+        seq = generate_rb_sequence(clifford_group(num_qubits), length, rng)
+        seq = RBSequence(seq.elements, seq.inverse, cache_token=key)
+        if len(_SHARED_SEQUENCES) >= _SHARED_SEQUENCES_LIMIT:
+            _SHARED_SEQUENCES.clear()
+        _SHARED_SEQUENCES[key] = seq
+    return seq

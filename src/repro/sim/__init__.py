@@ -24,7 +24,14 @@ from repro.sim.channels import (
     two_qubit_depolarizing_paulis,
     ReadoutModel,
 )
-from repro.sim.trajectory import NoisyOp, TrajectorySimulator
+from repro.sim.trajectory import (
+    ENGINE_CODES,
+    BatchedTrajectorySimulator,
+    NoisyOp,
+    TrajectorySimulator,
+    trajectory_generators,
+    trajectory_seed,
+)
 from repro.sim.stabilizer import StabilizerSimulator
 from repro.sim.density import DensityMatrix, exact_output_distribution
 
@@ -38,8 +45,12 @@ __all__ = [
     "phase_damping_kraus",
     "two_qubit_depolarizing_paulis",
     "ReadoutModel",
+    "BatchedTrajectorySimulator",
+    "ENGINE_CODES",
     "NoisyOp",
     "TrajectorySimulator",
+    "trajectory_generators",
+    "trajectory_seed",
     "StabilizerSimulator",
     "DensityMatrix",
     "exact_output_distribution",

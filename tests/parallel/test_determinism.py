@@ -79,11 +79,26 @@ class TestBackendWorkerIndependence:
         assert serial.counts == pooled.counts
 
     def test_partial_chunk_covers_full_budget(self, poughkeepsie):
-        # 40 trajectories = 2 full chunks of 16 + one partial chunk of 8.
+        # The bell circuit activates 2 qubits, so the planner's chunk size
+        # saturates at MAX_TRAJECTORY_CHUNK (256): 600 trajectories =
+        # 2 full chunks of 256 + one partial chunk of 88, and the partial
+        # chunk still contributes (probabilities stay normalized).
         backend = NoisyBackend(poughkeepsie, day=0, seed=11)
         circuit = self._bell(poughkeepsie)
-        result = backend.run(circuit, shots=64, trajectories=40, workers=1)
+        result = backend.run(circuit, shots=64, trajectories=600, workers=1)
         assert backend.counters["parallel.tasks"] == 3.0
+        assert result.probabilities.sum() == pytest.approx(1.0)
+
+    def test_single_chunk_plan_runs_inline(self, poughkeepsie):
+        # A budget that fits one chunk must not spin up any fan-out
+        # machinery: one inline task, serial mode gauge.
+        from repro.obs.registry import get_registry
+
+        backend = NoisyBackend(poughkeepsie, day=0, seed=11)
+        circuit = self._bell(poughkeepsie)
+        result = backend.run(circuit, shots=64, trajectories=40, workers=4)
+        assert backend.counters["parallel.tasks"] == 1.0
+        assert get_registry().snapshot()["gauges"]["parallel.mode"] == 0.0
         assert result.probabilities.sum() == pytest.approx(1.0)
 
 

@@ -1,0 +1,100 @@
+"""Shared-payload channel: zero-copy context fan-out (ISSUE 7 tentpole c)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.obs.registry import get_registry
+from repro.parallel import ParallelEngine, SharedPayload, unwrap_payload
+from repro.parallel.payload import _STORE, fork_inherits_globals
+
+
+def _square(context, item):
+    return context["scale"] * item * item
+
+
+def _payload_probe(context, item):
+    # Returns what the task actually saw, so tests can assert the engine
+    # unwrapped the payload before calling the task function.
+    return (type(context).__name__, context["scale"])
+
+
+class TestSharedPayload:
+    def test_value_round_trips_in_parent(self):
+        data = {"scale": 3, "table": list(range(100))}
+        with SharedPayload(data, name="test") as payload:
+            assert payload.value is data
+            assert unwrap_payload(payload) is data
+        # released: parent store entry gone, fallback None
+        assert payload.key not in _STORE
+
+    def test_unwrap_is_identity_for_plain_context(self):
+        context = ("a", "b")
+        assert unwrap_payload(context) is context
+
+    def test_pickles_to_key_under_fork(self):
+        if not fork_inherits_globals():
+            pytest.skip("requires the fork start method")
+        data = {"scale": 2, "blob": b"x" * 50_000}
+        with SharedPayload(data, name="test") as payload:
+            shipped = pickle.dumps(payload)
+            # The wire form must not contain the 50 kB blob.
+            assert len(shipped) < 1_000
+            clone = pickle.loads(shipped)
+            # Same process: the store hit resolves the clone's value too.
+            assert clone.value is data
+
+    def test_saved_bytes_counter(self):
+        if not fork_inherits_globals():
+            pytest.skip("requires the fork start method")
+        registry = get_registry()
+        with SharedPayload({"scale": 1}, name="test") as payload:
+            before = registry.snapshot()["counters"].get(
+                "parallel.payload.saved_bytes", 0.0
+            )
+            pickle.dumps(payload)
+            after = registry.snapshot()["counters"][
+                "parallel.payload.saved_bytes"
+            ]
+            assert after - before == float(payload.nbytes)
+            assert payload.nbytes > 0
+
+    def test_registration_metrics(self):
+        registry = get_registry()
+        before = registry.snapshot()["counters"].get(
+            "parallel.payload.count", 0.0
+        )
+        with SharedPayload({"scale": 1}, name="test") as payload:
+            snap = registry.snapshot()
+            assert snap["counters"]["parallel.payload.count"] == before + 1.0
+            assert snap["gauges"]["parallel.payload.bytes"] == float(
+                payload.nbytes
+            )
+
+
+class TestEngineIntegration:
+    def test_serial_map_unwraps_payload(self):
+        with SharedPayload({"scale": 3}, name="test") as payload:
+            with ParallelEngine(workers=1, name="test") as engine:
+                results = engine.map(_square, [1, 2, 3], payload)
+        assert results == [3, 12, 27]
+
+    def test_pool_map_unwraps_payload(self):
+        with SharedPayload({"scale": 5}, name="test") as payload:
+            with ParallelEngine(
+                workers=2, name="test", min_parallel_seconds=0.0
+            ) as engine:
+                results = engine.map(_payload_probe, [0, 1], payload)
+        assert results == [("dict", 5), ("dict", 5)]
+
+    def test_payload_and_plain_context_agree(self):
+        items = list(range(8))
+        context = {"scale": 7}
+        with ParallelEngine(workers=1, name="test") as engine:
+            plain = engine.map(_square, items, context)
+        with SharedPayload(context, name="test") as payload:
+            with ParallelEngine(workers=2, name="test",
+                                min_parallel_seconds=0.0) as engine:
+                shared = engine.map(_square, items, payload)
+        assert plain == shared
