@@ -165,6 +165,56 @@ def ibm_hummingbird_65q() -> Device:
                   seed=65)
 
 
+def simulated_fleet(count: int = 6, qubits: int = 6,
+                    seed: int = 0) -> List[Device]:
+    """A fleet of small drifting devices for fleet-scale simulation.
+
+    ``count`` line-topology devices named ``sim00``, ``sim01``, ... —
+    deliberately tiny (default 6 qubits) so a multi-day multi-device
+    soak stays test-sized.  Each device gets its own stable seed
+    (calibration, drift, and crosstalk RNG all derive from the fleet
+    seed and the device name), plus one or two planted high-crosstalk
+    pairs at factors safely above the 3x detection cut, rotated around
+    the line so the fleet's planted sets differ.
+    """
+    from repro.parallel.seeding import stable_entropy
+
+    if qubits < 4:
+        raise ValueError("fleet devices need at least 4 qubits")
+    devices: List[Device] = []
+    factor_cycle = ((10.0, 8.0), (8.0, 11.0), (9.0, 9.0), (11.0, 7.0))
+    for index in range(count):
+        name = f"sim{index:02d}"
+        device_seed = stable_entropy("fleet.preset", seed, name) % 2 ** 31
+        coupling = CouplingMap(qubits, [(q, q + 1) for q in range(qubits - 1)])
+        calibration = synthesize_calibration(
+            coupling, seed=device_seed % 100_003,
+        )
+        one_hop = sorted(
+            tuple(sorted(pair)) for pair in coupling.one_hop_gate_pairs()
+        )
+        wanted = 1 + index % 2
+        pairs: List[CrosstalkPair] = []
+        used: set = set()
+        offset = device_seed % len(one_hop)
+        for step in range(len(one_hop)):
+            edge_a, edge_b = one_hop[(offset + step) % len(one_hop)]
+            if edge_a in used or edge_b in used:
+                continue
+            fa, fb = factor_cycle[(index + len(pairs)) % len(factor_cycle)]
+            pairs.append(CrosstalkPair(edge_a, edge_b, factor_a=fa,
+                                       factor_b=fb))
+            used.update((edge_a, edge_b))
+            if len(pairs) == wanted:
+                break
+        crosstalk = CrosstalkModel(coupling, pairs, seed=device_seed % 9_973)
+        devices.append(Device(
+            name, coupling, calibration, crosstalk,
+            seed=device_seed % 65_521,
+        ))
+    return devices
+
+
 def ibm_eagle_127q() -> Device:
     """A 127-qubit heavy-hex device (the Eagle r1 generation,
     e.g. ``ibm_washington``): 7 rows x 15 columns, 144 coupling edges.

@@ -145,6 +145,32 @@ def format_table(rows: Sequence[Fig4Row]) -> str:
     return "\n".join(lines)
 
 
+def run_fig4_fleet(device: Optional[Device] = None, days: int = 6,
+                   rb_config: Optional[RBConfig] = None, seed: int = 5,
+                   workers: Optional[int] = None):
+    """Figure 4 as a single-device fleet: the drift study run by the
+    online Opt-3 service instead of a hand-rolled daily loop.
+
+    A :class:`~repro.fleet.controller.FleetController` over just
+    Poughkeepsie publishes one
+    :class:`~repro.fleet.epoch.CalibrationEpoch` per day — day 0 a full
+    packed 1-hop characterization, every later day a ``HIGH_ONLY``
+    refresh against the prior epoch (the paper's Opt 3) — so the
+    published epoch sequence *is* the Figure 4 drift track, with the
+    same supervision, checkpointing, and observability as a real fleet.
+    Returns the :class:`~repro.fleet.controller.FleetOutcome`; grade it
+    with ``outcome.scorecard([device])``.
+    """
+    from repro.fleet.controller import FleetController
+
+    device = device or ibmq_poughkeepsie()
+    rb_config = rb_config or RBConfig(lengths=(2, 4, 8), num_sequences=2)
+    controller = FleetController(
+        [device], rb_config=rb_config, seed=seed, workers=workers,
+    )
+    return controller.run(days)
+
+
 def main() -> List[Fig4Row]:
     rows = run_fig4()
     print(format_table(rows))

@@ -1,0 +1,62 @@
+"""repro.fleet — fleet-scale continuous characterization (online Opt 3).
+
+The paper's Optimization 3 reuses a prior day's characterization instead
+of re-measuring everything; this package runs that idea as an *online
+service* over a fleet of drifting devices, with robustness as the
+headline.  A :class:`~repro.fleet.controller.FleetController` ticks
+simulated days, prioritizes devices by staleness and drift metrics,
+dispatches campaigns over :mod:`repro.parallel`, and publishes exactly
+one :class:`~repro.fleet.epoch.CalibrationEpoch` per device per day —
+under worker deaths, backend faults, stalls, and kill-and-resume.
+
+Layers:
+
+* :mod:`repro.fleet.epoch` — the published unit: a crosstalk report
+  plus provenance (fresh/degraded/failed/carried/missing), exact
+  serialization for bitwise resume identity;
+* :mod:`repro.fleet.supervisor` — per-device health: heartbeat
+  watchdog, circuit breaker, quarantine (built on
+  :mod:`repro.resilience`'s clock and breaker primitives);
+* :mod:`repro.fleet.controller` — the event loop: priority, budget,
+  checkpoint/resume, ``fleet.*`` observability;
+* :mod:`repro.fleet.soak` — the chaos-soak harness CI runs: a small
+  fleet under deterministic fault injection, asserting convergence,
+  zero lost epochs, quarantine, and resume identity.
+
+See ``docs/resilience.md`` ("Fleet supervision") and
+``docs/observability.md`` for the name registry.
+"""
+
+from repro.fleet.controller import DeviceTrack, FleetController, FleetOutcome
+from repro.fleet.epoch import (
+    CalibrationEpoch,
+    EPOCH_SCHEMA,
+    EPOCH_STATUSES,
+    GOOD_STATUSES,
+)
+from repro.fleet.supervisor import STALL_SITE, DeviceSupervisor
+
+__all__ = [
+    "CalibrationEpoch",
+    "DeviceSupervisor",
+    "DeviceTrack",
+    "EPOCH_SCHEMA",
+    "EPOCH_STATUSES",
+    "FleetController",
+    "FleetOutcome",
+    "GOOD_STATUSES",
+    "run_soak",
+    "SoakConfig",
+    "SoakResult",
+    "STALL_SITE",
+]
+
+
+def __getattr__(name: str):
+    # Lazy so ``python -m repro.fleet.soak`` does not trip the runpy
+    # double-import warning (the package importing the module it runs).
+    if name in ("SoakConfig", "SoakResult", "run_soak"):
+        from repro.fleet import soak
+
+        return getattr(soak, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,141 @@
+"""Per-device supervision: watchdog, circuit breaker, quarantine.
+
+A :class:`DeviceSupervisor` is the fleet controller's health authority
+for one device.  It owns the device's
+:class:`~repro.resilience.breaker.CircuitBreaker` (admission control with
+deterministic cooldown/probe timing on the shared virtual clock), its
+heartbeat :class:`~repro.resilience.clock.Watchdog` (stalled measurements
+surface as :class:`~repro.resilience.errors.MeasurementStall` instead of
+hanging the fleet), and the **quarantine** decision: a device whose
+breaker has tripped ``quarantine_after`` times is parked permanently —
+it keeps publishing carried epochs, but no further measurement budget is
+ever spent on it.
+
+The supervisor never runs campaigns itself; the controller calls
+
+* :meth:`admit` before spending budget (quarantine / breaker gate),
+* :meth:`heartbeat` at campaign start (beats the watchdog and applies
+  any injected ``fleet.stall`` fault — a stall ages the heartbeat past
+  the timeout and the check raises),
+* :meth:`complete` on campaign completion,
+* :meth:`note_success` / :meth:`note_failure` with the day's verdict.
+
+All state transitions are pure functions of the call sequence and the
+virtual clock, so a resumed controller that replays the same verdicts
+reconstructs identical supervision state.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.obs.events import log_event
+from repro.obs.registry import get_registry
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.clock import VirtualClock, Watchdog
+from repro.resilience.faults import FaultInjector
+
+#: Fault site consulted by :meth:`DeviceSupervisor.heartbeat` — rules
+#: targeting it (any kind) model a measurement that stops progressing.
+STALL_SITE = "fleet.stall"
+
+
+class DeviceSupervisor:
+    """Health authority for one fleet device (see module docstring)."""
+
+    def __init__(self, name: str, clock: VirtualClock, *,
+                 failure_threshold: int = 2, cooldown: float = 1.5,
+                 cooldown_factor: float = 2.0, max_cooldown: float = 6.0,
+                 stall_timeout: float = 0.5, quarantine_after: int = 2,
+                 faults: Optional[FaultInjector] = None):
+        if quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1")
+        self.name = name
+        self.clock = clock
+        self.faults = faults
+        self.quarantine_after = int(quarantine_after)
+        self.breaker = CircuitBreaker(
+            clock, name=f"breaker[{name}]",
+            failure_threshold=failure_threshold, cooldown=cooldown,
+            cooldown_factor=cooldown_factor, max_cooldown=max_cooldown,
+        )
+        self.watchdog = Watchdog(clock, stall_timeout, name=f"watchdog[{name}]")
+        #: Virtual days the last :meth:`heartbeat` charged the clock
+        #: (nonzero only when an injected stall fired).  The controller
+        #: reads this instead of differencing the shared clock, which
+        #: would pick up float rounding from other devices' activity.
+        self.stall_charge = 0.0
+        #: True once the device has been parked permanently.
+        self.quarantined = False
+        #: Every recorded failure, as ``(day, reason)``.
+        self.failures: List[Tuple[int, str]] = []
+
+    # ------------------------------------------------------------------
+    def admit(self, day: int) -> Tuple[bool, Optional[str]]:
+        """May this device be measured today?  ``(ok, refusal_reason)``.
+
+        A refused device still publishes (a carried epoch); refusal only
+        saves the measurement budget.  Calling this may transition an
+        open breaker to half-open — the admitted call *is* the probe.
+        """
+        if self.quarantined:
+            return False, "quarantined"
+        if not self.breaker.allow():
+            return False, "breaker_open"
+        return True, None
+
+    def cancel(self) -> None:
+        """The admitted campaign never ran (e.g. budget deferral).
+
+        Returns a half-open probe admission to the open state without
+        counting a trip, so deferral cannot wedge the breaker.
+        """
+        self.breaker.cancel_probe()
+
+    # ------------------------------------------------------------------
+    def heartbeat(self, day: int) -> None:
+        """Start-of-campaign heartbeat, with injected-stall handling.
+
+        A fault rule at :data:`STALL_SITE` models a measurement that
+        accepts the job but never returns: the virtual clock is advanced
+        past the watchdog timeout, and the heartbeat check raises
+        :class:`~repro.resilience.errors.MeasurementStall` — which the
+        controller records as the day's failure.  Deterministic: the
+        stall draw is keyed on ``(device, day)`` only.
+        """
+        self.watchdog.beat()
+        self.stall_charge = 0.0
+        if self.faults is not None:
+            directive = self.faults.directive(
+                STALL_SITE, f"{self.name}:day{day}"
+            )
+            if directive is not None:
+                self.faults.record(directive)
+                get_registry().inc("fleet.stalls")
+                self.stall_charge = self.watchdog.timeout * 1.25
+                self.clock.advance(self.stall_charge)
+        self.watchdog.check()
+
+    def complete(self) -> None:
+        """End-of-campaign heartbeat."""
+        self.watchdog.beat()
+
+    # ------------------------------------------------------------------
+    def note_success(self, day: int) -> None:
+        """Record a good device-day (closes a half-open breaker)."""
+        self.breaker.record_success()
+
+    def note_failure(self, day: int, reason: str) -> None:
+        """Record a failed device-day; quarantine on repeated trips."""
+        self.failures.append((day, reason))
+        self.breaker.record_failure()
+        if (not self.quarantined
+                and self.breaker.state == "open"
+                and self.breaker.trips >= self.quarantine_after):
+            self.quarantined = True
+            get_registry().inc("fleet.quarantined")
+            log_event(
+                "fleet.quarantine", device=self.name, day=day,
+                reason=reason, trips=self.breaker.trips,
+                failures=len(self.failures),
+            )

@@ -112,6 +112,7 @@ from .scorecard import (
     campaign_scorecard,
     detection_quality,
     drift_scorecard,
+    fleet_scorecard,
     schedule_audit_scorecard,
 )
 from .session import Session
@@ -163,7 +164,7 @@ __all__ = [
     # scorecard
     "SCORECARD_SCHEMA", "DetectionQuality", "DriftDay", "Scorecard",
     "detection_quality", "campaign_scorecard", "drift_scorecard",
-    "schedule_audit_scorecard",
+    "fleet_scorecard", "schedule_audit_scorecard",
     # session / reporting
     "Session", "report", "load_report_document",
 ]

@@ -272,6 +272,57 @@ def drift_scorecard(name: str, days: Sequence[DriftDay], *,
                      metrics=metrics, details={"per_day": per_day})
 
 
+def fleet_scorecard(name: str, device_days: Dict[str, Sequence[DriftDay]],
+                    *, quarantined: int = 0,
+                    run_id: Optional[str] = None,
+                    extra_metrics: Optional[Dict[str, float]] = None,
+                    ) -> Scorecard:
+    """Aggregate drift-tracking quality across a fleet of devices.
+
+    ``device_days`` maps device name → that device's
+    :class:`DriftDay` sequence (the same inputs
+    :func:`drift_scorecard` takes for one device).  Pooled
+    recall/precision count every (device, day, pair) decision;
+    ``drift_lag_days`` is the *worst* per-device lag — one device losing
+    a pair for a week is a fleet problem no average should hide — while
+    ``stable_days_fraction`` averages across devices.  ``quarantined``
+    rides along so history diffs notice when the fleet starts parking
+    devices it used to measure.
+    """
+    graded = {dev: days_ for dev, days_ in device_days.items() if days_}
+    if not graded:
+        raise ValueError("fleet scorecard needs at least one graded device")
+    tp = fp = fn = 0
+    worst_lag = 0.0
+    stable_sum = 0.0
+    per_device: Dict[str, Dict[str, float]] = {}
+    for dev in sorted(graded):
+        card = drift_scorecard(f"{name}[{dev}]", graded[dev])
+        m = card.metrics
+        tp += int(m["true_positives"])
+        fp += int(m["false_positives"])
+        fn += int(m["false_negatives"])
+        worst_lag = max(worst_lag, m["drift_lag_days"])
+        stable_sum += m["stable_days_fraction"]
+        per_device[dev] = {
+            key: m[key] for key in (
+                "recall", "precision", "drift_lag_days",
+                "stable_days_fraction",
+            )
+        }
+    metrics = DetectionQuality(tp, fp, fn).to_metrics()
+    metrics.update({
+        "devices": float(len(device_days)),
+        "quarantined": float(quarantined),
+        "drift_lag_days": worst_lag,
+        "stable_days_fraction": stable_sum / len(graded),
+    })
+    if extra_metrics:
+        metrics.update({k: float(v) for k, v in extra_metrics.items()})
+    return Scorecard(kind="fleet", name=name, run_id=run_id,
+                     metrics=metrics, details={"per_device": per_device})
+
+
 def schedule_audit_scorecard(name: str, *, serializations_taken: int,
                              serializations_warranted: int,
                              fallbacks: int = 0,

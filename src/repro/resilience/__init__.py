@@ -14,18 +14,34 @@ those failure modes first-class and *deterministic*:
   killed campaign resumes bitwise-identically;
 * :mod:`repro.resilience.degrade` — coverage accounting for partial
   reports that fall back to stale measurements (paper Opt 3);
+* :mod:`repro.resilience.clock` — a deterministic virtual clock and
+  heartbeat watchdog for supervision timing;
+* :mod:`repro.resilience.breaker` — a circuit breaker
+  (closed → open → half-open) with virtual-clock probe scheduling;
 * :mod:`repro.resilience.errors` — the shared failure taxonomy.
 
 See ``docs/resilience.md`` for the full design.
 """
 
+from repro.resilience.breaker import (
+    BREAKER_STATE_CODES,
+    BREAKER_STATES,
+    CircuitBreaker,
+)
 from repro.resilience.checkpoint import CHECKPOINT_SCHEMA, JsonlCheckpoint
-from repro.resilience.degrade import CampaignCoverage, CoverageEntry
+from repro.resilience.clock import VirtualClock, Watchdog
+from repro.resilience.degrade import (
+    CampaignCoverage,
+    CoverageEntry,
+    carried_forward_coverage,
+)
 from repro.resilience.errors import (
     BackendJobError,
     CheckpointError,
     CheckpointMismatch,
     FatalTaskError,
+    FleetInterrupted,
+    MeasurementStall,
     RemoteTaskError,
     ResilienceError,
     TaskFailure,
@@ -46,10 +62,14 @@ from repro.resilience.retry import DEFAULT_RETRYABLE, RetryPolicy
 
 __all__ = [
     "BackendJobError",
+    "BREAKER_STATE_CODES",
+    "BREAKER_STATES",
     "CampaignCoverage",
+    "carried_forward_coverage",
     "CHECKPOINT_SCHEMA",
     "CheckpointError",
     "CheckpointMismatch",
+    "CircuitBreaker",
     "CoverageEntry",
     "DEFAULT_RETRYABLE",
     "execute_directive",
@@ -59,7 +79,9 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultRule",
+    "FleetInterrupted",
     "JsonlCheckpoint",
+    "MeasurementStall",
     "raise_fault",
     "RemoteTaskError",
     "ResilienceError",
@@ -67,5 +89,7 @@ __all__ = [
     "TaskFailure",
     "TransientError",
     "TransientTaskError",
+    "VirtualClock",
+    "Watchdog",
     "WorkerCrashError",
 ]

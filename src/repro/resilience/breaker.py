@@ -1,0 +1,166 @@
+"""A deterministic circuit breaker: closed → open → half-open.
+
+The classic availability primitive, adapted to reproducible simulation:
+all timing runs on a :class:`~repro.resilience.clock.VirtualClock`, so
+when a breaker opens, how long it stays open, and which call becomes the
+half-open probe are pure functions of the recorded successes and
+failures — a resumed run that replays the same outcomes reconstructs the
+identical breaker state.
+
+States:
+
+* **closed** — calls flow; consecutive failures are counted, and
+  reaching ``failure_threshold`` trips the breaker open.
+* **open** — calls are refused until ``cooldown`` virtual days pass
+  (the cooldown doubles with each trip, up to ``max_cooldown`` — a
+  repeatedly-failing device gets probed less and less often).
+* **half-open** — after the cooldown, exactly one call is admitted as a
+  probe: success closes the breaker, failure re-opens it.
+
+Every transition sets the ``resilience.breaker.state`` gauge, bumps
+``resilience.breaker.trips`` on trips, and logs a ``resilience.breaker``
+event (see ``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import log_event
+from repro.obs.registry import get_registry
+
+from repro.resilience.clock import VirtualClock
+
+#: The breaker's three states, in gauge-code order.
+BREAKER_STATES = ("closed", "open", "half_open")
+
+#: Gauge encoding for ``resilience.breaker.state`` (see docs).
+BREAKER_STATE_CODES = {"closed": 0.0, "open": 1.0, "half_open": 2.0}
+
+
+class CircuitBreaker:
+    """Failure-counting admission control over a virtual clock.
+
+    Parameters
+    ----------
+    clock:
+        The :class:`VirtualClock` all cooldown timing is measured on.
+    name:
+        Identifies this breaker in events (one breaker per device:
+        ``"breaker[sim03]"``).
+    failure_threshold:
+        Consecutive failures (while closed) that trip the breaker.
+    cooldown:
+        Virtual days the breaker stays open after its first trip.
+    cooldown_factor:
+        Cooldown multiplier applied per additional trip (exponential
+        backoff for chronically failing devices).
+    max_cooldown:
+        Upper bound on the escalated cooldown.
+    """
+
+    def __init__(self, clock: VirtualClock, name: str = "breaker", *,
+                 failure_threshold: int = 3, cooldown: float = 1.5,
+                 cooldown_factor: float = 2.0, max_cooldown: float = 8.0):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown <= 0:
+            raise ValueError("cooldown must be positive")
+        self.clock = clock
+        self.name = name
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown = float(cooldown)
+        self.cooldown_factor = float(cooldown_factor)
+        self.max_cooldown = float(max_cooldown)
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at: float = 0.0
+        #: Lifetime number of closed/half-open → open transitions.
+        self.trips = 0
+        self._publish("init")
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half_open"``."""
+        return self._state
+
+    @property
+    def current_cooldown(self) -> float:
+        """The open-state dwell time implied by the trip count so far."""
+        if self.trips == 0:
+            return self.cooldown
+        scaled = self.cooldown * self.cooldown_factor ** (self.trips - 1)
+        return min(scaled, self.max_cooldown)
+
+    def allow(self) -> bool:
+        """May a call proceed right now?
+
+        In the open state this is also where the half-open transition
+        happens: once the cooldown has elapsed on the virtual clock, the
+        first ``allow()`` flips to half-open and admits itself as the
+        probe; further calls are refused until the probe's outcome is
+        recorded.
+        """
+        if self._state == "closed":
+            return True
+        if self._state == "open":
+            if self.clock.now - self._opened_at >= self.current_cooldown:
+                self._state = "half_open"
+                self._publish("probe")
+                return True
+            return False
+        # half-open: a probe is already in flight; one at a time.
+        return False
+
+    def cancel_probe(self) -> None:
+        """Withdraw a half-open probe admission that never ran.
+
+        Used when an admitted call is abandoned for reasons unrelated to
+        the device's health (the fleet's daily budget ran out before the
+        probe could execute): the breaker returns to open *without*
+        counting a trip, and — since the cooldown already elapsed — the
+        next ``allow()`` re-admits a probe immediately.
+        """
+        if self._state == "half_open":
+            self._state = "open"
+            self._publish("cancel")
+
+    def record_success(self) -> None:
+        """A supervised call succeeded: reset, closing from half-open."""
+        previous = self._state
+        self._consecutive_failures = 0
+        self._state = "closed"
+        if previous != "closed":
+            self._publish("close")
+
+    def record_failure(self) -> None:
+        """A supervised call failed: count it, tripping when warranted.
+
+        A half-open probe failure re-opens immediately (and escalates the
+        cooldown via the trip count); closed-state failures trip only at
+        ``failure_threshold``.
+        """
+        if self._state == "half_open":
+            self._trip()
+            return
+        self._consecutive_failures += 1
+        if self._state == "closed" \
+                and self._consecutive_failures >= self.failure_threshold:
+            self._trip()
+
+    # ------------------------------------------------------------------
+    def _trip(self) -> None:
+        self._state = "open"
+        self._opened_at = self.clock.now
+        self._consecutive_failures = 0
+        self.trips += 1
+        get_registry().inc("resilience.breaker.trips")
+        self._publish("trip")
+
+    def _publish(self, transition: str) -> None:
+        get_registry().set(
+            "resilience.breaker.state", BREAKER_STATE_CODES[self._state]
+        )
+        log_event(
+            "resilience.breaker", name=self.name, transition=transition,
+            state=self._state, trips=self.trips, at=self.clock.now,
+        )

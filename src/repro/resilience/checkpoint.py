@@ -15,10 +15,13 @@ Resume semantics:
   raises :class:`~repro.resilience.errors.CheckpointMismatch` (resuming
   would silently mix two campaigns' data) unless ``on_mismatch="reset"``
   discards the stale file;
-* corrupted or truncated lines — the torn tail of a killed process, a
-  flipped bit — are skipped and counted
+* corrupted lines — a flipped bit mid-file — are skipped and counted
   (``resilience.checkpoint.corrupt_lines``), never fatal: a damaged
   checkpoint degrades to re-measuring, not to a crash;
+* a **torn tail** — the partial final line a writer killed mid-``append``
+  leaves behind — is repaired at open (``resilience.checkpoint.truncations``):
+  a parseable tail kept and properly newline-terminated, an unparseable
+  one truncated away, so later appends never concatenate with it;
 * duplicate keys keep the *last* record (a retried unit may have been
   appended twice).
 
@@ -78,18 +81,38 @@ class JsonlCheckpoint:
         if not os.path.exists(self.path):
             return
         registry = get_registry()
-        with open(self.path, "r", encoding="utf-8") as handle:
-            lines = handle.readlines()
+        with open(self.path, "rb") as handle:
+            data = handle.read()
+        # A writer killed mid-append leaves a torn tail: bytes after the
+        # last newline that are not a complete record.  Appending to such
+        # a file would concatenate the partial record with the next one,
+        # corrupting *both* — so the tail is handled at the byte level
+        # before anything else touches the file: a parseable tail (the
+        # write finished, the newline didn't) is kept and rewritten with
+        # its newline; an unparseable one is truncated away and counted.
+        tail_record = None
+        keep = len(data)
+        if data and not data.endswith(b"\n"):
+            keep = data.rfind(b"\n") + 1  # 0 when no newline at all
+            try:
+                tail_record = json.loads(data[keep:].decode("utf-8"))
+            except (ValueError, TypeError, UnicodeDecodeError):
+                self.corrupt_lines += 1
+                registry.inc("resilience.checkpoint.corrupt_lines")
+            registry.inc("resilience.checkpoint.truncations")
+            self._repair_tail(keep, tail_record)
         records = []
-        for line in lines:
+        for line in data[:keep].splitlines():
             line = line.strip()
             if not line:
                 continue
             try:
-                records.append(json.loads(line))
-            except (ValueError, TypeError):
+                records.append(json.loads(line.decode("utf-8")))
+            except (ValueError, TypeError, UnicodeDecodeError):
                 self.corrupt_lines += 1
                 registry.inc("resilience.checkpoint.corrupt_lines")
+        if tail_record is not None:
+            records.append(tail_record)
         header = records[0] if records else None
         if (isinstance(header, dict)
                 and header.get("schema") == CHECKPOINT_SCHEMA):
@@ -114,6 +137,26 @@ class JsonlCheckpoint:
             else:
                 self.corrupt_lines += 1
                 registry.inc("resilience.checkpoint.corrupt_lines")
+
+    def _repair_tail(self, keep: int, tail_record) -> None:
+        """Rewrite the file without its torn tail.
+
+        ``keep`` is the byte offset just past the last newline-terminated
+        line.  A parseable tail record (the write finished but the
+        newline never landed) is re-appended properly terminated; an
+        unparseable one is simply cut.  Fsynced, so a second crash cannot
+        resurrect the torn bytes.
+        """
+        with open(self.path, "r+b") as handle:
+            handle.truncate(keep)
+            if tail_record is not None:
+                handle.seek(0, os.SEEK_END)
+                handle.write(
+                    (json.dumps(tail_record, sort_keys=True) + "\n")
+                    .encode("utf-8")
+                )
+            handle.flush()
+            os.fsync(handle.fileno())
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

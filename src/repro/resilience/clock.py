@@ -1,0 +1,97 @@
+"""Deterministic virtual time for supervision: clocks and watchdogs.
+
+Fleet supervision needs time — breaker cooldowns, heartbeat timeouts —
+but wall time would make every run irreproducible.  A
+:class:`VirtualClock` is the fix: a monotone float the *controller*
+advances explicitly (ticking simulated days, charging campaign
+durations), so every time-dependent decision — when a breaker half-opens,
+when a watchdog declares a stall — replays identically across reruns,
+worker counts, and kill-and-resume boundaries.
+
+The unit is the simulated **day**: ``clock.now == 3.25`` means a quarter
+of the way through day 3.  Campaign execution charges fractional days;
+:meth:`VirtualClock.advance_to` snaps the clock forward to each day
+boundary without ever moving it backwards.
+
+A :class:`Watchdog` is the heartbeat check built on top: callers
+:meth:`~Watchdog.beat` when they make progress, and :meth:`~Watchdog.check`
+raises :class:`~repro.resilience.errors.MeasurementStall` once the last
+beat ages past the timeout.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.errors import MeasurementStall
+
+
+class VirtualClock:
+    """A monotone virtual clock advanced explicitly by its owner.
+
+    Nothing in this class reads wall time; determinism is the point.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """The current virtual time (in simulated days)."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by ``delta`` days (must be >= 0)."""
+        delta = float(delta)
+        if delta < 0:
+            raise ValueError(f"clock cannot move backwards ({delta})")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Move time forward to ``when`` if it is in the future (a no-op
+        when the clock already passed it — never backwards)."""
+        when = float(when)
+        if when > self._now:
+            self._now = when
+        return self._now
+
+
+class Watchdog:
+    """A heartbeat monitor over a :class:`VirtualClock`.
+
+    ``timeout`` is the longest a supervised activity may go without a
+    :meth:`beat` before :meth:`check` declares it stalled.  The watchdog
+    never raises on its own — the supervisor decides *when* to look — so
+    a stall costs exactly one deterministic exception, not a background
+    thread.
+    """
+
+    def __init__(self, clock: VirtualClock, timeout: float,
+                 name: str = "watchdog"):
+        if timeout <= 0:
+            raise ValueError("watchdog timeout must be positive")
+        self.clock = clock
+        self.timeout = float(timeout)
+        self.name = name
+        self._last_beat = clock.now
+
+    def beat(self) -> None:
+        """Record progress: reset the heartbeat to the current time."""
+        self._last_beat = self.clock.now
+
+    @property
+    def age(self) -> float:
+        """Virtual days since the last heartbeat."""
+        return self.clock.now - self._last_beat
+
+    @property
+    def stalled(self) -> bool:
+        """True when the heartbeat is older than the timeout."""
+        return self.age > self.timeout
+
+    def check(self) -> None:
+        """Raise :class:`MeasurementStall` if the heartbeat expired."""
+        if self.stalled:
+            raise MeasurementStall(
+                f"{self.name}: no heartbeat for {self.age:g} virtual days "
+                f"(timeout {self.timeout:g})"
+            )

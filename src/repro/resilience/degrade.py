@@ -80,6 +80,19 @@ class CampaignCoverage:
         """True when every planned unit was measured fresh."""
         return all(e.status == "fresh" for e in self.entries)
 
+    @property
+    def fresh_fraction(self) -> float:
+        """Share of planned units measured fresh (0.0 for an empty plan).
+
+        The fleet supervisor's health signal: a campaign whose coverage
+        mostly fell back to stale or missing data counts as a *failure*
+        for circuit-breaker purposes even though it produced a report.
+        An empty plan scores 0.0 — "measured nothing" is never healthy.
+        """
+        if not self.entries:
+            return 0.0
+        return len(self.fresh) / len(self.entries)
+
     def summary(self) -> dict:
         """Counts per status, for events and report annotations."""
         return {
@@ -94,3 +107,47 @@ class CampaignCoverage:
             "summary": self.summary(),
             "entries": [e.to_dict() for e in self.entries],
         }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "CampaignCoverage":
+        """Rebuild coverage from its :meth:`to_dict` form (exact)."""
+        return cls(tuple(
+            CoverageEntry(
+                kind=entry["kind"],
+                targets=tuple(tuple(t) for t in entry["targets"]),
+                status=entry["status"],
+                source_day=entry["source_day"],
+            )
+            for entry in doc.get("entries", [])
+        ))
+
+
+def carried_forward_coverage(report, source_day: Optional[int]
+                             ) -> CampaignCoverage:
+    """All-stale coverage for republishing a prior report verbatim.
+
+    The fleet's graceful-degradation path: when a device is quarantined,
+    breaker-open, over budget, or its campaign failed outright, the
+    controller publishes the device's *prior* report again — the paper's
+    Opt-3 reuse, generalized — and this coverage annotates every value in
+    it as ``stale`` from ``source_day`` so downstream consumers see
+    exactly how old their numbers are.  ``report`` is any object with the
+    :class:`~repro.core.characterization.report.CrosstalkReport` shape
+    (an ``independent`` edge→rate dict and a ``conditional``
+    (edge, edge)→rate dict); an empty or absent report yields empty
+    coverage (nothing to carry).
+    """
+    if report is None:
+        return CampaignCoverage()
+    entries: List[CoverageEntry] = []
+    for edge in sorted(report.independent):
+        entries.append(CoverageEntry(
+            "edge", (tuple(edge),), "stale", source_day=source_day,
+        ))
+    pairs = sorted({tuple(sorted((tuple(a), tuple(b))))
+                    for a, b in report.conditional})
+    for pair in pairs:
+        entries.append(CoverageEntry(
+            "pair", pair, "stale", source_day=source_day,
+        ))
+    return CampaignCoverage(tuple(entries))

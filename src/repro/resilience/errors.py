@@ -58,6 +58,29 @@ class BackendJobError(TransientError):
         self.kind = kind
 
 
+class MeasurementStall(TransientError):
+    """A device stopped making progress mid-campaign.
+
+    Raised by a :class:`~repro.resilience.clock.Watchdog` whose heartbeat
+    aged past its timeout on the virtual clock — the fleet-level analogue
+    of a hardware queue that accepts jobs but never returns results.
+    Transient: the next day's campaign may well succeed, so the device
+    supervisor counts it against the circuit breaker rather than
+    quarantining outright.
+    """
+
+
+class FleetInterrupted(ResilienceError):
+    """The fleet controller was deliberately stopped mid-run.
+
+    Raised when a :class:`~repro.fleet.controller.FleetController` hits
+    its ``interrupt_after`` publish limit — the deterministic stand-in
+    for ``kill -9`` in kill-and-resume tests.  The checkpoint already
+    holds every epoch published before the interrupt, so a resumed run
+    replays them bitwise-identically.
+    """
+
+
 class FatalTaskError(ResilienceError):
     """A non-retryable failure (used by tests and fault plans to model
     bugs rather than infrastructure flakiness)."""

@@ -1,0 +1,1 @@
+"""Fleet-scale continuous characterization tests."""

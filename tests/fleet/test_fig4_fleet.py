@@ -1,0 +1,30 @@
+"""Figure 4 as a single-device fleet: the drift study on the service."""
+
+from repro.experiments.fig4_daily_drift import TRACKED_PAIRS, run_fig4_fleet
+from repro.rb.executor import RBConfig
+
+
+class TestFig4Fleet:
+    def test_single_device_fleet_publishes_the_drift_track(
+        self, poughkeepsie
+    ):
+        outcome = run_fig4_fleet(
+            poughkeepsie, days=2,
+            rb_config=RBConfig(lengths=(2, 4, 8), num_sequences=2),
+        )
+        epochs = outcome.epochs[poughkeepsie.name]
+        assert [e.day for e in epochs] == [0, 1]
+        assert all(e.status == "fresh" for e in epochs)
+        assert outcome.quarantined == ()
+        # day 0 is the full packed characterization; day 1 the Opt-3
+        # HIGH_ONLY refresh of its high pairs
+        assert 0 < epochs[1].experiments < epochs[0].experiments
+        # the drift track must surface the Figure 4 pairs (the tiny RB
+        # sizing is noisy on any single day, so check across the track)
+        detected = set().union(*(e.high_pairs() for e in epochs))
+        for a, b in TRACKED_PAIRS:
+            assert frozenset((a, b)) in detected
+
+        card = outcome.scorecard([poughkeepsie])
+        assert card.metrics["devices"] == 1
+        assert card.metrics["recall"] > 0.5

@@ -1,0 +1,128 @@
+"""Per-device supervision: admission, stalls, quarantine."""
+
+import pytest
+
+from repro.fleet import STALL_SITE, DeviceSupervisor
+from repro.obs.registry import get_registry
+from repro.resilience import (
+    FaultInjector,
+    FaultPlan,
+    MeasurementStall,
+    VirtualClock,
+)
+
+
+def _supervisor(clock, **kwargs):
+    kwargs.setdefault("failure_threshold", 2)
+    kwargs.setdefault("cooldown", 1.5)
+    kwargs.setdefault("quarantine_after", 2)
+    return DeviceSupervisor("sim00", clock, **kwargs)
+
+
+class TestAdmission:
+    def test_healthy_device_is_admitted(self):
+        supervisor = _supervisor(VirtualClock())
+        assert supervisor.admit(0) == (True, None)
+
+    def test_open_breaker_refuses(self):
+        clock = VirtualClock()
+        supervisor = _supervisor(clock)
+        supervisor.note_failure(0, "boom")
+        supervisor.note_failure(0, "boom")
+        assert supervisor.admit(0) == (False, "breaker_open")
+        assert supervisor.failures == [(0, "boom"), (0, "boom")]
+
+    def test_cooldown_elapse_readmits_a_probe(self):
+        clock = VirtualClock()
+        supervisor = _supervisor(clock)
+        supervisor.note_failure(0, "boom")
+        supervisor.note_failure(0, "boom")
+        clock.advance(1.5)
+        admitted, refusal = supervisor.admit(1)
+        assert admitted and refusal is None
+
+    def test_cancel_returns_probe_without_counting(self):
+        clock = VirtualClock()
+        supervisor = _supervisor(clock)
+        supervisor.note_failure(0, "boom")
+        supervisor.note_failure(0, "boom")
+        clock.advance(1.5)
+        assert supervisor.admit(1)[0]
+        supervisor.cancel()  # e.g. budget ran out before the probe
+        assert supervisor.breaker.trips == 1
+        assert supervisor.admit(1)[0]  # re-probes immediately
+
+    def test_validates_quarantine_after(self):
+        with pytest.raises(ValueError):
+            DeviceSupervisor("x", VirtualClock(), quarantine_after=0)
+
+
+class TestQuarantine:
+    def test_repeated_trips_quarantine_permanently(self):
+        clock = VirtualClock()
+        supervisor = _supervisor(clock)
+        before = get_registry().counter("fleet.quarantined").snapshot()
+        supervisor.note_failure(0, "boom")
+        supervisor.note_failure(1, "boom")  # trip 1 — not yet quarantined
+        assert not supervisor.quarantined
+        clock.advance(1.5)
+        assert supervisor.admit(3)[0]  # probe
+        supervisor.note_failure(3, "boom")  # probe fails: trip 2
+        assert supervisor.quarantined
+        assert supervisor.admit(4) == (False, "quarantined")
+        assert get_registry().counter(
+            "fleet.quarantined").snapshot() == before + 1
+        # success can no longer rescue a quarantined device
+        supervisor.note_success(5)
+        assert supervisor.admit(5) == (False, "quarantined")
+
+    def test_recovered_device_is_not_quarantined(self):
+        clock = VirtualClock()
+        supervisor = _supervisor(clock)
+        supervisor.note_failure(0, "boom")
+        supervisor.note_failure(1, "boom")
+        clock.advance(1.5)
+        assert supervisor.admit(2)[0]
+        supervisor.note_success(2)  # probe succeeds: breaker closes
+        assert not supervisor.quarantined
+        assert supervisor.admit(3) == (True, None)
+
+
+class TestHeartbeat:
+    def test_clean_heartbeat_does_not_raise(self):
+        supervisor = _supervisor(VirtualClock())
+        supervisor.heartbeat(0)
+        supervisor.complete()
+        assert supervisor.stall_charge == 0.0
+
+    def test_injected_stall_raises_and_charges_the_clock(self):
+        clock = VirtualClock()
+        injector = FaultInjector(FaultPlan.single(
+            "job_timeout", rate=1.0, max_failures=1, seed=4,
+            site=STALL_SITE,
+        ))
+        supervisor = _supervisor(clock, stall_timeout=0.5, faults=injector)
+        with pytest.raises(MeasurementStall):
+            supervisor.heartbeat(0)
+        assert supervisor.stall_charge == pytest.approx(0.625)
+        assert clock.now == pytest.approx(0.625)
+        assert injector.count == 1
+
+    def test_stall_draw_is_deterministic_per_day(self):
+        def charges(seed):
+            clock = VirtualClock()
+            injector = FaultInjector(FaultPlan.single(
+                "job_timeout", rate=0.5, max_failures=1, seed=seed,
+                site=STALL_SITE,
+            ))
+            supervisor = _supervisor(clock, faults=injector)
+            stalled = []
+            for day in range(8):
+                try:
+                    supervisor.heartbeat(day)
+                except MeasurementStall:
+                    stalled.append(day)
+            return stalled
+
+        assert charges(7) == charges(7)
+        assert charges(7), "rate=0.5 over 8 days should stall at least once"

@@ -8,7 +8,7 @@ paper's pipeline depends on.
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.core.characterization.campaign import (
@@ -42,6 +42,15 @@ def test_random_planted_pair_is_discovered(seed):
     )
     device = Device(f"rand_line_{seed}", coupling, calibration, crosstalk,
                     seed=seed)
+    # Daily drift (lo=0.5) can pull a weakly planted factor below the 3x
+    # detection cut on day 0 — then there is genuinely nothing to find.
+    # Only ask for detection when the *realized* factor clears the cut
+    # with margin (RB underestimates strong crosstalk, so 3.0 exactly is
+    # still a coin flip).
+    assume(min(
+        crosstalk.conditional_factor(edge_a, edge_b, day=0),
+        crosstalk.conditional_factor(edge_b, edge_a, day=0),
+    ) >= 4.5)
 
     campaign = CharacterizationCampaign(
         device, rb_config=RBConfig(num_sequences=16), seed=seed + 2

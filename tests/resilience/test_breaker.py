@@ -1,0 +1,161 @@
+"""Circuit breaker state machine: deterministic trip/probe/close timing."""
+
+import pytest
+
+from repro.obs.events import event_sink
+from repro.obs.registry import get_registry
+from repro.resilience import (
+    BREAKER_STATE_CODES,
+    BREAKER_STATES,
+    CircuitBreaker,
+    VirtualClock,
+)
+
+
+def _breaker(clock, **kwargs):
+    kwargs.setdefault("failure_threshold", 2)
+    kwargs.setdefault("cooldown", 1.0)
+    kwargs.setdefault("cooldown_factor", 2.0)
+    kwargs.setdefault("max_cooldown", 3.0)
+    return CircuitBreaker(clock, name="breaker[test]", **kwargs)
+
+
+class TestClosedState:
+    def test_starts_closed_and_allows(self):
+        breaker = _breaker(VirtualClock())
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        assert breaker.trips == 0
+
+    def test_failures_below_threshold_stay_closed(self):
+        breaker = _breaker(VirtualClock())
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_success_resets_the_failure_count(self):
+        breaker = _breaker(VirtualClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_threshold_failures_trip_open(self):
+        breaker = _breaker(VirtualClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.trips == 1
+        assert not breaker.allow()
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(VirtualClock(), failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(VirtualClock(), cooldown=0.0)
+
+
+class TestProbeCycle:
+    def test_cooldown_elapse_admits_exactly_one_probe(self):
+        clock = VirtualClock()
+        breaker = _breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(0.5)
+        assert not breaker.allow()  # still cooling down
+        clock.advance(0.5)
+        assert breaker.allow()  # the probe
+        assert breaker.state == "half_open"
+        assert not breaker.allow()  # one probe at a time
+
+    def test_probe_success_closes(self):
+        clock = VirtualClock()
+        breaker = _breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_with_escalated_cooldown(self):
+        clock = VirtualClock()
+        breaker = _breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.current_cooldown == 1.0
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()  # probe fails: immediate re-trip
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+        assert breaker.current_cooldown == 2.0
+        clock.advance(1.0)
+        assert not breaker.allow()  # escalated cooldown not yet elapsed
+        clock.advance(1.0)
+        assert breaker.allow()
+
+    def test_cooldown_escalation_is_capped(self):
+        clock = VirtualClock()
+        breaker = _breaker(clock)
+        for _ in range(5):
+            breaker.record_failure()
+            breaker.record_failure()
+            clock.advance(breaker.current_cooldown)
+            breaker.allow()
+        assert breaker.current_cooldown == 3.0  # max_cooldown
+
+    def test_cancel_probe_returns_to_open_without_a_trip(self):
+        clock = VirtualClock()
+        breaker = _breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.cancel_probe()
+        assert breaker.state == "open"
+        assert breaker.trips == 1  # no extra trip, no escalation
+        # cooldown already elapsed, so the next call re-probes at once
+        assert breaker.allow()
+        assert breaker.state == "half_open"
+
+    def test_cancel_probe_is_a_noop_outside_half_open(self):
+        breaker = _breaker(VirtualClock())
+        breaker.cancel_probe()
+        assert breaker.state == "closed"
+
+
+class TestObservability:
+    def test_state_gauge_tracks_transitions(self):
+        registry = get_registry()
+        clock = VirtualClock()
+        breaker = _breaker(clock)
+        gauge = registry.gauge("resilience.breaker.state")
+        assert gauge.snapshot() == BREAKER_STATE_CODES["closed"]
+        breaker.record_failure()
+        breaker.record_failure()
+        assert gauge.snapshot() == BREAKER_STATE_CODES["open"]
+        clock.advance(1.0)
+        breaker.allow()
+        assert gauge.snapshot() == BREAKER_STATE_CODES["half_open"]
+        breaker.record_success()
+        assert gauge.snapshot() == BREAKER_STATE_CODES["closed"]
+
+    def test_trips_counted_and_events_logged(self):
+        registry = get_registry()
+        before = registry.counter("resilience.breaker.trips").snapshot()
+        with event_sink() as sink:
+            breaker = _breaker(VirtualClock())
+            breaker.record_failure()
+            breaker.record_failure()
+        assert registry.counter(
+            "resilience.breaker.trips").snapshot() == before + 1
+        trip_events = [e for e in sink.of("resilience.breaker")
+                       if e["transition"] == "trip"]
+        assert len(trip_events) == 1
+        assert trip_events[0]["state"] == "open"
+        assert trip_events[0]["name"] == "breaker[test]"
+
+    def test_state_codes_cover_all_states(self):
+        assert set(BREAKER_STATE_CODES) == set(BREAKER_STATES)

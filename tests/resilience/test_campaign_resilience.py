@@ -40,7 +40,7 @@ def baseline_json(poughkeepsie):
 
 
 class TestFaultConvergence:
-    @pytest.mark.parametrize("workers", [1, 2])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
     def test_faulty_campaign_matches_fault_free_report(
         self, poughkeepsie, baseline_json, workers
     ):
@@ -59,7 +59,7 @@ class TestFaultConvergence:
 
     def test_injection_count_is_worker_invariant(self, poughkeepsie):
         counts = []
-        for workers in (1, 2):
+        for workers in (1, 2, 4):
             injector = FaultInjector(
                 FaultPlan.single("task_error", rate=0.25, max_failures=1,
                                  seed=5)
@@ -70,7 +70,7 @@ class TestFaultConvergence:
                 faults=injector,
             )
             counts.append(injector.count)
-        assert counts[0] == counts[1] > 0
+        assert counts[0] == counts[1] == counts[2] > 0
 
 
 class TestCheckpointResume:
@@ -117,6 +117,58 @@ class TestCheckpointResume:
         # span accounting must match the uninterrupted run (cached counters
         # are replayed), so downstream cost analysis is unaffected
         assert first.report.to_json() == second.report.to_json()
+
+    def test_interrupted_run_resumes_at_four_workers(
+        self, poughkeepsie, baseline_json, tmp_path
+    ):
+        path = str(tmp_path / "campaign.ckpt.jsonl")
+        injector = FaultInjector(
+            FaultPlan.single("fatal", rate=0.15, seed=2)
+        )
+        with pytest.raises(FatalTaskError):
+            _campaign(poughkeepsie, workers=4).run(
+                CharacterizationPolicy.ONE_HOP_PACKED,
+                checkpoint=path,
+                faults=injector,
+            )
+        completed = len(JsonlCheckpoint(path))
+        assert completed > 0
+
+        outcome = _campaign(poughkeepsie, workers=4).run(
+            CharacterizationPolicy.ONE_HOP_PACKED, checkpoint=path
+        )
+        assert outcome.report.to_json() == baseline_json
+        assert outcome.checkpoint_hits >= completed
+
+    def test_double_restart_resumes_to_identical_report(
+        self, poughkeepsie, baseline_json, tmp_path
+    ):
+        # Two successive kills (different fatal schedules, so the second
+        # attempt dies on an experiment the first one completed past),
+        # then a clean third attempt: the checkpoint must accumulate
+        # monotonically across restarts and the final report must still
+        # be bitwise-identical to the fault-free baseline.
+        path = str(tmp_path / "campaign.ckpt.jsonl")
+        completed = []
+        for seed in (2, 9):
+            injector = FaultInjector(
+                FaultPlan.single("fatal", rate=0.15, seed=seed)
+            )
+            with pytest.raises(FatalTaskError):
+                _campaign(poughkeepsie).run(
+                    CharacterizationPolicy.ONE_HOP_PACKED,
+                    checkpoint=path,
+                    faults=injector,
+                )
+            completed.append(len(JsonlCheckpoint(path)))
+        assert completed[0] > 0
+        assert completed[1] >= completed[0]
+
+        outcome = _campaign(poughkeepsie).run(
+            CharacterizationPolicy.ONE_HOP_PACKED, checkpoint=path
+        )
+        assert outcome.report.to_json() == baseline_json
+        assert outcome.checkpoint_hits == completed[1]
 
     def test_checkpoint_rejects_different_campaign(
         self, poughkeepsie, tmp_path

@@ -1,6 +1,8 @@
 """JSON-lines checkpoints: round-trip, corruption tolerance, identity checks."""
 
 import json
+import multiprocessing
+import os
 
 import pytest
 
@@ -102,6 +104,77 @@ class TestCorruption:
         reloaded = JsonlCheckpoint(path)
         assert len(reloaded) == 5
         assert "k5" not in reloaded
+
+
+class TestTornTail:
+    def test_unparseable_torn_tail_is_truncated_and_counted(self, path):
+        ckpt = JsonlCheckpoint(path)
+        ckpt.append("k0", 0)
+        with open(path, "a") as handle:
+            handle.write('{"key": "k1", "val')  # no newline, not JSON
+        registry = get_registry()
+        before = registry.counter(
+            "resilience.checkpoint.truncations").snapshot()
+        reloaded = JsonlCheckpoint(path)
+        assert len(reloaded) == 1
+        assert registry.counter(
+            "resilience.checkpoint.truncations").snapshot() == before + 1
+        # the torn bytes must be physically gone: appends after the repair
+        # start on a clean line and survive the next reload
+        reloaded.append("k1", 1)
+        assert JsonlCheckpoint(path).get("k1") == 1
+
+    def test_parseable_tail_missing_newline_is_kept_and_repaired(self, path):
+        ckpt = JsonlCheckpoint(path)
+        ckpt.append("k0", 0)
+        # a crash between write() and the newline flush: the record is
+        # complete JSON but the line is unterminated
+        with open(path, "a") as handle:
+            handle.write(json.dumps({"key": "k1", "value": 1}))
+        reloaded = JsonlCheckpoint(path)
+        assert reloaded.get("k1") == 1
+        reloaded.append("k2", 2)
+        final = JsonlCheckpoint(path)
+        assert len(final) == 3
+        assert final.get("k2") == 2
+        with open(path) as handle:
+            assert all(line.endswith("\n") for line in handle)
+
+
+def _write_then_die(path, records):
+    """Checkpoint writer that is killed mid-record (child process)."""
+    ckpt = JsonlCheckpoint(path, campaign_key="kill-test")
+    for i in range(records):
+        ckpt.append(f"k{i}", {"value": i})
+    # start the next record but die before the newline hits the disk
+    with open(path, "a") as handle:
+        handle.write('{"key": "torn", "value": {"partial": ')
+        handle.flush()
+        os._exit(13)
+
+
+class TestKilledWriter:
+    def test_writer_killed_mid_record_loses_only_the_torn_record(
+        self, path
+    ):
+        records = 8
+        process = multiprocessing.Process(
+            target=_write_then_die, args=(path, records)
+        )
+        process.start()
+        process.join(timeout=60)
+        assert process.exitcode == 13
+
+        recovered = JsonlCheckpoint(path, campaign_key="kill-test")
+        assert len(recovered) == records
+        assert all(f"k{i}" in recovered for i in range(records))
+        assert "torn" not in recovered
+        # the survivor must be able to keep writing where the dead
+        # writer stopped, and the resumed tail must parse cleanly
+        recovered.append("k_resumed", {"value": "after-crash"})
+        final = JsonlCheckpoint(path, campaign_key="kill-test")
+        assert final.get("k_resumed") == {"value": "after-crash"}
+        assert len(final) == records + 1
 
 
 class TestIdentity:

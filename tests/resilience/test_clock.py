@@ -1,0 +1,61 @@
+"""Virtual clock and watchdog: the deterministic time base of supervision."""
+
+import pytest
+
+from repro.resilience import MeasurementStall, VirtualClock, Watchdog
+
+
+class TestVirtualClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = VirtualClock()
+        assert clock.now == 0.0
+        assert clock.advance(0.5) == 0.5
+        assert clock.advance(0.25) == 0.75
+
+    def test_custom_start(self):
+        assert VirtualClock(3.0).now == 3.0
+
+    def test_advance_rejects_negative(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_advance_to_never_moves_backwards(self):
+        clock = VirtualClock()
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+        clock.advance_to(1.0)  # no-op: already past it
+        assert clock.now == 2.0
+        clock.advance_to(2.5)
+        assert clock.now == 2.5
+
+
+class TestWatchdog:
+    def test_requires_positive_timeout(self):
+        with pytest.raises(ValueError):
+            Watchdog(VirtualClock(), 0.0)
+
+    def test_fresh_watchdog_is_healthy(self):
+        dog = Watchdog(VirtualClock(), 0.5)
+        assert dog.age == 0.0
+        assert not dog.stalled
+        dog.check()  # must not raise
+
+    def test_stall_detected_after_timeout(self):
+        clock = VirtualClock()
+        dog = Watchdog(clock, 0.5, name="watchdog[test]")
+        clock.advance(0.5)
+        assert not dog.stalled  # boundary is exclusive
+        clock.advance(0.01)
+        assert dog.stalled
+        with pytest.raises(MeasurementStall, match="watchdog"):
+            dog.check()
+
+    def test_beat_resets_age(self):
+        clock = VirtualClock()
+        dog = Watchdog(clock, 0.5)
+        clock.advance(0.4)
+        dog.beat()
+        clock.advance(0.4)
+        assert not dog.stalled
+        dog.check()
