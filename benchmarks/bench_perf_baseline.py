@@ -18,7 +18,10 @@ the perf work delivers end-to-end:
   @ 1 worker, vs the vectorized estimator with sweep-shared sequences
   @ N workers;
 * trajectory_backend / tomography — the ``engine="scalar"`` trajectory
-  simulator @ 1 worker, vs the batched engine @ N workers.
+  simulator @ 1 worker, vs the batched engine @ N workers;
+* live_overhead — the shipped campaign with the live telemetry plane
+  off (``serial_seconds``) vs on (``parallel_seconds``), so the
+  ``--check`` budget doubles as the exporter-overhead gate.
 
 Determinism spot-checks always compare the *shipped* configuration at 1
 worker against N workers (bitwise), never serial-leg vs parallel-leg —
@@ -52,6 +55,7 @@ import argparse
 import dataclasses
 import os
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -72,10 +76,12 @@ from repro.experiments.common import (  # noqa: E402
 )
 from repro.obs import (  # noqa: E402
     DiffThresholds,
+    LivePlane,
     MetricsRegistry,
     RunHistory,
     RunManifest,
     RunRecord,
+    default_fleet_rules,
     diff_records,
     format_diff,
     push_registry,
@@ -192,10 +198,54 @@ def bench_tomography(workers: int, fast: bool) -> dict:
     }
 
 
+def bench_live_overhead(workers: int, fast: bool) -> dict:
+    """Live-telemetry-plane overhead on the campaign path: off vs on.
+
+    Unlike the other workloads, both legs run the *shipped*
+    configuration; the only variable is an active
+    :class:`~repro.obs.live.LivePlane` (snapshot thread + heartbeats +
+    exporters) around the ``parallel_seconds`` leg.  The two reports must
+    be identical — the live plane is a pure observer — and
+    ``overhead_ratio`` (on/off) is the number the ``--check`` budget
+    gates.
+    """
+    device = ibmq_poughkeepsie()
+    rb = RBConfig.fast() if fast else RBConfig()
+    clifford_group(2)
+
+    off_campaign = CharacterizationCampaign(device, rb_config=rb, seed=3)
+    off, off_seconds = _timed(lambda: off_campaign.run(
+        CharacterizationPolicy.ONE_HOP_PACKED, workers=workers))
+
+    on_campaign = CharacterizationCampaign(device, rb_config=rb, seed=3)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-live-") as tmp:
+        with LivePlane(tmp, interval=0.05, rules=default_fleet_rules(),
+                       source="bench_perf"):
+            on, on_seconds = _timed(lambda: on_campaign.run(
+                CharacterizationPolicy.ONE_HOP_PACKED, workers=workers))
+
+    identical = (
+        off.report.independent == on.report.independent
+        and off.report.conditional == on.report.conditional
+    )
+    return {
+        "serial_seconds": off_seconds,
+        "parallel_seconds": on_seconds,
+        "workers": workers,
+        "speedup": off_seconds / on_seconds,
+        "overhead_ratio": on_seconds / off_seconds,
+        "deterministic_across_worker_counts": identical,
+        "notes": "serial = live plane off; parallel = identical campaign "
+                 "under a LivePlane (0.05s snapshots + heartbeats + "
+                 "exporters); overhead_ratio = on/off",
+    }
+
+
 WORKLOADS = {
     "campaign_one_hop_packed": bench_campaign,
     "trajectory_backend": bench_trajectories,
     "tomography": bench_tomography,
+    "live_overhead": bench_live_overhead,
 }
 
 

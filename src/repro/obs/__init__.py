@@ -39,6 +39,18 @@ one run's artefacts are comparable with the next's):
   crosstalk-pair detection recall/precision, drift-tracking lag, and
   scheduler serialization audits — that diff and gate like any series.
 
+Finally, the **live plane** (:mod:`repro.obs.live`) streams all of the
+above in real time for long-running runs: a :class:`TelemetryBus` tees
+events and span closes to bounded subscriber rings, a
+:class:`SnapshotPublisher` samples the registry into versioned
+``repro.obs.snapshot/v1`` documents (merged with worker heartbeats), an
+:class:`AlertEngine` evaluates declarative threshold + sustain rules per
+snapshot with a firing/resolved lifecycle, and stdlib exporters render
+Prometheus text format and tail-able snapshot JSONL
+(``python -m repro.obs tail --follow`` / ``top``).  Everything in the
+live plane is a side-channel observer: seeded results are bitwise
+identical with it on or off.
+
 See ``docs/observability.md`` for the metric/span name registry and
 schemas.
 """
@@ -84,6 +96,7 @@ from .manifest import (
 from .registry import (
     METRICS_SCHEMA,
     Counter,
+    DeltaWindow,
     Gauge,
     Histogram,
     MetricsRegistry,
@@ -127,11 +140,36 @@ from .trace import (
     SpanRecorder,
     Trace,
     TraceCollector,
+    add_span_observer,
     current_span,
     emit_trace,
     read_trace,
     read_traces,
+    remove_span_observer,
     span,
+)
+from .live import (
+    SNAPSHOT_SCHEMA,
+    AlertEngine,
+    AlertRule,
+    BusEventSink,
+    HeartbeatBoard,
+    LivePlane,
+    SnapshotPublisher,
+    SnapshotWriter,
+    TelemetryBus,
+    build_series,
+    default_fleet_rules,
+    get_plane,
+    heartbeat,
+    heartbeat_step,
+    heartbeats_active,
+    live_plane,
+    prometheus_exposition,
+    read_snapshots,
+    tail_records,
+    validate_exposition,
+    write_prometheus,
 )
 
 __all__ = [
@@ -141,8 +179,10 @@ __all__ = [
     "Span", "PassSpan", "Trace", "PipelineTrace",
     "SpanRecorder", "TraceCollector",
     "span", "current_span", "emit_trace", "read_trace", "read_traces",
+    "add_span_observer", "remove_span_observer",
     # registry
-    "METRICS_SCHEMA", "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "METRICS_SCHEMA", "Counter", "DeltaWindow", "Gauge", "Histogram",
+    "MetricsRegistry",
     "get_registry", "set_registry", "push_registry", "metrics_snapshot",
     # events
     "EVENTS_SCHEMA", "EventLog", "event_sink", "install_sink",
@@ -167,4 +207,11 @@ __all__ = [
     "fleet_scorecard", "schedule_audit_scorecard",
     # session / reporting
     "Session", "report", "load_report_document",
+    # live plane
+    "SNAPSHOT_SCHEMA", "TelemetryBus", "BusEventSink", "HeartbeatBoard",
+    "SnapshotPublisher", "SnapshotWriter", "AlertRule", "AlertEngine",
+    "LivePlane", "live_plane", "get_plane", "default_fleet_rules",
+    "heartbeat", "heartbeat_step", "heartbeats_active",
+    "build_series", "read_snapshots", "tail_records",
+    "prometheus_exposition", "write_prometheus", "validate_exposition",
 ]

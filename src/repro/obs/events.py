@@ -81,14 +81,44 @@ class EventLog:
                 handle.write("\n")
 
 
-def read_events(path: str) -> List[dict]:
-    """Parse an ``events.jsonl`` file back into a list of records."""
+def read_events(path: str, *, strict: bool = False) -> List[dict]:
+    """Parse an ``events.jsonl`` file back into a list of records.
+
+    Tolerates corrupt or torn lines the way ``obs.history`` does: a line
+    that is not valid JSON, or not a JSON object (a writer killed
+    mid-append leaves a torn tail), is skipped and counted on the
+    process-wide ``obs.events.corrupt_lines`` counter — so a dead
+    writer's file never poisons a live reader.  ``strict=True`` restores
+    the historical raise-on-garbage behavior.
+    """
     records = []
+    corrupt = 0
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
-            if line:
-                records.append(json.loads(line))
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                if strict:
+                    raise
+                corrupt += 1
+                continue
+            if not isinstance(record, dict):
+                if strict:
+                    raise ValueError(
+                        f"{path}: event line is not an object: {line[:80]!r}"
+                    )
+                corrupt += 1
+                continue
+            records.append(record)
+    if corrupt:
+        # Local import: this module stays import-free at the top level so
+        # any layer can use it without cycles.
+        from .registry import get_registry
+
+        get_registry().inc("obs.events.corrupt_lines", corrupt)
     return records
 
 

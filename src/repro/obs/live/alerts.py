@@ -1,0 +1,240 @@
+"""Declarative alerting over snapshot series.
+
+An :class:`AlertRule` is a threshold + sustain-window predicate over one
+series of the ``repro.obs.snapshot/v1`` documents a
+:class:`~repro.obs.live.snapshot.SnapshotPublisher` emits: *fire when
+``series op threshold`` has held for ``sustain`` consecutive snapshots;
+resolve when it has been back in bounds for ``resolve_sustain``*.  The
+:class:`AlertEngine` evaluates every rule against each snapshot and
+returns the state **transitions** — the publisher emits each one as an
+``obs.alert`` event (``state="firing"`` / ``state="resolved"``), giving
+alerts the standard firing/resolved lifecycle.
+
+Rules are data, engines are pure state machines: evaluation never
+touches the registry or the clock, so alerting is deterministic given a
+snapshot sequence and trivially testable.  ``delta=True`` evaluates the
+change since the previous snapshot instead of the level — how rates
+(task failures per snapshot) are expressed over cumulative counters.
+
+:func:`default_fleet_rules` is the mix the fleet soak runs with, one
+rule per failure class the chaos harness injects: drift lag, open
+breakers, task-failure rate, queue-latency p95, and budget exhaustion —
+thresholds keyed to the crosstalk-instability taxonomy the drift model
+follows (characterization older than ~2 days is stale data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+_OPS = {
+    ">=": lambda value, threshold: value >= threshold,
+    ">": lambda value, threshold: value > threshold,
+    "<=": lambda value, threshold: value <= threshold,
+    "<": lambda value, threshold: value < threshold,
+    "==": lambda value, threshold: value == threshold,
+}
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One threshold + sustain predicate over a snapshot series.
+
+    ``series`` names an entry of the snapshot's ``series`` map (counters
+    and gauges flatten to their dotted name; histograms contribute
+    ``.count`` / ``.sum`` / ``.mean`` / ``.max`` / ``.p95``).  A snapshot
+    missing the series leaves the rule's state untouched — instruments
+    appear lazily, and absence of data is not evidence of health *or*
+    failure.
+    """
+
+    name: str
+    series: str
+    threshold: float
+    op: str = ">="
+    sustain: int = 1
+    resolve_sustain: int = 1
+    #: Evaluate the change since the previous snapshot, not the level.
+    delta: bool = False
+    description: str = ""
+
+    def __post_init__(self):
+        if self.op not in _OPS:
+            raise ValueError(
+                f"alert rule {self.name!r}: unknown op {self.op!r} "
+                f"(choose from {sorted(_OPS)})"
+            )
+        if self.sustain < 1 or self.resolve_sustain < 1:
+            raise ValueError(
+                f"alert rule {self.name!r}: sustain windows must be >= 1"
+            )
+
+    def breached(self, value: float) -> bool:
+        """Does ``value`` violate this rule's predicate?"""
+        return _OPS[self.op](value, self.threshold)
+
+
+class _RuleState:
+    __slots__ = ("rule", "firing", "breach_streak", "ok_streak",
+                 "last_value", "fired", "resolved")
+
+    def __init__(self, rule: AlertRule):
+        self.rule = rule
+        self.firing = False
+        self.breach_streak = 0
+        self.ok_streak = 0
+        self.last_value: Optional[float] = None
+        self.fired = 0
+        self.resolved = 0
+
+
+class AlertEngine:
+    """Evaluates a rule set snapshot by snapshot (see module docstring)."""
+
+    def __init__(self, rules: List[AlertRule]):
+        names = [rule.name for rule in rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"alert rule names must be unique: {names}")
+        self._states: Dict[str, _RuleState] = {
+            rule.name: _RuleState(rule) for rule in rules
+        }
+
+    @property
+    def rules(self) -> List[AlertRule]:
+        """The rule set this engine evaluates, in registration order."""
+        return [state.rule for state in self._states.values()]
+
+    @property
+    def firing(self) -> List[str]:
+        """Names of every currently-firing alert, sorted."""
+        return sorted(name for name, state in self._states.items()
+                      if state.firing)
+
+    def evaluate(self, snapshot: dict) -> List[dict]:
+        """Advance every rule against one snapshot; return transitions.
+
+        Each transition is a plain record ready to be logged as an
+        ``obs.alert`` event: alert name, series, observed value,
+        threshold, op, ``state`` (``"firing"`` or ``"resolved"``), and
+        the snapshot's ``seq``/``ts``.
+        """
+        series = snapshot.get("series", {})
+        transitions: List[dict] = []
+        for state in self._states.values():
+            rule = state.rule
+            raw = series.get(rule.series)
+            if raw is None:
+                continue
+            value = float(raw)
+            if rule.delta:
+                previous = state.last_value
+                state.last_value = value
+                if previous is None:
+                    continue
+                value = value - previous
+            if rule.breached(value):
+                state.breach_streak += 1
+                state.ok_streak = 0
+            else:
+                state.ok_streak += 1
+                state.breach_streak = 0
+            changed = None
+            if not state.firing and state.breach_streak >= rule.sustain:
+                state.firing = True
+                state.fired += 1
+                changed = "firing"
+            elif state.firing and state.ok_streak >= rule.resolve_sustain:
+                state.firing = False
+                state.resolved += 1
+                changed = "resolved"
+            if changed is not None:
+                transitions.append({
+                    "alert": rule.name,
+                    "state": changed,
+                    "series": rule.series,
+                    "value": value,
+                    "threshold": rule.threshold,
+                    "op": rule.op,
+                    "delta": rule.delta,
+                    "seq": snapshot.get("seq"),
+                    "snapshot_ts": snapshot.get("ts"),
+                    "description": rule.description,
+                })
+        return transitions
+
+    def summary(self) -> dict:
+        """Lifecycle counts per rule plus the currently-firing set."""
+        return {
+            "firing": self.firing,
+            "rules": {
+                name: {"fired": state.fired, "resolved": state.resolved,
+                       "firing": state.firing}
+                for name, state in sorted(self._states.items())
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# rule constructors for the built-in failure classes
+# ----------------------------------------------------------------------
+def drift_lag_rule(days: float = 2.0, sustain: int = 1) -> AlertRule:
+    """Fire when the worst non-quarantined device's published epoch is
+    ``days`` or more behind its source measurement."""
+    return AlertRule(
+        name="drift_lag", series="fleet.max_staleness",
+        threshold=float(days), op=">=", sustain=sustain,
+        description="published characterization is stale data",
+    )
+
+
+def breaker_open_rule(count: float = 1.0, sustain: int = 1) -> AlertRule:
+    """Fire while ``count`` or more non-quarantined breakers are open."""
+    return AlertRule(
+        name="breaker_open", series="fleet.breakers_open",
+        threshold=float(count), op=">=", sustain=sustain,
+        description="a device is failing admission",
+    )
+
+
+def task_failure_rule(per_snapshot: float = 1.0,
+                      sustain: int = 1) -> AlertRule:
+    """Fire when terminal task failures grow by ``per_snapshot`` or more
+    between consecutive snapshots."""
+    return AlertRule(
+        name="task_failures", series="resilience.task_failures",
+        threshold=float(per_snapshot), op=">=", sustain=sustain, delta=True,
+        description="tasks are exhausting their retries",
+    )
+
+
+def queue_latency_rule(p95_seconds: float = 5.0,
+                       sustain: int = 2) -> AlertRule:
+    """Fire when the pool's task queue-latency p95 exceeds the budget."""
+    return AlertRule(
+        name="queue_latency", series="parallel.task.queue_seconds.p95",
+        threshold=float(p95_seconds), op=">", sustain=sustain,
+        description="pool submission-to-start latency is excessive",
+    )
+
+
+def budget_rule(min_remaining: float = 0.0, sustain: int = 1) -> AlertRule:
+    """Fire when the fleet's remaining daily budget reaches the floor
+    (the gauge is only set on budgeted runs, so unbudgeted fleets never
+    evaluate this rule)."""
+    return AlertRule(
+        name="budget_exhausted", series="fleet.budget_left",
+        threshold=float(min_remaining), op="<=", sustain=sustain,
+        description="daily experiment budget exhausted",
+    )
+
+
+def default_fleet_rules() -> List[AlertRule]:
+    """The soak's rule mix: one rule per injected failure class."""
+    return [
+        drift_lag_rule(),
+        breaker_open_rule(),
+        task_failure_rule(),
+        queue_latency_rule(),
+        budget_rule(),
+    ]

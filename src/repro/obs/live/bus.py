@@ -1,0 +1,165 @@
+"""The telemetry bus: bounded fan-out that never blocks the hot path.
+
+A :class:`TelemetryBus` carries live telemetry records — events, closed
+spans, heartbeats, snapshots — from the instrumented layers to any
+number of subscribers (the snapshot publisher, a ``tail --follow``
+reader, tests).  Design constraints, in order:
+
+1. **Never block the hot path.**  ``publish`` takes one short lock per
+   subscriber, appends to a bounded ring, and returns; no I/O, no
+   waiting on slow readers.
+2. **Explicit loss accounting.**  Each subscriber owns a bounded ring
+   (``collections.deque(maxlen=...)``); when a slow subscriber's ring
+   overflows, the oldest record is dropped and the drop is counted —
+   per subscription, per bus, and on the process-wide
+   ``obs.live.dropped`` counter.  Telemetry is lossy by contract;
+   *silent* loss is not.
+3. **No upward imports.**  The bus knows about plain dicts only; it is
+   safe to publish to from any layer.
+
+:class:`BusEventSink` adapts the bus to the
+:func:`repro.obs.events.log_event` sink protocol (``.log`` plus a
+``run_id`` attribute), which is how ``log_event`` tees into the live
+plane without the events module knowing the bus exists.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+from ..registry import get_registry
+
+#: Default ring capacity per subscription.
+DEFAULT_CAPACITY = 2048
+
+
+class Subscription:
+    """One subscriber's bounded ring over a :class:`TelemetryBus`."""
+
+    def __init__(self, bus: "TelemetryBus", capacity: int,
+                 kinds: Optional[frozenset] = None):
+        self._bus = bus
+        self._ring: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self.kinds = kinds
+        #: Records dropped from this subscription's ring (overflow).
+        self.dropped = 0
+
+    def _offer(self, record: dict) -> None:
+        with self._lock:
+            if len(self._ring) == self._ring.maxlen:
+                self.dropped += 1
+                self._bus._count_drop()
+            self._ring.append(record)
+            self._ready.notify_all()
+
+    def poll(self, max_items: Optional[int] = None) -> List[dict]:
+        """Drain up to ``max_items`` records (all, when None); no wait."""
+        with self._lock:
+            out = []
+            while self._ring and (max_items is None or len(out) < max_items):
+                out.append(self._ring.popleft())
+            return out
+
+    def wait(self, timeout: float = 1.0) -> bool:
+        """Block until a record is available (True) or timeout (False)."""
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            while not self._ring:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._ready.wait(remaining)
+            return True
+
+    def close(self) -> None:
+        """Detach from the bus (idempotent)."""
+        self._bus.unsubscribe(self)
+
+
+class TelemetryBus:
+    """Thread-safe bounded fan-out of live telemetry records.
+
+    Every published record is a plain dict wrapped in an envelope::
+
+        {"kind": "event" | "span" | "heartbeat" | "snapshot" | ...,
+         "ts": <unix seconds>, "record": {...}}
+
+    Subscribers receive the envelope.  Publishing to a bus with no
+    subscribers costs one counter increment and a list read.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("bus capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._subs: List[Subscription] = []
+        #: Total records published through this bus.
+        self.published = 0
+        #: Total records dropped across every subscription ring.
+        self.dropped = 0
+
+    def _count_drop(self) -> None:
+        # Called under a subscription lock; bus counters use their own.
+        self.dropped += 1
+        get_registry().inc("obs.live.dropped")
+
+    def subscribe(self, capacity: Optional[int] = None,
+                  kinds: Optional[Any] = None) -> Subscription:
+        """A new subscription; ``kinds`` (iterable of str) filters
+        envelopes to those kinds, None receives everything."""
+        sub = Subscription(
+            self, capacity or self.capacity,
+            frozenset(kinds) if kinds is not None else None,
+        )
+        with self._lock:
+            self._subs.append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        """Detach ``sub`` (no-op if already detached)."""
+        with self._lock:
+            if sub in self._subs:
+                self._subs.remove(sub)
+
+    def publish(self, kind: str, record: Dict[str, Any]) -> None:
+        """Fan one record out to every subscriber; never blocks."""
+        with self._lock:
+            subs = list(self._subs)
+            self.published += 1
+        get_registry().inc("obs.live.published")
+        if not subs:
+            return
+        envelope = {"kind": kind, "ts": time.time(), "record": record}
+        for sub in subs:
+            if sub.kinds is not None and kind not in sub.kinds:
+                continue
+            sub._offer(envelope)
+
+
+class BusEventSink:
+    """Adapts a :class:`TelemetryBus` to the ``log_event`` sink protocol.
+
+    Installed via :func:`repro.obs.events.install_sink`; every
+    :func:`~repro.obs.events.log_event` call then tees a copy of the
+    record onto the bus as an ``"event"`` envelope.  Carries no
+    ``run_id`` of its own so it never shadows a session's sink in
+    :func:`~repro.obs.events.current_run_id`.
+    """
+
+    run_id: Optional[str] = None
+
+    def __init__(self, bus: TelemetryBus):
+        self._bus = bus
+
+    def log(self, event: str, **fields: Any) -> dict:
+        """Tee one event record onto the bus (the sink protocol)."""
+        record = {"event": event, "ts": time.time()}
+        record.update(fields)
+        self._bus.publish("event", record)
+        return record

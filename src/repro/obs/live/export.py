@@ -1,0 +1,218 @@
+"""Prometheus text-format exposition of a metrics snapshot (stdlib only).
+
+:func:`prometheus_exposition` renders a ``repro.obs.metrics/v1``
+snapshot in the Prometheus text exposition format (version 0.0.4):
+counters and gauges become single samples, histograms become the
+standard ``_bucket{le=...}`` cumulative series plus ``_sum`` and
+``_count``.  Dotted names sanitize to underscores; per-item bracket
+names (``fleet.staleness[dev-0]``) become one metric family with an
+``item`` label, which is exactly how a scrape wants a fleet rendered::
+
+    # TYPE fleet_staleness gauge
+    fleet_staleness{item="dev-0"} 0
+    fleet_staleness{item="dev-1"} 2
+
+:func:`validate_exposition` is the matching stdlib parser used by tests
+and the CI obs-live smoke: it checks sample syntax, TYPE declarations,
+histogram bucket monotonicity, and the terminal ``+Inf`` bucket, and
+returns a list of problems (empty = parses clean).  No
+``prometheus_client`` dependency on either side.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..registry import MetricsRegistry, get_registry
+
+_NAME_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def _prom_name(name: str) -> Tuple[str, Optional[str]]:
+    """``fleet.staleness[dev-0]`` → ``("fleet_staleness", "dev-0")``."""
+    item = None
+    if name.endswith("]") and "[" in name:
+        name, _, item = name.partition("[")
+        item = item[:-1]
+    sanitized = _NAME_SANITIZE_RE.sub("_", name)
+    if not sanitized or not _METRIC_NAME_RE.match(sanitized):
+        sanitized = f"_{sanitized}"
+    return sanitized, item
+
+
+def _fmt(value: float) -> str:
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def prometheus_exposition(metrics: Optional[dict] = None,
+                          registry: Optional[MetricsRegistry] = None) -> str:
+    """Render a metrics snapshot (default: the process registry's)."""
+    if metrics is None:
+        metrics = (registry or get_registry()).snapshot()
+    # family name -> (kind, [(item_label, payload)])
+    families: Dict[str, Tuple[str, List[tuple]]] = {}
+
+    def _add(kind: str, name: str, payload) -> None:
+        family, item = _prom_name(name)
+        entry = families.setdefault(family, (kind, []))
+        if entry[0] != kind:
+            # Two repro kinds collapsing onto one family name: keep both
+            # by suffixing the later kind.
+            family = f"{family}_{kind}"
+            entry = families.setdefault(family, (kind, []))
+        entry[1].append((item, payload))
+
+    for name, value in metrics.get("counters", {}).items():
+        _add("counter", name, value)
+    for name, value in metrics.get("gauges", {}).items():
+        _add("gauge", name, value)
+    for name, hist in metrics.get("histograms", {}).items():
+        _add("histogram", name, hist)
+
+    lines: List[str] = []
+    for family in sorted(families):
+        kind, samples = families[family]
+        lines.append(f"# TYPE {family} {kind}")
+        for item, payload in samples:
+            base_labels = (f'item="{_escape_label(item)}"'
+                           if item is not None else "")
+            if kind in ("counter", "gauge"):
+                suffix = f"{{{base_labels}}}" if base_labels else ""
+                lines.append(f"{family}{suffix} {_fmt(payload)}")
+                continue
+            cumulative = 0
+            for bound, count in zip(payload["bounds"],
+                                    payload["bucket_counts"]):
+                cumulative += count
+                labels = f'le="{_fmt(bound)}"'
+                if base_labels:
+                    labels = f"{base_labels},{labels}"
+                lines.append(f"{family}_bucket{{{labels}}} {cumulative}")
+            labels = 'le="+Inf"'
+            if base_labels:
+                labels = f'{base_labels},{labels}'
+            lines.append(f"{family}_bucket{{{labels}}} {payload['count']}")
+            suffix = f"{{{base_labels}}}" if base_labels else ""
+            lines.append(f"{family}_sum{suffix} {_fmt(payload['sum'])}")
+            lines.append(f"{family}_count{suffix} {payload['count']}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus(path: str, metrics: Optional[dict] = None,
+                     registry: Optional[MetricsRegistry] = None) -> str:
+    """Write the exposition to ``path``; returns the text written."""
+    text = prometheus_exposition(metrics, registry)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text
+
+
+def _parse_value(text: str) -> Optional[float]:
+    if text in ("+Inf", "Inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def validate_exposition(text: str) -> List[str]:
+    """Problems with a text-format exposition (empty list = valid)."""
+    problems: List[str] = []
+    declared: Dict[str, str] = {}
+    # histogram family -> item -> [(le, cumulative_count)]
+    buckets: Dict[str, Dict[Optional[str], List[Tuple[float, float]]]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                problems.append(f"line {lineno}: malformed TYPE line")
+                continue
+            _, _, family, kind = parts
+            if kind not in ("counter", "gauge", "histogram", "summary",
+                            "untyped"):
+                problems.append(
+                    f"line {lineno}: unknown metric type {kind!r}"
+                )
+            if family in declared:
+                problems.append(
+                    f"line {lineno}: duplicate TYPE for {family!r}"
+                )
+            declared[family] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name = match.group("name")
+        labels_text = match.group("labels")
+        labels: Dict[str, str] = {}
+        if labels_text:
+            for part in labels_text.split(","):
+                part = part.strip()
+                if not _LABEL_RE.match(part):
+                    problems.append(
+                        f"line {lineno}: malformed label {part!r}"
+                    )
+                    continue
+                key, _, raw = part.partition("=")
+                labels[key] = raw[1:-1]
+        value = _parse_value(match.group("value"))
+        if value is None:
+            problems.append(
+                f"line {lineno}: bad sample value {match.group('value')!r}"
+            )
+            continue
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            trimmed = name[: -len(suffix)] if name.endswith(suffix) else None
+            if trimmed and declared.get(trimmed) == "histogram":
+                family = trimmed
+                break
+        if family not in declared:
+            problems.append(
+                f"line {lineno}: sample {name!r} has no TYPE declaration"
+            )
+            continue
+        if name.endswith("_bucket") and declared.get(family) == "histogram":
+            le = _parse_value(labels.get("le", ""))
+            if le is None:
+                problems.append(f"line {lineno}: bucket without le label")
+                continue
+            buckets.setdefault(family, {}) \
+                   .setdefault(labels.get("item"), []) \
+                   .append((le, value))
+    for family, by_item in sorted(buckets.items()):
+        for item, series in sorted(by_item.items(),
+                                   key=lambda pair: str(pair[0])):
+            where = f"{family}" + (f"[{item}]" if item else "")
+            if not series or not math.isinf(series[-1][0]):
+                problems.append(f"{where}: bucket series must end at +Inf")
+            counts = [count for _le, count in series]
+            if any(b < a for a, b in zip(counts, counts[1:])):
+                problems.append(
+                    f"{where}: bucket counts must be non-decreasing"
+                )
+    return problems

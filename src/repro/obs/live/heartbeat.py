@@ -1,0 +1,135 @@
+"""Worker progress heartbeats, merged live into snapshots.
+
+A :class:`HeartbeatBoard` is a thread-safe map from a *source* name
+(``"characterize[high_only].task"``, ``"campaign[high_only]"``,
+``"fleet"``, ``"smt.solve"``) to its latest progress fields — task
+counts, phase, free-form detail — plus a beat count and timestamp.  The
+parallel engine beats it on task submit/harvest and while waiting on a
+slow future (mid-map liveness), the campaign beats it per completed
+experiment, the fleet controller per tick, and the SMT solver per solve;
+the snapshot publisher folds the whole board into every
+``repro.obs.snapshot/v1`` document, so a stalled map is visible *before*
+any watchdog fires.
+
+Beats are recorded in the **parent** process: the engine proxies its
+workers (submit = task-start, harvest = task-done, poll timeout =
+liveness).  That keeps worker processes untouched and makes dead-worker
+telemetry trivially safe — a killed worker's task simply never harvests,
+and the retry's beats overwrite the entry.
+
+The module-level :func:`heartbeat` / :func:`heartbeat_step` are no-ops
+unless a board is active (a :class:`~repro.obs.live.plane.LivePlane` is
+entered), so the hot path pays one truthiness check when nobody is
+watching — and seeded results are never perturbed either way, because
+beats only ever write to the board and the metrics registry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+from ..registry import get_registry
+
+
+class HeartbeatBoard:
+    """Thread-safe latest-progress map, one entry per source."""
+
+    def __init__(self, poll_interval: float = 1.0):
+        #: How often (seconds) a blocked harvest loop should emit a
+        #: liveness beat; the engine reads this via :func:`poll_interval`.
+        self.poll_interval = float(poll_interval)
+        self._lock = threading.Lock()
+        self._entries: Dict[str, dict] = {}
+
+    def beat(self, source: str, **fields) -> None:
+        """Merge ``fields`` into the source's entry and stamp it."""
+        with self._lock:
+            entry = self._entries.setdefault(source, {"beats": 0})
+            for key, value in fields.items():
+                if value is not None:
+                    entry[key] = value
+            entry["beats"] += 1
+            entry["ts"] = time.time()
+
+    def step(self, source: str, field: str, amount: int = 1) -> None:
+        """Increment a numeric field of the source's entry and stamp it."""
+        with self._lock:
+            entry = self._entries.setdefault(source, {"beats": 0})
+            entry[field] = entry.get(field, 0) + amount
+            entry["beats"] += 1
+            entry["ts"] = time.time()
+
+    def clear(self, source: str) -> None:
+        """Drop the source's entry (no-op when absent)."""
+        with self._lock:
+            self._entries.pop(source, None)
+
+    def snapshot(self) -> Dict[str, dict]:
+        """A deep-enough copy of every entry (entries are flat dicts)."""
+        with self._lock:
+            return {name: dict(entry)
+                    for name, entry in self._entries.items()}
+
+
+# ----------------------------------------------------------------------
+# the active boards (a stack: live planes may nest in tests)
+# ----------------------------------------------------------------------
+_BOARDS: List[HeartbeatBoard] = []
+_BOARD_LOCK = threading.Lock()
+
+
+def activate_board(board: HeartbeatBoard) -> None:
+    """Start routing :func:`heartbeat` calls to ``board``."""
+    with _BOARD_LOCK:
+        _BOARDS.append(board)
+
+
+def deactivate_board(board: HeartbeatBoard) -> None:
+    """Stop routing beats to ``board`` (no-op if not active)."""
+    with _BOARD_LOCK:
+        if board in _BOARDS:
+            _BOARDS.remove(board)
+
+
+def heartbeats_active() -> bool:
+    """True when at least one board is receiving beats."""
+    return bool(_BOARDS)
+
+
+def poll_interval() -> Optional[float]:
+    """The liveness-poll interval for blocked waits, None when inactive.
+
+    The parallel engine polls futures with this timeout (instead of
+    blocking indefinitely) so it can beat the board while a slow or
+    stalled task keeps it waiting.
+    """
+    if not _BOARDS:
+        return None
+    with _BOARD_LOCK:
+        if not _BOARDS:
+            return None
+        return min(board.poll_interval for board in _BOARDS)
+
+
+def heartbeat(source: str, **fields) -> None:
+    """Beat every active board (no-op when none is active)."""
+    if not _BOARDS:
+        return
+    with _BOARD_LOCK:
+        boards = list(_BOARDS)
+    for board in boards:
+        board.beat(source, **fields)
+    get_registry().inc("obs.live.heartbeats")
+
+
+def heartbeat_step(source: str, field: str, amount: int = 1) -> None:
+    """Increment ``field`` on every active board (no-op when none)."""
+    if not _BOARDS:
+        return
+    with _BOARD_LOCK:
+        boards = list(_BOARDS)
+    for board in boards:
+        board.step(source, field, amount)
+    get_registry().inc("obs.live.heartbeats")

@@ -92,10 +92,11 @@ class Histogram:
     """
 
     __slots__ = ("name", "bounds", "bucket_counts", "count", "sum",
-                 "min", "max", "_lock")
+                 "min", "max", "_lock", "_windows")
 
     def __init__(self, name: str, lock: threading.RLock,
-                 bounds: Sequence[float] = DEFAULT_BUCKETS):
+                 bounds: Sequence[float] = DEFAULT_BUCKETS,
+                 windows: Optional[List["DeltaWindow"]] = None):
         if list(bounds) != sorted(bounds):
             raise ValueError("histogram bounds must be sorted")
         self.name = name
@@ -106,6 +107,9 @@ class Histogram:
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self._lock = lock
+        # The owning registry's list of open delta windows (shared, so a
+        # window opened after this histogram exists still sees it).
+        self._windows = windows if windows is not None else []
 
     def observe(self, value: float) -> None:
         """Record one sample."""
@@ -121,6 +125,8 @@ class Histogram:
             self.sum += value
             self.min = value if self.min is None else min(self.min, value)
             self.max = value if self.max is None else max(self.max, value)
+            for window in self._windows:
+                window._note(self.name, value)
 
     @property
     def mean(self) -> float:
@@ -154,6 +160,9 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        #: Open :class:`DeltaWindow` objects; histograms feed every open
+        #: window so per-window extremes stay exact (see :meth:`diff`).
+        self._windows: List["DeltaWindow"] = []
 
     # ------------------------------------------------------------------
     # instrument access
@@ -187,7 +196,9 @@ class MetricsRegistry:
         with self._lock:
             if name not in self._histograms:
                 self._check_name(name, self._histograms)
-                self._histograms[name] = Histogram(name, self._lock, bounds)
+                self._histograms[name] = Histogram(
+                    name, self._lock, bounds, self._windows,
+                )
             return self._histograms[name]
 
     # convenience one-liners for the instrumented layers
@@ -217,6 +228,19 @@ class MetricsRegistry:
                 "histograms": {n: h.snapshot()
                                for n, h in self._histograms.items()},
             }
+
+    def delta_window(self) -> "DeltaWindow":
+        """Open a :class:`DeltaWindow` over this registry.
+
+        The window records a baseline snapshot *and* the exact min/max of
+        every histogram observation made while it is open, so
+        :meth:`DeltaWindow.delta` produces a delta whose histogram
+        extremes are those of the window itself — not the conservative
+        cumulative bounds a bare :meth:`diff` of two snapshots is limited
+        to.  This is what pool workers and sessions use, so merged parent
+        histograms are exact.
+        """
+        return DeltaWindow(self)
 
     @staticmethod
     def diff(before: dict, after: dict) -> dict:
@@ -249,9 +273,9 @@ class MetricsRegistry:
                     "bucket_counts": counts,
                     "count": count,
                     "sum": hist["sum"] - prior["sum"],
-                    # exact min/max of the delta window are unrecoverable
-                    # from two cumulative snapshots; the window's values
-                    # are bounded by the cumulative extremes.
+                    # Two cumulative snapshots only bound the window's
+                    # extremes; a DeltaWindow (delta_window()) replaces
+                    # these with the exact per-window min/max.
                     "min": hist["min"],
                     "max": hist["max"],
                 }
@@ -295,6 +319,63 @@ class MetricsRegistry:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+
+
+class DeltaWindow:
+    """An open delta window over a registry (see ``delta_window()``).
+
+    Captures a baseline snapshot at open and accumulates the exact
+    min/max of every histogram observation made while open; ``delta()``
+    is :meth:`MetricsRegistry.diff` with the histogram extremes replaced
+    by the window's own.  Thread-safe: histogram observations note their
+    value under the registry lock.  Close the window (``close()`` or use
+    it as a context manager) when done — open windows cost one dict probe
+    per observation.
+    """
+
+    def __init__(self, registry: MetricsRegistry):
+        self._registry = registry
+        self._extremes: Dict[str, List[float]] = {}
+        self._closed = False
+        with registry._lock:
+            self.baseline = registry.snapshot()
+            registry._windows.append(self)
+
+    def _note(self, name: str, value: float) -> None:
+        # Called by Histogram.observe under the registry lock.
+        pair = self._extremes.get(name)
+        if pair is None:
+            self._extremes[name] = [value, value]
+        else:
+            if value < pair[0]:
+                pair[0] = value
+            if value > pair[1]:
+                pair[1] = value
+
+    def delta(self) -> dict:
+        """The exact delta snapshot since the window opened."""
+        with self._registry._lock:
+            out = MetricsRegistry.diff(self.baseline,
+                                       self._registry.snapshot())
+            for name, hist in out.get("histograms", {}).items():
+                pair = self._extremes.get(name)
+                if pair is not None:
+                    hist["min"], hist["max"] = pair[0], pair[1]
+            return out
+
+    def close(self) -> None:
+        """Stop tracking (idempotent)."""
+        with self._registry._lock:
+            if not self._closed:
+                self._closed = True
+                if self in self._registry._windows:
+                    self._registry._windows.remove(self)
+
+    def __enter__(self) -> "DeltaWindow":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 # ----------------------------------------------------------------------

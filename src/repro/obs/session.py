@@ -6,8 +6,10 @@ A :class:`Session` is the front door of :mod:`repro.obs`.  Entering one
   stack, so every span any layer opens inside the block (pipeline
   passes, parallel maps, SMT solves, backend trajectory chunks) nests
   into one tree;
-* snapshots the process-wide :class:`~repro.obs.registry.MetricsRegistry`
-  so the session can report the **metric deltas** its block produced;
+* opens a :class:`~repro.obs.registry.DeltaWindow` over the process-wide
+  :class:`~repro.obs.registry.MetricsRegistry` so the session can report
+  the **metric deltas** its block produced (with exact per-window
+  histogram min/max);
 * installs an :class:`~repro.obs.events.EventLog` sink stamped with the
   run ID, so :func:`~repro.obs.events.log_event` calls are captured;
 * collects every trace emitted inside the block (a
@@ -32,7 +34,7 @@ from typing import Any, Dict, List, Optional
 
 from .events import EventLog, install_sink, remove_sink
 from .manifest import RunManifest, environment_info, git_revision, new_run_id
-from .registry import MetricsRegistry, get_registry
+from .registry import DeltaWindow, get_registry
 from .trace import Span, Trace, TraceCollector, _stack, emit_trace
 
 
@@ -79,7 +81,7 @@ class Session:
 
         self._root = Span(name=name)
         self._started: Optional[float] = None
-        self._baseline: Optional[dict] = None
+        self._window: Optional[DeltaWindow] = None
         self._collector = TraceCollector()
         self.event_log = EventLog(run_id=self.run_id)
 
@@ -89,7 +91,9 @@ class Session:
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "Session":
-        self._baseline = get_registry().snapshot()
+        # A DeltaWindow (not a bare snapshot pair) so the session's
+        # histogram deltas carry exact per-window min/max.
+        self._window = get_registry().delta_window()
         self._collector.__enter__()
         install_sink(self.event_log)
         _stack().append(self._root)
@@ -110,9 +114,8 @@ class Session:
         remove_sink(self.event_log)
         self._collector.__exit__(exc_type, exc, tb)
 
-        self.metrics = MetricsRegistry.diff(
-            self._baseline, get_registry().snapshot()
-        )
+        self.metrics = self._window.delta()
+        self._window.close()
         self.trace = Trace(
             pipeline=self.name,
             spans=[self._root],

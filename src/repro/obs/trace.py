@@ -32,7 +32,7 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
 
 #: Schema identifier stamped into every exported trace document.
 TRACE_SCHEMA = "repro.obs.trace/v2"
@@ -248,6 +248,23 @@ def current_span() -> Optional[Span]:
     return stack[-1] if stack else None
 
 
+#: Callables invoked with every closed :class:`Span` (live telemetry
+#: tees).  Observer errors are swallowed — observation must never break
+#: the observed run.
+_SPAN_OBSERVERS: List[Callable[["Span"], None]] = []
+
+
+def add_span_observer(observer: Callable[["Span"], None]) -> None:
+    """Start invoking ``observer(span)`` on every span close."""
+    _SPAN_OBSERVERS.append(observer)
+
+
+def remove_span_observer(observer: Callable[["Span"], None]) -> None:
+    """Stop invoking ``observer`` (no-op if not installed)."""
+    if observer in _SPAN_OBSERVERS:
+        _SPAN_OBSERVERS.remove(observer)
+
+
 @contextmanager
 def span(name: str) -> Iterator[Span]:
     """Open a nested wall-time span.
@@ -259,7 +276,9 @@ def span(name: str) -> Iterator[Span]:
     the parallel engine, the SMT solver) compose into one tree without
     knowing about each other.  With no enclosing span the record simply
     floats free; use a :class:`SpanRecorder` or
-    :class:`~repro.obs.session.Session` to root a tree.
+    :class:`~repro.obs.session.Session` to root a tree.  Closed spans are
+    also handed to any registered span observers (the live telemetry
+    tee); observers may not mutate the record.
     """
     record = Span(name=name)
     stack = _stack()
@@ -273,6 +292,12 @@ def span(name: str) -> Iterator[Span]:
         parent = stack[-1] if stack else None
         if parent is not None:
             parent.children.append(record)
+        if _SPAN_OBSERVERS:
+            for observer in list(_SPAN_OBSERVERS):
+                try:
+                    observer(record)
+                except Exception:
+                    pass
 
 
 class SpanRecorder:

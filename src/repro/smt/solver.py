@@ -33,6 +33,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.obs.events import log_event
+from repro.obs.live.heartbeat import heartbeat
 from repro.obs.registry import get_registry
 from repro.obs.trace import span as obs_span
 from repro.smt.backends import (
@@ -114,6 +115,9 @@ class OptimizingSolver:
         """
         model = self.model
         with obs_span("smt.solve") as record:
+            heartbeat("smt.solve", status="solving",
+                      decisions=len(model.decisions),
+                      constraints=len(model.base_constraints))
             started = time.perf_counter()
             if self.backend is not None:
                 solution = self.backend.solve(self.request())
@@ -122,6 +126,8 @@ class OptimizingSolver:
             else:
                 solution = self.solve_greedy()
             seconds = time.perf_counter() - started
+            heartbeat("smt.solve", status="done", seconds=seconds,
+                      nodes=solution.nodes_explored)
             record.counters.update({
                 "smt.solve.seconds": seconds,
                 "smt.solve.nodes": float(solution.nodes_explored),

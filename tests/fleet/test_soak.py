@@ -41,6 +41,17 @@ class TestSoak:
         with pytest.raises(ValueError, match=">= 3 devices"):
             SoakConfig(devices=2)
 
+    def test_live_plane_checks_ran_and_passed(self, small_soak):
+        verdicts = {name: (passed, detail)
+                    for name, passed, detail in small_soak.checks}
+        for name in ("live_snapshots", "live_alert_lifecycle",
+                     "live_prometheus"):
+            passed, detail = verdicts[name]
+            assert passed, f"{name}: {detail}"
+        # The injected always-fail device makes the drift/breaker alerts
+        # fire, and its quarantine resolves them — a full lifecycle.
+        assert "fired/resolved per rule" in verdicts["live_alert_lifecycle"][1]
+
 
 class TestCli:
     def test_main_exits_zero_and_writes_document(self, tmp_path, capsys):

@@ -134,3 +134,37 @@ class TestJsonlRoundTrip:
         path = str(tmp_path / "events.jsonl")
         EventLog().write(path)
         assert read_events(path) == []
+
+
+class TestCorruptLineTolerance:
+    def _dirty_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text(
+            '{"event": "a"}\n'
+            "%% not json %%\n"
+            "[1, 2, 3]\n"          # valid JSON, not an object
+            '{"event": "b"}\n'
+        )
+        return str(path)
+
+    def test_corrupt_lines_skipped_and_counted(self, tmp_path):
+        from repro.obs.registry import MetricsRegistry, push_registry
+
+        with push_registry(MetricsRegistry()) as registry:
+            records = read_events(self._dirty_file(tmp_path))
+            assert [r["event"] for r in records] == ["a", "b"]
+            assert registry.counter("obs.events.corrupt_lines").value == 2
+
+    def test_strict_restores_raise_on_garbage(self, tmp_path):
+        with pytest.raises(ValueError):
+            read_events(self._dirty_file(tmp_path), strict=True)
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"event": "a"}\n{"event": "b", "x"')
+        from repro.obs.registry import MetricsRegistry, push_registry
+
+        with push_registry(MetricsRegistry()) as registry:
+            records = read_events(str(path))
+            assert [r["event"] for r in records] == ["a"]
+            assert registry.counter("obs.events.corrupt_lines").value == 1

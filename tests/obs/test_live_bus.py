@@ -1,0 +1,142 @@
+"""TelemetryBus: bounded fan-out, drop accounting, event/span tees."""
+
+import threading
+
+import pytest
+
+from repro.obs import span
+from repro.obs.live.bus import DEFAULT_CAPACITY, BusEventSink, TelemetryBus
+from repro.obs.live.plane import LivePlane, get_plane
+from repro.obs.registry import MetricsRegistry, push_registry
+
+
+class TestPublishSubscribe:
+    def test_subscriber_receives_envelope(self):
+        bus = TelemetryBus()
+        sub = bus.subscribe()
+        bus.publish("event", {"event": "x", "n": 1})
+        [envelope] = sub.poll()
+        assert envelope["kind"] == "event"
+        assert envelope["record"] == {"event": "x", "n": 1}
+        assert envelope["ts"] > 0
+
+    def test_publish_without_subscribers_is_counted_not_lost(self):
+        with push_registry(MetricsRegistry()) as registry:
+            bus = TelemetryBus()
+            bus.publish("event", {"event": "x"})
+            assert bus.published == 1
+            assert registry.counter("obs.live.published").value == 1
+
+    def test_fan_out_to_every_subscriber(self):
+        bus = TelemetryBus()
+        subs = [bus.subscribe() for _ in range(3)]
+        bus.publish("snapshot", {"seq": 0})
+        assert all(len(sub.poll()) == 1 for sub in subs)
+
+    def test_kind_filter(self):
+        bus = TelemetryBus()
+        only_spans = bus.subscribe(kinds=["span"])
+        everything = bus.subscribe()
+        bus.publish("event", {"event": "x"})
+        bus.publish("span", {"name": "s"})
+        assert [e["kind"] for e in only_spans.poll()] == ["span"]
+        assert [e["kind"] for e in everything.poll()] == ["event", "span"]
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = TelemetryBus()
+        sub = bus.subscribe()
+        sub.close()
+        bus.publish("event", {"event": "x"})
+        assert sub.poll() == []
+        sub.close()  # idempotent
+
+    def test_poll_max_items_drains_incrementally(self):
+        bus = TelemetryBus()
+        sub = bus.subscribe()
+        for i in range(5):
+            bus.publish("event", {"n": i})
+        assert len(sub.poll(max_items=2)) == 2
+        assert len(sub.poll()) == 3
+
+    def test_wait_wakes_on_publish(self):
+        bus = TelemetryBus()
+        sub = bus.subscribe()
+        assert sub.wait(timeout=0.01) is False
+        timer = threading.Timer(0.05, bus.publish, ("event", {"n": 1}))
+        timer.start()
+        try:
+            assert sub.wait(timeout=2.0) is True
+        finally:
+            timer.cancel()
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TelemetryBus(capacity=0)
+
+    def test_default_capacity(self):
+        assert TelemetryBus().capacity == DEFAULT_CAPACITY
+
+
+class TestDropAccounting:
+    def test_overflow_drops_oldest_and_counts(self):
+        with push_registry(MetricsRegistry()) as registry:
+            bus = TelemetryBus(capacity=2)
+            sub = bus.subscribe()
+            for i in range(5):
+                bus.publish("event", {"n": i})
+            kept = [e["record"]["n"] for e in sub.poll()]
+            assert kept == [3, 4]  # ring keeps the newest
+            assert sub.dropped == 3
+            assert bus.dropped == 3
+            assert registry.counter("obs.live.dropped").value == 3
+
+    def test_slow_subscriber_does_not_affect_fast_one(self):
+        bus = TelemetryBus()
+        slow = bus.subscribe(capacity=1)
+        fast = bus.subscribe(capacity=100)
+        for i in range(10):
+            bus.publish("event", {"n": i})
+        assert len(fast.poll()) == 10
+        assert fast.dropped == 0
+        assert slow.dropped == 9
+
+
+class TestTees:
+    def test_bus_event_sink_tees_log_event(self):
+        bus = TelemetryBus()
+        sub = bus.subscribe(kinds=["event"])
+        sink = BusEventSink(bus)
+        record = sink.log("campaign.start", policy="one_hop")
+        assert record["event"] == "campaign.start"
+        [envelope] = sub.poll()
+        assert envelope["record"]["policy"] == "one_hop"
+
+    def test_sink_carries_no_run_id(self):
+        # Must never shadow a session's sink in current_run_id().
+        assert BusEventSink(TelemetryBus()).run_id is None
+
+    def test_plane_tees_spans_onto_bus(self):
+        with push_registry(MetricsRegistry()):
+            plane = LivePlane(interval=0)
+            sub = plane.bus.subscribe(kinds=["span"])
+            with plane:
+                with span("outer"):
+                    with span("inner"):
+                        pass
+            names = [e["record"]["name"] for e in sub.poll()]
+            assert "inner" in names and "outer" in names
+
+    def test_get_plane_tracks_innermost(self):
+        with push_registry(MetricsRegistry()):
+            assert get_plane() is None
+            plane = LivePlane(interval=0)
+            with plane:
+                assert get_plane() is plane
+            assert get_plane() is None
+
+    def test_plane_is_not_reentrant(self):
+        with push_registry(MetricsRegistry()):
+            plane = LivePlane(interval=0)
+            with plane:
+                with pytest.raises(RuntimeError):
+                    plane.__enter__()

@@ -1,0 +1,116 @@
+"""MetricsRegistry under concurrency: exact totals, safe merges/windows."""
+
+import threading
+
+from repro.obs.registry import MetricsRegistry
+
+THREADS = 8
+PER_THREAD = 500
+
+
+def _hammer(target, barrier):
+    barrier.wait()
+    target()
+
+
+def _run_threads(target):
+    barrier = threading.Barrier(THREADS)
+    threads = [threading.Thread(target=_hammer, args=(target, barrier))
+               for _ in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestConcurrentInstruments:
+    def test_counter_increments_are_exact(self):
+        registry = MetricsRegistry()
+
+        def work():
+            for _ in range(PER_THREAD):
+                registry.inc("hits")
+
+        _run_threads(work)
+        assert registry.counter("hits").value == THREADS * PER_THREAD
+
+    def test_histogram_totals_are_exact(self):
+        registry = MetricsRegistry()
+
+        def work():
+            for i in range(PER_THREAD):
+                registry.observe("h", float(i % 10))
+
+        _run_threads(work)
+        hist = registry.histogram("h").snapshot()
+        assert hist["count"] == THREADS * PER_THREAD
+        assert sum(hist["bucket_counts"]) == hist["count"]
+        assert (hist["min"], hist["max"]) == (0.0, 9.0)
+
+    def test_lazy_instrument_creation_races_to_one_instance(self):
+        registry = MetricsRegistry()
+        instances = []
+        lock = threading.Lock()
+
+        def work():
+            counter = registry.counter("shared")
+            with lock:
+                instances.append(counter)
+            counter.inc()
+
+        _run_threads(work)
+        assert len(set(map(id, instances))) == 1
+        assert registry.counter("shared").value == THREADS
+
+
+class TestConcurrentMerge:
+    def test_worker_deltas_merge_exactly(self):
+        # The pool contract, thread-shaped: N "workers" each produce a
+        # window delta against their own registry; the parent merge must
+        # lose nothing regardless of interleaving.
+        parent = MetricsRegistry()
+        merge_lock = threading.Lock()
+
+        def work():
+            worker = MetricsRegistry()
+            with worker.delta_window() as window:
+                for i in range(PER_THREAD):
+                    worker.inc("tasks")
+                    worker.observe("seconds", 0.001 * (i + 1))
+                delta = window.delta()
+            with merge_lock:
+                parent.merge(delta)
+
+        _run_threads(work)
+        assert parent.counter("tasks").value == THREADS * PER_THREAD
+        hist = parent.histogram("seconds").snapshot()
+        assert hist["count"] == THREADS * PER_THREAD
+        assert hist["min"] == 0.001
+        assert abs(hist["max"] - 0.001 * PER_THREAD) < 1e-12
+
+    def test_window_open_while_observers_hammer(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+
+        def observe_forever():
+            value = 0
+            while not stop.is_set():
+                registry.observe("h", float(value % 100))
+                value += 1
+
+        noise = [threading.Thread(target=observe_forever) for _ in range(4)]
+        for thread in noise:
+            thread.start()
+        try:
+            for _ in range(50):
+                with registry.delta_window() as window:
+                    registry.observe("h", -1.0)  # window-unique minimum
+                    delta = window.delta()
+                hist = delta["histograms"]["h"]
+                assert hist["min"] == -1.0
+                assert hist["count"] >= 1
+                assert sum(hist["bucket_counts"]) == hist["count"]
+        finally:
+            stop.set()
+            for thread in noise:
+                thread.join()

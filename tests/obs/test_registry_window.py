@@ -1,0 +1,98 @@
+"""DeltaWindow: exact per-window histogram extremes in deltas."""
+
+from repro.obs.registry import MetricsRegistry, push_registry
+from repro.obs.session import Session
+
+
+class TestDeltaWindowExactness:
+    def test_window_minmax_excludes_prior_observations(self):
+        registry = MetricsRegistry()
+        # Lifetime extremes set before the window opens...
+        registry.observe("h", 0.001)
+        registry.observe("h", 100.0)
+        with registry.delta_window() as window:
+            registry.observe("h", 2.0)
+            registry.observe("h", 5.0)
+            delta = window.delta()
+        hist = delta["histograms"]["h"]
+        # ...must not leak into the window's delta: a bare snapshot diff
+        # could only report (0.001, 100.0) here.
+        assert (hist["min"], hist["max"]) == (2.0, 5.0)
+        assert hist["count"] == 2
+        assert hist["sum"] == 7.0
+
+    def test_plain_diff_is_lossy_where_window_is_exact(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 0.001)
+        before = registry.snapshot()
+        window = registry.delta_window()
+        registry.observe("h", 2.0)
+        lossy = MetricsRegistry.diff(before, registry.snapshot())
+        exact = window.delta()
+        window.close()
+        # The regression this API fixes: diff() can only carry the
+        # cumulative min, the window knows the true per-window one.
+        assert lossy["histograms"]["h"]["min"] == 0.001
+        assert exact["histograms"]["h"]["min"] == 2.0
+
+    def test_untouched_histogram_absent_from_delta(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 1.0)
+        with registry.delta_window() as window:
+            assert "h" not in window.delta()["histograms"]
+
+    def test_window_sees_histograms_created_after_open(self):
+        registry = MetricsRegistry()
+        with registry.delta_window() as window:
+            registry.observe("new.hist", 3.0)
+            hist = window.delta()["histograms"]["new.hist"]
+        assert (hist["min"], hist["max"]) == (3.0, 3.0)
+
+    def test_closed_window_stops_tracking(self):
+        registry = MetricsRegistry()
+        window = registry.delta_window()
+        registry.observe("h", 1.0)
+        window.close()
+        window.close()  # idempotent
+        registry.observe("h", 50.0)
+        # Post-close observations are no longer noted.
+        assert window._extremes["h"] == [1.0, 1.0]
+
+    def test_concurrent_windows_are_independent(self):
+        registry = MetricsRegistry()
+        outer = registry.delta_window()
+        registry.observe("h", 10.0)
+        inner = registry.delta_window()
+        registry.observe("h", 1.0)
+        inner_hist = inner.delta()["histograms"]["h"]
+        outer_hist = outer.delta()["histograms"]["h"]
+        inner.close()
+        outer.close()
+        assert (inner_hist["min"], inner_hist["max"]) == (1.0, 1.0)
+        assert (outer_hist["min"], outer_hist["max"]) == (1.0, 10.0)
+
+    def test_merged_delta_reconstructs_parent_extremes(self):
+        # The pool-worker contract: parent merges a window delta and the
+        # merged extremes are the union of parent and window values.
+        parent = MetricsRegistry()
+        parent.observe("h", 4.0)
+        worker = MetricsRegistry()
+        worker.observe("h", 999.0)  # pre-window lifetime noise
+        with worker.delta_window() as window:
+            worker.observe("h", 0.5)
+            parent.merge(window.delta())
+        hist = parent.histogram("h").snapshot()
+        assert (hist["min"], hist["max"]) == (0.5, 4.0)
+        assert hist["count"] == 2
+
+
+class TestSessionUsesWindows:
+    def test_session_metrics_extremes_are_session_scoped(self, tmp_path):
+        with push_registry(MetricsRegistry()) as registry:
+            registry.observe("h", 123.0)  # before the session
+            with Session("window_test") as session:
+                registry.observe("h", 1.0)
+                registry.observe("h", 2.0)
+            hist = session.metrics["histograms"]["h"]
+            assert (hist["min"], hist["max"]) == (1.0, 2.0)
+            assert hist["count"] == 2

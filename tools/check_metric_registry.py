@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Lint: every metric/event name emitted in src/ is documented.
+
+``docs/observability.md`` carries the name registry — the tables of
+metric, span, and event names that make one run's artefacts comparable
+with the next's.  This check keeps the registry honest: it scans
+``src/**/*.py`` for string-literal names passed to the metric
+instruments (``registry.inc/set/observe/counter/gauge/histogram``) and
+to the event emitters (``log_event`` / ``EventLog.log``), and fails if
+any emitted name does not appear in the docs.  Accessor reads
+(``trace.counter(...)``, ``registry.gauge(...)``) are not emissions and
+are ignored.
+
+Names built with f-strings are reduced to their literal prefix up to the
+first ``{`` (so ``f"fleet.staleness[{name}]"`` is satisfied by the
+documented ``fleet.staleness[<device>]`` row).  Only dotted names are
+considered — a plain word passed to some unrelated ``.set()`` is not a
+metric.  Names that are deliberately undocumented can be listed in
+``ALLOWED``.
+
+Stdlib only; run from the repo root (CI docs job)::
+
+    python tools/check_metric_registry.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+DOCS = REPO_ROOT / "docs" / "observability.md"
+
+#: Names allowed to stay out of the docs registry (justify each entry).
+ALLOWED: set = set()
+
+#: Call sites whose first string-literal argument is a metric/event name.
+#: Accessors like ``registry.counter(...)`` / ``trace.counter(...)`` are
+#: excluded — they read; emission goes through inc/set/observe/log.
+_CALL_RE = re.compile(
+    r"(?:\.inc|\.set|\.observe|\blog_event|\.log)\(\s*"
+    r"(?P<prefix>f?)(?P<quote>['\"])(?P<name>[^'\"\n]+)(?P=quote)"
+)
+
+
+def emitted_names(path: Path):
+    """Yield ``(lineno, name, is_prefix)`` for every instrument call."""
+    text = path.read_text(encoding="utf-8")
+    for match in _CALL_RE.finditer(text):
+        name = match.group("name")
+        is_prefix = False
+        if match.group("prefix"):
+            # f-string: only the literal prefix is checkable.
+            name = name.split("{", 1)[0]
+            is_prefix = True
+        if "." not in name:
+            # Dotted names only: everything in the registry namespace is
+            # `layer.metric`; bare words are other APIs' string args.
+            continue
+        if " " in name or not re.match(r"^[a-z0-9_.\[\]<>-]+$", name, re.I):
+            continue
+        lineno = text.count("\n", 0, match.start()) + 1
+        yield lineno, name, is_prefix
+
+
+def main() -> int:
+    docs_text = DOCS.read_text(encoding="utf-8")
+    missing = []
+    for path in sorted(SRC.rglob("*.py")):
+        for lineno, name, is_prefix in emitted_names(path):
+            if name in ALLOWED:
+                continue
+            if name in docs_text:
+                continue
+            rel = path.relative_to(REPO_ROOT)
+            kind = "name prefix" if is_prefix else "name"
+            missing.append(f"{rel}:{lineno}: {kind} {name!r} not found in "
+                           f"{DOCS.relative_to(REPO_ROOT)}")
+    if missing:
+        print(f"[check_metric_registry] {len(missing)} undocumented "
+              "metric/event name(s):", file=sys.stderr)
+        for line in missing:
+            print(f"  {line}", file=sys.stderr)
+        print("add the name(s) to the registry tables in "
+              "docs/observability.md (or to ALLOWED in this script, with "
+              "a reason)", file=sys.stderr)
+        return 1
+    print("[check_metric_registry] OK: every emitted metric/event name "
+          "is documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
